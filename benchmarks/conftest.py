@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``benchmarks/test_eN_*.py`` regenerates one experiment from DESIGN.md
+§4.  Conventions:
+
+* heavy experiments run once per benchmark (``benchmark.pedantic`` with one
+  round) — the timing is the experiment's wall-clock cost, and the printed
+  table is the experiment's result;
+* every benchmark prints its result table (visible with ``-s``) *and*
+  attaches the same rows to ``benchmark.extra_info`` so the JSON output
+  carries them;
+* every benchmark asserts the paper's qualitative *shape*, so a regression
+  in behaviour — not just speed — fails the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render and print a fixed-width results table; returns the text."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    out = [f"\n=== {title} ===", line, "-" * len(line)]
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(out)
+    print(text)
+    return text

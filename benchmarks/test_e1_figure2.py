@@ -1,0 +1,51 @@
+"""E1 — Figure 2: the paper's example operation, regenerated.
+
+Replays the exact seven-process fragment: the crashed eater's containment
+at distance 2 (dynamic threshold at ``d``) and the priority-cycle break via
+depth overflow at ``g``, ending with ``e`` eating.
+
+Paper shape: red set ⊆ ball(a, 2); e/f/g green; cycle broken by ``g``'s
+``exit``; ``e`` eats after the third panel.
+"""
+
+from conftest import print_table
+
+from repro.analysis import find_live_cycles
+from repro.core import FIGURE2_SEQUENCE, green_set, nc_holds, red_set, run_figure2
+
+
+def test_e1_figure2_replay(benchmark):
+    replay = benchmark.pedantic(run_figure2, rounds=5, iterations=1)
+
+    rows = []
+    labels = ("panel 1", "panel 2", "panel 3", "panel 4")
+    for label, config in zip(labels, replay.configurations):
+        states = " ".join(
+            f"{p}:{config.local(p, 'state')}" for p in config.topology.nodes
+        )
+        cycles = find_live_cycles(config)
+        rows.append(
+            (
+                label,
+                states,
+                "yes" if cycles else "no",
+                ",".join(sorted(map(str, red_set(config)))),
+            )
+        )
+    print_table(
+        "E1: Figure 2 replay (transitions: "
+        + ", ".join(f"{p}.{a}" for p, a in FIGURE2_SEQUENCE)
+        + ")",
+        ("panel", "states", "live cycle", "red"),
+        rows,
+    )
+    benchmark.extra_info["panels"] = rows
+
+    final = replay.final
+    topo = final.topology
+    # --- the paper's shape ---
+    assert final.local("e", "state") == "E"  # e eats after panel 3
+    assert nc_holds(final)  # cycle broken
+    assert not find_live_cycles(final)
+    assert all(topo.distance("a", p) <= 2 for p in red_set(final))  # locality
+    assert green_set(final) >= {"e", "f", "g"}

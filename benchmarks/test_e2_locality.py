@@ -1,0 +1,84 @@
+"""E2 — failure locality sweep: Theorem 2 vs the baselines.
+
+One process crashes while eating on lines of growing length; we measure the
+starvation radius (max distance from the crash to a starving process) for
+the paper's program and the three baselines.
+
+Paper shape:
+
+* na-diners and choy-singh: radius <= 2 at every size (locality 2, optimal);
+* hygienic: radius grows with the line (its blocked chain covers it);
+* fork-ordering: the crashed fork-holder starves its neighbourhood and
+  degrades throughput along the whole chain.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.analysis import measure_failure_locality
+from repro.baselines import ChoySinghDiners, ForkOrderingDiners, HygienicDiners
+from repro.core import NADiners
+from repro.sim import line
+
+SIZES = (8, 12, 16)
+PARAMS = dict(warmup_steps=40_000, settle_steps=15_000, window=50_000)
+
+
+def sweep(algorithm_factory):
+    results = {}
+    for n in SIZES:
+        report = measure_failure_locality(
+            algorithm_factory(), line(n), [0], seed=n, **PARAMS
+        )
+        results[n] = report
+    return results
+
+
+@pytest.mark.parametrize(
+    "factory,shape",
+    [
+        (NADiners, "local"),
+        (ChoySinghDiners, "local"),
+        (HygienicDiners, "chain"),
+        (ForkOrderingDiners, "gradient"),
+    ],
+    ids=["na-diners", "choy-singh", "hygienic", "fork-ordering"],
+)
+def test_e2_locality(benchmark, factory, shape):
+    results = benchmark.pedantic(sweep, args=(factory,), rounds=1, iterations=1)
+
+    rows = []
+    for n, report in results.items():
+        radius = "-" if report.starvation_radius is None else report.starvation_radius
+        rows.append((n, radius, len(report.starving), sorted(report.starving)))
+    print_table(
+        f"E2: starvation radius, {factory().name}, crash at end of line",
+        ("n", "radius", "#starving", "starving"),
+        rows,
+    )
+    benchmark.extra_info["radius_by_n"] = {
+        n: report.starvation_radius for n, report in results.items()
+    }
+
+    # --- the paper's shape ---
+    if shape == "local":
+        # locality 2 at every size (Theorem 2 / Choy–Singh optimality).
+        for n, report in results.items():
+            assert report.starvation_radius is None or report.starvation_radius <= 2
+            assert report.all_beyond_radius_eat(line(n), radius=2)
+    elif shape == "chain":
+        # unbounded locality: the blocked chain reaches past distance 2.
+        worst = max((r.starvation_radius or 0) for r in results.values())
+        assert worst > 2
+    else:
+        # fork-ordering: the dead fork-holder starves its neighbourhood and
+        # throughput climbs with distance from the crash (a waiting chain
+        # expressed as a gradient rather than full starvation).
+        for n, report in results.items():
+            assert 1 in report.starving
+            grouped = report.eats_by_distance(line(n))
+            near = min(d for d in grouped if d >= 2)
+            far = max(grouped)
+            near_rate = grouped[near][1] / grouped[near][0]
+            far_rate = grouped[far][1] / grouped[far][0]
+            assert far_rate > 2 * near_rate

@@ -1,0 +1,128 @@
+"""E3 — stabilization time: Theorem 1, quantified.
+
+Two workloads:
+
+* **random corruption** — the whole state replaced with arbitrary values;
+  steps to the invariant ``I``, across system sizes (line topologies, where
+  the paper's literal diameter threshold applies);
+* **planted cycle** — the adversarial transient fault: a directed priority
+  cycle with zeroed depths on rings of growing size; steps until the cycle
+  is broken (NC restored), with nobody eating so only depth propagation can
+  break it.
+
+Paper shape: every trial converges; cycle-break time grows with the ring
+size (depth must climb hop by hop past the threshold).
+"""
+
+import statistics
+
+from conftest import print_table
+
+from repro.analysis import convergence_study, plant_priority_cycle, steps_to_predicate
+from repro.core import NADiners, nc_holds
+from repro.sim import NeverHungry, System, line, ring
+
+
+def random_corruption_sweep():
+    results = {}
+    for n in (5, 8, 11, 14):
+        summary = convergence_study(
+            NADiners, line(n), trials=10, max_steps=500_000, seed=n, check_every=8
+        )
+        results[n] = summary
+    return results
+
+
+def test_e3_random_corruption(benchmark):
+    results = benchmark.pedantic(random_corruption_sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            n,
+            f"{summary.converged}/{summary.trials}",
+            f"{summary.mean_steps:.0f}",
+            f"{summary.median_steps:.0f}",
+            summary.max_steps,
+        )
+        for n, summary in results.items()
+    ]
+    print_table(
+        "E3a: steps to invariant I from random corruption (line(n))",
+        ("n", "converged", "mean", "median", "max"),
+        rows,
+    )
+    benchmark.extra_info["mean_steps_by_n"] = {
+        n: summary.mean_steps for n, summary in results.items()
+    }
+    # --- shape: everything converges ---
+    assert all(summary.all_converged for summary in results.values())
+
+
+def cycle_break_sweep():
+    results = {}
+    for n in (4, 6, 8, 10, 12):
+        times = []
+        for seed in range(8):
+            system = System(ring(n), NADiners())
+            plant_priority_cycle(system, list(range(n)))
+            result = steps_to_predicate(
+                system, nc_holds, max_steps=500_000, seed=seed, hunger=NeverHungry()
+            )
+            assert result.converged
+            times.append(result.steps)
+        results[n] = times
+    return results
+
+
+def rounds_sweep():
+    from repro.analysis import rounds_to_predicate
+
+    results = {}
+    for n in (4, 8, 12, 16):
+        rounds = []
+        for seed in range(8):
+            system = System(ring(n), NADiners())
+            plant_priority_cycle(system, list(range(n)))
+            r = rounds_to_predicate(
+                system, nc_holds, max_steps=500_000, seed=seed, hunger=NeverHungry()
+            )
+            assert r is not None
+            rounds.append(r)
+        results[n] = rounds
+    return results
+
+
+def test_e3_cycle_break_rounds(benchmark):
+    """E3c: the same cycle-break experiment measured in asynchronous
+    rounds, the stabilization literature's time unit.  Depth information
+    travels many hops per round (every process's fixdepth fires each
+    round), so round complexity grows far slower than step complexity."""
+    results = benchmark.pedantic(rounds_sweep, rounds=1, iterations=1)
+    rows = [
+        (n, f"{statistics.fmean(r):.1f}", max(r)) for n, r in results.items()
+    ]
+    print_table(
+        "E3c: rounds to break a planted priority cycle (ring(n))",
+        ("n", "mean rounds", "max rounds"),
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    # --- shape: bounded growth, far below the step counts of E3b ---
+    assert all(max(r) <= 4 + n // 2 for n, r in results.items())
+
+
+def test_e3_cycle_break_scaling(benchmark):
+    results = benchmark.pedantic(cycle_break_sweep, rounds=1, iterations=1)
+    means = {n: statistics.fmean(times) for n, times in results.items()}
+    rows = [
+        (n, ring(n).diameter, f"{means[n]:.0f}", max(results[n]))
+        for n in results
+    ]
+    print_table(
+        "E3b: steps to break a planted priority cycle (ring(n), nobody eats)",
+        ("n", "diameter", "mean steps", "max steps"),
+        rows,
+    )
+    benchmark.extra_info["mean_steps_by_n"] = means
+    # --- shape: detection latency grows with the ring size ---
+    sizes = sorted(means)
+    assert means[sizes[-1]] > means[sizes[0]]

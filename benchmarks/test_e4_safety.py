@@ -1,0 +1,73 @@
+"""E4 — safety: Theorem 3 as a measured trajectory.
+
+Start from corrupted states in which many neighbours eat simultaneously and
+record the count of simultaneously-eating neighbour pairs after every step.
+
+Paper shape: the series never increases, reaches zero for live pairs, and
+zero is absorbing.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.analysis import (
+    StepMonitor,
+    eating_pairs_count,
+    live_eating_pairs_count,
+    run_monitored,
+)
+from repro.core import NADiners
+from repro.sim import AlwaysHungry, Engine, System, ring
+
+
+def violation_decay(n=10, seeds=range(6)):
+    """Per seed: (initial pairs, steps until zero, monotone?)."""
+    results = []
+    for seed in seeds:
+        system = System(ring(n), NADiners())
+        system.randomize(random.Random(seed))
+        for p in list(system.pids)[: n // 2 + 2]:
+            system.write_local(p, "state", "E")
+        engine = Engine(system, hunger=AlwaysHungry(), seed=seed)
+        total = StepMonitor("pairs", eating_pairs_count)
+        live = StepMonitor("live-pairs", live_eating_pairs_count)
+        run_monitored(engine, [total, live], 8000)
+        series = live.series
+        first_zero = series.index(0) if 0 in series else None
+        results.append(
+            {
+                "seed": seed,
+                "initial": series[0],
+                "steps_to_zero": first_zero,
+                "monotone": total.is_non_increasing(),
+                "absorbing": first_zero is not None
+                and all(v == 0 for v in series[first_zero:]),
+            }
+        )
+    return results
+
+
+def test_e4_safety_violation_decay(benchmark):
+    results = benchmark.pedantic(violation_decay, rounds=1, iterations=1)
+    rows = [
+        (
+            r["seed"],
+            r["initial"],
+            r["steps_to_zero"],
+            "yes" if r["monotone"] else "NO",
+            "yes" if r["absorbing"] else "NO",
+        )
+        for r in results
+    ]
+    print_table(
+        "E4: simultaneously-eating neighbour pairs from corrupted starts (ring(10))",
+        ("seed", "initial pairs", "steps to 0", "never increases", "0 absorbing"),
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # --- the paper's shape (Theorem 3) ---
+    assert all(r["monotone"] for r in results)
+    assert all(r["steps_to_zero"] is not None for r in results)
+    assert all(r["absorbing"] for r in results)

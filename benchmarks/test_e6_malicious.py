@@ -1,0 +1,87 @@
+"""E6 — the headline: malicious crashes, end to end.
+
+A process crashes *maliciously* — k arbitrary steps perturbing its own
+variables and incident edges, then a silent halt — on a line while
+everything is busy.  We measure, per malice budget:
+
+* steps from the end of the arbitrary phase until the invariant I holds;
+* the starvation radius afterwards;
+* whether every process beyond distance 2 eats again (Proposition 1 +
+  Theorems 1–2 composed).
+
+Paper shape: recovery always succeeds, the radius never exceeds 2, and the
+malice budget only affects how scrambled the neighbourhood starts, not
+whether or how far recovery reaches.
+"""
+
+from conftest import print_table
+
+from repro.analysis import measure_failure_locality
+from repro.core import NADiners, invariant_holds
+from repro.sim import AlwaysHungry, Engine, MaliciousCrash, System, line
+
+
+def recovery_time(malice, seed):
+    """Steps from end-of-malice until I holds."""
+    topology = line(9)
+    system = System(topology, NADiners())
+    engine = Engine(system, hunger=AlwaysHungry(), seed=seed)
+    engine.run(1500)
+    engine.inject(MaliciousCrash(4, malicious_steps=malice))
+    engine.run(malice + 1)  # play out the arbitrary phase
+    result = engine.run(500_000, stop_when=invariant_holds, check_every=4)
+    assert result.stopped or invariant_holds(system.snapshot())
+    return result.steps
+
+
+def experiment():
+    rows = []
+    for malice in (1, 5, 20, 80):
+        times = [recovery_time(malice, seed) for seed in range(5)]
+        topo = line(10)
+        report = measure_failure_locality(
+            NADiners(),
+            topo,
+            [0],
+            malicious_steps=malice,
+            warmup_steps=40_000,
+            settle_steps=15_000,
+            window=40_000,
+            seed=malice,
+        )
+        rows.append(
+            {
+                "malice": malice,
+                "mean_recovery": sum(times) / len(times),
+                "max_recovery": max(times),
+                "radius": report.starvation_radius,
+                "far_ok": report.all_beyond_radius_eat(topo, radius=2),
+            }
+        )
+    return rows
+
+
+def test_e6_malicious_crash(benchmark):
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "E6: malicious crash (line, victim mid-run): recovery and containment",
+        ("malice steps", "mean recovery", "max recovery", "starv. radius", "far eat"),
+        [
+            (
+                r["malice"],
+                f"{r['mean_recovery']:.0f}",
+                r["max_recovery"],
+                "-" if r["radius"] is None else r["radius"],
+                "yes" if r["far_ok"] else "NO",
+            )
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["rows"] = [
+        {k: v for k, v in r.items()} for r in rows
+    ]
+
+    # --- the paper's shape ---
+    for r in rows:
+        assert r["far_ok"], f"malice={r['malice']}: a far process starved"
+        assert r["radius"] is None or r["radius"] <= 2

@@ -1,0 +1,145 @@
+"""E7 — the §4 message-passing transformation.
+
+Three measurements:
+
+* **handshake stabilization** — after a transient fault corrupting both
+  endpoints and the channel contents, how many engine steps until both
+  caches are genuine again, as a function of the counter modulus K;
+* **K-state token circulation** — steps to a single privilege from random
+  counters, as a function of ring size (the substrate the handshake's
+  counters are modelled on);
+* **MP diners** — throughput and safety of the Chandy–Misra fork-collection
+  diners over real channels.
+
+Paper shape: the handshake layer stabilizes for every K above the junk
+bound (K >= 2C + 3); the MP diners are safe and live.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.mp import (
+    HandshakeNode,
+    KStateToken,
+    MpEngine,
+    build_diners,
+    neighbours_both_eating,
+    single_privilege,
+)
+from repro.sim import Engine, System, line, ring
+
+
+def handshake_recovery(k, seed):
+    topo = line(2)
+    procs = {
+        0: HandshakeNode(0, 1, master=True, k=k),
+        1: HandshakeNode(1, 0, master=False, k=k),
+    }
+    engine = MpEngine(topo, procs, channel_capacity=4, seed=seed)
+    engine.run(200)
+    engine.transient_fault()
+
+    def recovered(e):
+        return (
+            procs[0].session.peer_data == "data-from-1"
+            and procs[1].session.peer_data == "data-from-0"
+        )
+
+    steps = engine.run(20_000, stop_when=recovered)
+    return steps if recovered(engine) else None
+
+
+def handshake_sweep():
+    results = {}
+    for k in (11, 15, 23, 31):
+        times = [handshake_recovery(k, seed) for seed in range(8)]
+        results[k] = times
+    return results
+
+
+def test_e7_handshake_stabilization(benchmark):
+    results = benchmark.pedantic(handshake_sweep, rounds=1, iterations=1)
+    rows = []
+    for k, times in results.items():
+        ok = [t for t in times if t is not None]
+        rows.append(
+            (k, f"{len(ok)}/{len(times)}", f"{sum(ok)/len(ok):.0f}" if ok else "-", max(ok, default="-"))
+        )
+    print_table(
+        "E7a: handshake recovery after transient fault (channel capacity 4)",
+        ("K", "recovered", "mean steps", "max steps"),
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    # --- shape: every K above the junk bound stabilizes, every seed ---
+    assert all(t is not None for times in results.values() for t in times)
+
+
+def kstate_sweep():
+    results = {}
+    for n in (4, 6, 8, 10):
+        algo = KStateToken(k=n + 2)
+        times = []
+        for seed in range(8):
+            system = System(ring(n), algo)
+            system.randomize(random.Random(seed))
+            engine = Engine(system, seed=seed)
+            result = engine.run(
+                50_000, stop_when=lambda c: single_privilege(c, algo)
+            )
+            assert result.stopped or single_privilege(system.snapshot(), algo)
+            times.append(result.steps)
+        results[n] = times
+    return results
+
+
+def test_e7_kstate_stabilization(benchmark):
+    results = benchmark.pedantic(kstate_sweep, rounds=1, iterations=1)
+    rows = [
+        (n, n + 2, f"{sum(t)/len(t):.0f}", max(t)) for n, t in results.items()
+    ]
+    print_table(
+        "E7b: Dijkstra K-state — steps to single privilege from random counters",
+        ("ring n", "K", "mean steps", "max steps"),
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    means = {n: sum(t) / len(t) for n, t in results.items()}
+    sizes = sorted(means)
+    assert means[sizes[-1]] > means[sizes[0]]  # grows with the ring
+
+
+def mp_diners_run():
+    topo = ring(8)
+    procs = build_diners(topo)
+    engine = MpEngine(topo, procs, seed=3)
+    violations = 0
+    for _ in range(60_000):
+        if not engine.step():
+            break
+        if neighbours_both_eating(topo, procs):
+            violations += 1
+    return procs, engine, violations
+
+
+def test_e7_mp_diners(benchmark):
+    procs, engine, violations = benchmark.pedantic(
+        mp_diners_run, rounds=1, iterations=1
+    )
+    meals = {p: procs[p].eats for p in sorted(procs)}
+    print_table(
+        "E7c: message-passing diners (Chandy–Misra fork collection, ring(8))",
+        ("metric", "value"),
+        [
+            ("engine steps", engine.step_count),
+            ("messages delivered", engine.delivered),
+            ("total meals", sum(meals.values())),
+            ("min meals", min(meals.values())),
+            ("safety violations", violations),
+        ],
+    )
+    benchmark.extra_info["meals"] = meals
+    # --- shape ---
+    assert violations == 0
+    assert min(meals.values()) > 0

@@ -1,0 +1,112 @@
+"""E9 — exhaustive model checking: the paper's lemmas, proved per instance.
+
+For each instance we enumerate the *entire* state space and machine-check:
+
+* closure of the invariant ``I`` (Theorem 1, closure part);
+* convergence to ``I`` under weak fairness, via the SCC fair-escape
+  argument (Theorem 1, convergence part);
+* the threshold finding: on the triangle the literal diameter threshold
+  yields an *empty* invariant, while the longest-simple-path threshold
+  restores a non-empty, closed, convergent one.
+
+These runs also double as macro-benchmarks of the checker itself.
+"""
+
+from conftest import print_table
+
+from repro.core import NADiners, invariant_with_threshold
+from repro.mp import KStateToken, single_privilege
+from repro.sim import line, ring, star
+from repro.verification import (
+    TransitionSystem,
+    build_graph,
+    check_closure,
+    check_convergence,
+    enumerate_configurations,
+    optimal_recovery_diameter,
+)
+
+
+def check_instance(topo, threshold=None):
+    t = topo.diameter if threshold is None else threshold
+    algo = NADiners(depth_cap=t + 1, diameter_override=t)
+    pred = invariant_with_threshold(t)
+    configs = list(
+        enumerate_configurations(algo, topo, fixed_locals={"needs": True})
+    )
+    ts = TransitionSystem(algo, topo)
+    closure = check_closure(ts, pred, configs)
+    graph = build_graph(ts, configs)
+    convergence = check_convergence(ts, pred, configs, graph=graph)
+    recovery = optimal_recovery_diameter(graph, pred)
+    return {
+        "states": len(configs),
+        "legit": convergence.legit_states,
+        "closed": closure.holds,
+        "converges": convergence.converges,
+        "sccs": convergence.scc_count,
+        "optimal_recovery": recovery,
+    }
+
+
+def test_e9_diners_instances(benchmark):
+    def run():
+        return {
+            "line(3), D literal": check_instance(line(3)),
+            "star(3), D literal": check_instance(star(3)),
+            "ring(3), D literal": check_instance(ring(3)),
+            "ring(3), longest path": check_instance(
+                ring(3), threshold=ring(3).longest_simple_path()
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            data["states"],
+            data["legit"],
+            "yes" if data["closed"] else "NO",
+            "yes" if data["converges"] else "NO",
+            "-" if data["optimal_recovery"] is None else data["optimal_recovery"],
+        )
+        for name, data in results.items()
+    ]
+    print_table(
+        "E9a: exhaustive verification of Theorem 1 per instance",
+        ("instance", "states", "legit states", "I closed", "converges", "opt. recovery"),
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # --- shape ---
+    assert results["line(3), D literal"]["converges"]
+    assert results["line(3), D literal"]["legit"] > 0
+    assert results["star(3), D literal"]["converges"]
+    # the documented finding: literal threshold on the triangle -> empty I
+    assert results["ring(3), D literal"]["legit"] == 0
+    # corrected threshold restores the theorem
+    corrected = results["ring(3), longest path"]
+    assert corrected["legit"] > 0 and corrected["closed"] and corrected["converges"]
+
+
+def test_e9_kstate_instance(benchmark):
+    def run():
+        topo = ring(4)
+        algo = KStateToken(k=5)
+        configs = list(enumerate_configurations(algo, topo))
+        ts = TransitionSystem(algo, topo)
+        pred = lambda c: single_privilege(c, algo)
+        return {
+            "states": len(configs),
+            "closed": check_closure(ts, pred, configs).holds,
+            "converges": check_convergence(ts, pred, configs).converges,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E9b: Dijkstra K-state (ring(4), k=5), exhaustive",
+        ("metric", "value"),
+        list(result.items()),
+    )
+    assert result["closed"] and result["converges"]

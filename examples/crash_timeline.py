@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""A timeline view of a malicious crash and its containment.
+
+Renders a 16-process line as one character per process
+(``.`` thinking, ``?`` hungry, ``#`` eating, ``!`` malicious, ``x`` dead)
+and prints a strip every few steps, so the whole story is visible at a
+glance: normal rotation of meals, the arbitrary phase of the crash, the
+neighbourhood freezing, and everything beyond distance 2 going back to
+eating.
+
+Run:  python examples/crash_timeline.py
+"""
+
+from repro.analysis import render_strip
+from repro.core import NADiners, invariant_holds, red_set
+from repro.sim import AlwaysHungry, Engine, MaliciousCrash, System, line
+
+N = 16
+VICTIM = 7
+MALICE = 30
+
+
+def main() -> None:
+    topology = line(N)
+    system = System(topology, NADiners())
+    engine = Engine(system, hunger=AlwaysHungry(), seed=2002)
+
+    print(f"line({N}), victim {VICTIM} crashes maliciously ({MALICE} havoc steps)")
+    print("legend: . thinking   ? hungry   # eating   ! malicious   x dead")
+    print()
+    print("         " + "".join(str(i % 10) for i in range(N)))
+
+    def frame(label: str) -> None:
+        print(f"{label:>8} {render_strip(system.snapshot())}")
+
+    for step in range(0, 200, 40):
+        engine.run(40)
+        frame(f"t={engine.step_count}")
+
+    engine.inject(MaliciousCrash(VICTIM, malicious_steps=MALICE))
+    frame("CRASH")
+    for _ in range(6):
+        engine.run(10)
+        frame(f"t={engine.step_count}")
+
+    engine.run(2000)
+    frame(f"t={engine.step_count}")
+    engine.run(2000)
+    frame(f"t={engine.step_count}")
+
+    print()
+    reds = sorted(red_set(system.snapshot()))
+    print(f"red (affected) processes: {reds}")
+    print(f"all within distance {max((topology.distance(VICTIM, p) for p in reds), default=0)} "
+          f"of the crash; invariant holds: {invariant_holds(system.snapshot())}")
+    baseline = {p: engine.eats_of(p) for p in topology.nodes}
+    engine.run(10_000)
+    eaters = [p for p in topology.nodes
+              if system.is_live(p) and engine.eats_of(p) > baseline[p]]
+    print(f"processes still dining: {eaters}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Failure locality: the paper's program vs the classic baselines.
+
+On a 12-process line, the first process crashes *while eating* (the worst
+case — its neighbours can never clear their guards again).  After a settling
+period we count meals per process over a long window and report who starved
+and how far from the crash the starvation reached.
+
+Expected shape (the paper's Theorem 2 + Choy–Singh optimality):
+
+* na-diners and choy-singh — starvation radius <= 2: the crash is contained;
+* hygienic and fork-ordering — starvation chains can reach further; the
+  whole line may stall behind the dead eater.
+
+Run:  python examples/failure_locality_demo.py
+"""
+
+from repro.analysis import measure_failure_locality
+from repro.baselines import ChoySinghDiners, ForkOrderingDiners, HygienicDiners
+from repro.core import NADiners
+from repro.sim import line
+
+
+def main() -> None:
+    topology = line(12)
+    algorithms = [
+        NADiners(),
+        ChoySinghDiners(),
+        HygienicDiners(),
+        ForkOrderingDiners(),
+    ]
+    print(f"topology: {topology}; crash: process 0, while eating, benign")
+    print()
+    header = f"{'algorithm':<16} {'starving':<24} {'radius':>6}   meals by distance"
+    print(header)
+    print("-" * len(header))
+    for algorithm in algorithms:
+        report = measure_failure_locality(
+            algorithm,
+            topology,
+            [0],
+            warmup_steps=40_000,
+            settle_steps=15_000,
+            window=50_000,
+            seed=7,
+        )
+        by_distance = report.eats_by_distance(topology)
+        meals = " ".join(
+            f"d{d}:{total}" for d, (_, total) in sorted(by_distance.items())
+        )
+        radius = "-" if report.starvation_radius is None else report.starvation_radius
+        print(
+            f"{algorithm.name:<16} {str(sorted(report.starving)):<24} "
+            f"{radius:>6}   {meals}"
+        )
+    print()
+    print(
+        "na-diners contains the crash within distance 2; the chain-prone\n"
+        "baselines let it propagate (hygienic/fork-ordering radii grow with\n"
+        "the line length — rerun with line(20) to see it stretch)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Figure 2, panel by panel.
+
+Reconstructs the exact seven-process configuration of Figure 2 — process
+``a`` crashed while eating, ``d`` hungry behind the blocked ``b``, and the
+priority cycle ``e -> f -> g -> e`` with ``depth.g = 4`` exceeding the
+diameter 3 — then replays the narrated transitions:
+
+    state 1 --(d: leave)--> state 2 --(g: exit)--> state 3 --(e: enter)--> ...
+
+and prints, per panel, each process's state, the red/green colouring, and
+whether the priority graph still has a live cycle.
+
+Run:  python examples/figure2_walkthrough.py
+"""
+
+from repro.analysis import find_live_cycles
+from repro.core import FIGURE2_SEQUENCE, green_set, red_set, run_figure2
+
+
+def render(config, topo) -> str:
+    reds = red_set(config)
+    rows = []
+    for pid in topo.nodes:
+        state = config.local(pid, "state")
+        depth = config.local(pid, "depth")
+        status = "crashed" if pid in config.dead else ("red" if pid in reds else "green")
+        rows.append(f"    {pid}: state={state} depth={depth} [{status}]")
+    cycles = find_live_cycles(config)
+    rows.append(f"    live priority cycles: {[''.join(map(str, c)) for c in cycles] or 'none'}")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    replay = run_figure2()
+    topo = replay.initial.topology
+    print(f"Figure 2 topology: {topo} (diameter {topo.diameter})")
+    print()
+
+    narration = (
+        "state 1 — a crashed while eating; b and c blocked; the e/f/g cycle "
+        "has grown depth.g past the diameter",
+        "state 2 — d executed `leave`: the dynamic threshold; d yields to "
+        "its descendant e, containing the crash at distance 2",
+        "state 3 — g executed `exit` (depth.g = 4 > D = 3): the cycle is "
+        "broken",
+        "state 4 — e executed `enter`: e eats, three hops from the crash",
+    )
+    for i, config in enumerate(replay.configurations):
+        print(narration[i])
+        print(render(config, topo))
+        if i < len(FIGURE2_SEQUENCE):
+            pid, action = FIGURE2_SEQUENCE[i]
+            print(f"    next: {pid} executes `{action}`")
+        print()
+
+    final = replay.final
+    print("summary:")
+    print(f"  red (affected) processes: {sorted(red_set(final))}")
+    print(f"  green processes:          {sorted(green_set(final))}")
+    print(
+        "  every red process is within distance "
+        f"{max(topo.distance('a', p) for p in red_set(final))} of the crash — "
+        "the paper's failure locality 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Generate a self-contained markdown experiment report.
+
+Runs the programmatic experiment suite (locality contrast, stabilization,
+throughput & fairness, malicious-crash recovery, masking census) and writes
+``REPORT.md`` next to this script — the one-command answer to "does the
+reproduction hold on my machine?".
+
+Run:  python examples/generate_report.py [--full] [--seed N]
+"""
+
+import argparse
+import pathlib
+
+from repro.analysis import SuiteConfig, run_suite, to_markdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="larger systems and longer windows"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).with_name("REPORT.md"),
+    )
+    args = parser.parse_args()
+
+    config = SuiteConfig(quick=not args.full, seed=args.seed)
+    print(f"running suite ({'full' if args.full else 'quick'} mode, seed {args.seed})...")
+    result = run_suite(config)
+    markdown = to_markdown(result)
+    args.output.write_text(markdown)
+    print(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
+    print()
+    print(markdown)
+
+
+if __name__ == "__main__":
+    main()

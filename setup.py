@@ -1,0 +1,10 @@
+"""Thin shim so legacy editable installs work offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml; use
+``pip install -e . --no-build-isolation --no-use-pep517`` in offline
+environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — Dining Philosophers that Tolerate Malicious Crashes.
+
+A complete reproduction of Nesterenko & Arora (ICDCS 2002):
+
+* :mod:`repro.sim` — guarded-command shared-memory simulation kernel with
+  weakly fair daemons and a malicious-crash / transient-fault model;
+* :mod:`repro.core` — the paper's stabilizing, failure-locality-2 diners
+  program, its invariant predicates, and ablation variants;
+* :mod:`repro.baselines` — prior diners algorithms the paper compares
+  against (Chandy–Misra hygienic, Choy–Singh dynamic threshold, naive
+  fork ordering);
+* :mod:`repro.mp` — the §4 message-passing transformation (Dijkstra K-state
+  handshake);
+* :mod:`repro.analysis` — failure locality, stabilization time, throughput
+  and fairness measurement;
+* :mod:`repro.verification` — an explicit-state model checker validating the
+  paper's lemmas exhaustively on small instances.
+"""
+
+from . import analysis, baselines, core, lowatom, mp, sim, verification
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "lowatom",
+    "mp",
+    "sim",
+    "verification",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Measurement suite backing experiments E2–E6, E8, E10 and the report
+generator: failure locality (including the frozen-chain worst case),
+stabilization time in steps and asynchronous rounds, throughput and
+fairness, the masking census, priority-graph analytics, ASCII rendering,
+and the one-call experiment suite (`run_suite`/`to_markdown`)."""
+
+from .locality import (
+    LocalityReport,
+    frozen_chain_radius,
+    frozen_chain_scenario,
+    locality_sweep,
+    measure_failure_locality,
+    run_until_eating,
+)
+from .masking import (
+    MaskingReport,
+    classify_violations,
+    masking_probe,
+    masking_sweep,
+)
+from .metrics import (
+    StepMonitor,
+    ThroughputReport,
+    eating_pairs_count,
+    live_eating_pairs_count,
+    run_monitored,
+    throughput_report,
+)
+from .render import STATE_GLYPHS, render_configuration, render_strip
+from .priority_graph import (
+    PriorityGraphStats,
+    depth_errors,
+    find_live_cycles,
+    graph_stats,
+    longest_live_chain,
+    to_networkx,
+)
+from .suite import Section, SuiteConfig, SuiteResult, run_suite, to_markdown
+from .stabilization import (
+    ConvergenceResult,
+    ConvergenceSummary,
+    convergence_study,
+    plant_priority_cycle,
+    rounds_to_predicate,
+    steps_to_predicate,
+)
+
+__all__ = [
+    "LocalityReport",
+    "frozen_chain_radius",
+    "frozen_chain_scenario",
+    "MaskingReport",
+    "classify_violations",
+    "masking_probe",
+    "masking_sweep",
+    "locality_sweep",
+    "measure_failure_locality",
+    "run_until_eating",
+    "StepMonitor",
+    "ThroughputReport",
+    "eating_pairs_count",
+    "live_eating_pairs_count",
+    "run_monitored",
+    "throughput_report",
+    "STATE_GLYPHS",
+    "render_configuration",
+    "render_strip",
+    "PriorityGraphStats",
+    "depth_errors",
+    "find_live_cycles",
+    "graph_stats",
+    "longest_live_chain",
+    "to_networkx",
+    "Section",
+    "SuiteConfig",
+    "SuiteResult",
+    "run_suite",
+    "to_markdown",
+    "ConvergenceResult",
+    "ConvergenceSummary",
+    "convergence_study",
+    "plant_priority_cycle",
+    "rounds_to_predicate",
+    "steps_to_predicate",
+]

@@ -1,0 +1,71 @@
+"""ASCII rendering of configurations — for examples, demos, and debugging.
+
+:func:`render_configuration` draws one line per process (state, depth,
+colour, crash status) plus the priority orientation of every edge;
+:func:`render_strip` draws a compact one-line strip (great for animating
+line/ring topologies step by step).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.predicates import red_set
+from ..core.state import VAR_DEPTH, VAR_STATE
+from ..sim.configuration import Configuration
+from ..sim.topology import Pid
+
+#: Glyph per T/H/E state.
+STATE_GLYPHS = {"T": ".", "H": "?", "E": "#"}
+
+
+def render_configuration(config: Configuration, *, color: bool = True) -> str:
+    """A multi-line dump: processes, then priority edges.
+
+    ``color`` here means the paper's red/green classification, rendered as
+    a textual tag (no terminal escapes — output must survive logs).
+    """
+    topology = config.topology
+    reds = red_set(config) if color else frozenset()
+    lines: List[str] = []
+    for pid in topology.nodes:
+        state = config.local(pid, VAR_STATE)
+        try:
+            depth = config.local(pid, VAR_DEPTH)
+            depth_part = f" depth={depth}"
+        except Exception:
+            depth_part = ""
+        if pid in config.dead:
+            tag = "DEAD"
+        elif pid in config.malicious:
+            tag = "MALICIOUS"
+        elif color:
+            tag = "red" if pid in reds else "green"
+        else:
+            tag = "live"
+        lines.append(f"{pid!r:>6} [{state}]{depth_part} ({tag})")
+    order = {p: i for i, p in enumerate(topology.nodes)}
+    for e in sorted(topology.edges, key=lambda e: tuple(sorted(order[x] for x in e))):
+        p, q = sorted(e, key=lambda x: order[x])
+        value = config.edge_value(p, q)
+        arrow = f"{p!r} -> {q!r}" if value == p else f"{q!r} -> {p!r}"
+        lines.append(f"        edge {arrow}")
+    return "\n".join(lines)
+
+
+def render_strip(config: Configuration, order: List[Pid] | None = None) -> str:
+    """A one-line strip like ``.?#?.`` with crash markers.
+
+    ``.`` thinking, ``?`` hungry, ``#`` eating; dead processes are rendered
+    as ``x`` and malicious ones as ``!`` regardless of their frozen state.
+    """
+    nodes = order if order is not None else list(config.topology.nodes)
+    cells = []
+    for pid in nodes:
+        if pid in config.dead:
+            cells.append("x")
+        elif pid in config.malicious:
+            cells.append("!")
+        else:
+            cells.append(STATE_GLYPHS.get(config.local(pid, VAR_STATE), "?"))
+    return "".join(cells)

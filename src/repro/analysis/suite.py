@@ -1,0 +1,247 @@
+"""One-call experiment suite with a markdown report.
+
+``run_suite`` executes a configurable-size subset of the repository's
+experiments (locality contrast, stabilization, safety decay, throughput and
+fairness, malicious-crash recovery, masking census) against the paper's
+program and the baselines, and returns a structured result that
+``to_markdown`` renders into a self-contained report — the programmatic
+counterpart of the ``benchmarks/`` suite for users who want numbers inside
+their own pipelines.
+
+>>> from repro.analysis.suite import SuiteConfig, run_suite, to_markdown
+>>> result = run_suite(SuiteConfig(quick=True))     # doctest: +SKIP
+>>> print(to_markdown(result))                      # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..baselines import ChoySinghDiners, ForkOrderingDiners, HygienicDiners
+from ..core import NADiners, invariant_holds
+from ..sim import AlwaysHungry, Engine, MaliciousCrash, System, line, ring
+from .locality import measure_failure_locality
+from .masking import masking_probe
+from .metrics import throughput_report
+from .stabilization import convergence_study
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Knobs for :func:`run_suite`.
+
+    ``quick`` trades precision for wall-clock: smaller systems, shorter
+    windows, fewer seeds.  Either mode asserts nothing — the suite reports;
+    the benchmark targets enforce.
+    """
+
+    quick: bool = True
+    seed: int = 0
+
+    @property
+    def line_n(self) -> int:
+        return 8 if self.quick else 14
+
+    @property
+    def window(self) -> int:
+        return 20_000 if self.quick else 60_000
+
+    @property
+    def trials(self) -> int:
+        return 5 if self.quick else 15
+
+
+@dataclass
+class Section:
+    """One report section: a titled table plus a one-paragraph reading."""
+
+    title: str
+    header: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    commentary: str = ""
+
+
+@dataclass
+class SuiteResult:
+    config: SuiteConfig
+    sections: List[Section] = field(default_factory=list)
+
+
+def _locality_section(config: SuiteConfig) -> Section:
+    topology = line(config.line_n)
+    section = Section(
+        title="Failure locality (benign crash of an eating process)",
+        header=("algorithm", "starvation radius", "starving processes"),
+        commentary=(
+            "The paper's program and the Choy–Singh baseline contain the "
+            "crash within distance 2; hygienic's blocked chain covers the "
+            "whole line."
+        ),
+    )
+    for algorithm in (NADiners(), ChoySinghDiners(), HygienicDiners()):
+        report = measure_failure_locality(
+            algorithm,
+            topology,
+            [0],
+            warmup_steps=2 * config.window,
+            settle_steps=config.window // 2,
+            window=config.window,
+            seed=config.seed,
+        )
+        section.rows.append(
+            (
+                algorithm.name,
+                report.starvation_radius if report.starvation_radius is not None else 0,
+                ",".join(str(p) for p in sorted(report.starving)) or "-",
+            )
+        )
+    return section
+
+
+def _stabilization_section(config: SuiteConfig) -> Section:
+    section = Section(
+        title="Stabilization from random corruption",
+        header=("topology", "converged", "mean steps", "max steps"),
+        commentary=(
+            "Theorem 1: every trial converges to the invariant I from a "
+            "fully randomized state."
+        ),
+    )
+    for name, topology in (("line", line(config.line_n)), ("ring", ring(config.line_n))):
+        if name == "ring":
+            # literal-threshold I may be unsatisfiable on rings (see
+            # DESIGN.md 4a); measure NC restoration instead.
+            from ..core import nc_holds as predicate
+        else:
+            predicate = invariant_holds
+        summary = convergence_study(
+            NADiners,
+            topology,
+            trials=config.trials,
+            max_steps=500_000,
+            seed=config.seed,
+            predicate=predicate,
+        )
+        section.rows.append(
+            (
+                f"{name}({config.line_n})",
+                f"{summary.converged}/{summary.trials}",
+                f"{summary.mean_steps:.0f}",
+                summary.max_steps,
+            )
+        )
+    return section
+
+
+def _throughput_section(config: SuiteConfig) -> Section:
+    section = Section(
+        title="Fault-free throughput and fairness",
+        header=("algorithm", "meals/1k steps", "jain index", "min meals"),
+        commentary=(
+            "Liveness: everyone eats under every algorithm.  The paper's "
+            "program pays a measurable premium over hygienic for its two "
+            "tolerances; static fork ordering is positionally unfair."
+        ),
+    )
+    for factory in (NADiners, ChoySinghDiners, HygienicDiners, ForkOrderingDiners):
+        system = System(ring(config.line_n), factory())
+        engine = Engine(system, hunger=AlwaysHungry(), seed=config.seed)
+        report = throughput_report(engine, config.window)
+        section.rows.append(
+            (
+                report.algorithm,
+                f"{report.per_1000_steps:.1f}",
+                f"{report.jain_index:.3f}",
+                report.min_eats,
+            )
+        )
+    return section
+
+
+def _malicious_section(config: SuiteConfig) -> Section:
+    section = Section(
+        title="Malicious crash: recovery and containment",
+        header=("malice steps", "recovered to I", "far processes eating"),
+        commentary=(
+            "The headline property: after the arbitrary phase, the "
+            "invariant returns and everything beyond distance 2 eats."
+        ),
+    )
+    topology = line(config.line_n)
+    for malice in (5, 40):
+        system = System(topology, NADiners())
+        engine = Engine(system, hunger=AlwaysHungry(), seed=config.seed)
+        engine.run(1000)
+        engine.inject(MaliciousCrash(0, malicious_steps=malice))
+        engine.run(malice + 1)
+        result = engine.run(500_000, stop_when=invariant_holds, check_every=8)
+        recovered = result.stopped or invariant_holds(system.snapshot())
+        before = {p: engine.eats_of(p) for p in topology.nodes}
+        engine.run(config.window)
+        far_ok = all(
+            engine.eats_of(p) > before[p]
+            for p in topology.nodes
+            if system.is_live(p) and topology.distance(0, p) > 2
+        )
+        section.rows.append((malice, "yes" if recovered else "NO", "yes" if far_ok else "NO"))
+    return section
+
+
+def _masking_section(config: SuiteConfig) -> Section:
+    section = Section(
+        title="Masking census during the arbitrary phase",
+        header=("seed", "faulty-involved violations", "clean-pair violations"),
+        commentary=(
+            "Every safety violation during malice involves the faulty "
+            "process; two healthy neighbours never violate — the paper's "
+            "future-work masking gap is confined to the crash's own edges."
+        ),
+    )
+    for seed in range(3):
+        report = masking_probe(
+            NADiners(),
+            ring(max(6, config.line_n // 2)),
+            1,
+            malicious_steps=100,
+            observe=config.window // 2,
+            seed=config.seed + seed,
+        )
+        section.rows.append((seed, report.faulty_involved, report.clean_pair))
+    return section
+
+
+def run_suite(config: SuiteConfig | None = None) -> SuiteResult:
+    """Run every section and collect the tables."""
+    config = config or SuiteConfig()
+    result = SuiteResult(config=config)
+    result.sections.append(_locality_section(config))
+    result.sections.append(_stabilization_section(config))
+    result.sections.append(_throughput_section(config))
+    result.sections.append(_malicious_section(config))
+    result.sections.append(_masking_section(config))
+    return result
+
+
+def to_markdown(result: SuiteResult) -> str:
+    """Render a :class:`SuiteResult` as a self-contained markdown report."""
+    mode = "quick" if result.config.quick else "full"
+    lines = [
+        "# repro experiment suite",
+        "",
+        f"Mode: **{mode}** (seed {result.config.seed}, "
+        f"n={result.config.line_n}, window={result.config.window}).",
+        "",
+    ]
+    for section in result.sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        lines.append("| " + " | ".join(section.header) + " |")
+        lines.append("|" + "|".join("---" for _ in section.header) + "|")
+        for row in section.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        lines.append("")
+        if section.commentary:
+            lines.append(section.commentary)
+            lines.append("")
+    return "\n".join(lines)

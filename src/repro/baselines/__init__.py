@@ -1,0 +1,23 @@
+"""Prior diners algorithms the paper positions itself against.
+
+All three share the paper's model (shared-memory guarded commands, the same
+``state``/``needs`` variables) so that every comparison in the benchmarks is
+apples-to-apples:
+
+* :class:`HygienicDiners` — Chandy–Misra priority-graph diners [5]:
+  live without faults, but unbounded failure locality and not stabilizing;
+* :class:`ChoySinghDiners` — dynamic-threshold diners [6, 7]:
+  failure locality 2 (optimal) but not stabilizing;
+* :class:`ForkOrderingDiners` — Dijkstra's resource-ordering diners [8]:
+  deadlock-free without faults, unbounded locality, not stabilizing.
+
+The paper's contribution (:class:`repro.core.NADiners`) is the only one of
+the four that is simultaneously failure-local *and* stabilizing — which is
+exactly what the benchmark suite demonstrates.
+"""
+
+from .choy_singh import ChoySinghDiners
+from .fork_ordering import FORK_FREE, ForkOrderingDiners
+from .hygienic import HygienicDiners
+
+__all__ = ["ChoySinghDiners", "FORK_FREE", "ForkOrderingDiners", "HygienicDiners"]

@@ -1,0 +1,34 @@
+"""Choy–Singh style dynamic-threshold diners (the paper's references [6, 7]).
+
+Choy and Singh proved that 2 is the minimum crash failure locality for
+diners and gave (non-stabilizing) algorithms achieving it via the *dynamic
+threshold* idea: a hungry process yields to its descendants whenever a
+direct ancestor is itself hungry, so waiting chains never extend more than
+two hops beyond a crashed process.
+
+To keep the comparison apples-to-apples we express the baseline at the same
+shared-memory granularity as the paper's program.  It is exactly the paper's
+algorithm **minus the stabilization machinery** (no ``fixdepth``, no
+``depth > D`` escape in ``exit``) — which is also precisely the
+:class:`~repro.core.variants.NoFixdepthDiners` ablation.  The benchmarks can
+therefore demonstrate the paper's positioning claim directly:
+
+* crash locality 2 — same as the paper's program (E2);
+* **not stabilizing** — a transient fault that forms a priority cycle
+  blocks the cycle's processes forever (E3/E8).
+"""
+
+from __future__ import annotations
+
+from ..core.variants import NoFixdepthDiners
+
+
+class ChoySinghDiners(NoFixdepthDiners):
+    """Dynamic-threshold diners with failure locality 2, not stabilizing.
+
+    Behaviourally identical to the no-fixdepth ablation of the paper's
+    program; kept as a distinct named class so benchmark output reads as the
+    paper positions it (a prior algorithm, not an ablation).
+    """
+
+    name = "choy-singh"

@@ -1,0 +1,160 @@
+"""Dijkstra's classic fork-ordering diners (the paper's reference [8]).
+
+The oldest deadlock-free solution: one fork per edge, a global total order
+on forks, and hold-and-wait acquisition in ascending order.  A process eats
+when it holds every incident fork and releases them all afterwards.
+
+In the shared-memory model the fork on edge ``{p, q}`` is the edge variable,
+taking one of three values: ``FORK_FREE``, ``p`` (p holds it), or ``q``.
+The global order is the edge's index in a canonical enumeration.
+
+Expected behaviour under the paper's fault models (what E2/E8 measure):
+
+* deadlock-free and live without faults (the total order breaks cycles);
+* **unbounded failure locality**: a process that crashes holding forks
+  blocks its neighbours, who sit on their lower-ordered forks forever and
+  transitively block *their* neighbours — starvation chains of any length;
+* **not stabilizing**: an arbitrary state can violate the ascending-order
+  discipline (each of two processes holding the fork the other needs),
+  a permanent deadlock the algorithm has no mechanism to detect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..core.state import (
+    ACTION_ENTER,
+    ACTION_EXIT,
+    ACTION_JOIN,
+    VAR_NEEDS,
+    VAR_STATE,
+    DinerState,
+)
+from ..sim.domains import BoolDomain, Domain, FiniteDomain
+from ..sim.process import ActionDef, Algorithm, ProcessView
+from ..sim.topology import Edge, Pid, Topology, edge
+
+T = DinerState.THINKING.value
+H = DinerState.HUNGRY.value
+E = DinerState.EATING.value
+
+#: Sentinel: the fork lies on the table.
+FORK_FREE = "<free>"
+
+ACTION_ACQUIRE = "acquire"
+
+
+class ForkOrderingDiners(Algorithm):
+    """Resource-ordering diners: acquire incident forks in ascending order.
+
+    Four actions per process ``p``:
+
+    ``join``     ``needs ∧ state = T  →  state := H``
+    ``acquire``  ``state = H ∧ the lowest-ordered fork p is missing is free ∧
+                 p holds every lower-ordered incident fork  →  take it``
+    ``enter``    ``state = H ∧ p holds all incident forks  →  state := E``
+    ``exit``     ``state = E  →  state := T; release all incident forks``
+    """
+
+    name = "fork-ordering"
+    hunger_variable = VAR_NEEDS
+
+    def __init__(self) -> None:
+        self._actions = (
+            ActionDef(ACTION_JOIN, self._join_guard, self._join),
+            ActionDef(ACTION_ACQUIRE, self._acquire_guard, self._acquire),
+            ActionDef(ACTION_ENTER, self._enter_guard, self._enter),
+            ActionDef(ACTION_EXIT, self._exit_guard, self._exit),
+        )
+        self._rank_cache: Dict[int, Dict[Edge, int]] = {}
+
+    # ------------------------------------------------------- declarations
+
+    def local_domains(self, topology: Topology) -> Mapping[str, Domain]:
+        return {
+            VAR_STATE: FiniteDomain((T, H, E)),
+            VAR_NEEDS: BoolDomain(),
+        }
+
+    def edge_domain(self, topology: Topology, e: Edge) -> Domain:
+        order = {p: i for i, p in enumerate(topology.nodes)}
+        p, q = sorted(e, key=lambda x: order[x])
+        return FiniteDomain((FORK_FREE, p, q))
+
+    def initial_locals(self, pid: Pid, topology: Topology) -> Mapping[str, Any]:
+        return {VAR_STATE: T, VAR_NEEDS: False}
+
+    def initial_edge(self, e: Edge, topology: Topology) -> Any:
+        return FORK_FREE
+
+    def actions(self) -> Tuple[ActionDef, ...]:
+        return self._actions
+
+    # ----------------------------------------------------------- ordering
+
+    def _ranks(self, topology: Topology) -> Dict[Edge, int]:
+        """The canonical total order on forks (cached per topology)."""
+        key = id(topology)
+        if key not in self._rank_cache:
+            order = {p: i for i, p in enumerate(topology.nodes)}
+            ordered = sorted(
+                topology.edges, key=lambda e: tuple(sorted(order[x] for x in e))
+            )
+            self._rank_cache[key] = {e: i for i, e in enumerate(ordered)}
+        return self._rank_cache[key]
+
+    def _incident_in_order(self, view: ProcessView) -> List[Pid]:
+        """Neighbours of the view's process, by ascending fork rank."""
+        ranks = self._ranks(view.topology)
+        return sorted(view.neighbors, key=lambda q: ranks[edge(view.pid, q)])
+
+    # ------------------------------------------------------------ actions
+
+    @staticmethod
+    def _join_guard(view: ProcessView) -> bool:
+        return bool(view.get(VAR_NEEDS)) and view.get(VAR_STATE) == T
+
+    @staticmethod
+    def _join(view: ProcessView) -> None:
+        view.set(VAR_STATE, H)
+
+    def _next_missing(self, view: ProcessView) -> Pid | None:
+        """The neighbour across the lowest-ordered fork ``p`` does not hold,
+        provided every lower-ordered incident fork is held; ``None`` when
+        all forks are held or a lower fork is held by someone else."""
+        for q in self._incident_in_order(view):
+            if view.edge_value(q) != view.pid:
+                return q
+        return None
+
+    def _acquire_guard(self, view: ProcessView) -> bool:
+        if view.get(VAR_STATE) != H:
+            return False
+        q = self._next_missing(view)
+        return q is not None and view.edge_value(q) == FORK_FREE
+
+    def _acquire(self, view: ProcessView) -> None:
+        q = self._next_missing(view)
+        assert q is not None
+        view.set_edge(q, view.pid)
+
+    def _enter_guard(self, view: ProcessView) -> bool:
+        return view.get(VAR_STATE) == H and all(
+            view.edge_value(q) == view.pid for q in view.neighbors
+        )
+
+    @staticmethod
+    def _enter(view: ProcessView) -> None:
+        view.set(VAR_STATE, E)
+
+    @staticmethod
+    def _exit_guard(view: ProcessView) -> bool:
+        return view.get(VAR_STATE) == E
+
+    @staticmethod
+    def _exit(view: ProcessView) -> None:
+        view.set(VAR_STATE, T)
+        for q in view.neighbors:
+            if view.edge_value(q) == view.pid:  # release only forks we hold
+                view.set_edge(q, FORK_FREE)

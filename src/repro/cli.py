@@ -1,0 +1,293 @@
+"""Command-line interface: run the paper's scenarios without writing code.
+
+Subcommands
+-----------
+
+``run``        simulate an algorithm on a topology, report meals/safety
+``locality``   crash a process while it eats; report the starvation radius
+``stabilize``  corrupt the state (optionally plant a cycle); time recovery
+``figure2``    replay the paper's Figure 2, panel by panel
+``check``      model-check closure + convergence on a small instance
+
+Examples
+--------
+
+::
+
+    python -m repro run --topology ring:10 --algorithm na-diners --steps 20000
+    python -m repro locality --topology line:12 --algorithm hygienic --victim 0
+    python -m repro stabilize --topology ring:8 --plant-cycle
+    python -m repro figure2
+    python -m repro check --topology line:3
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict
+
+from .analysis import (
+    find_live_cycles,
+    measure_failure_locality,
+    plant_priority_cycle,
+    steps_to_predicate,
+)
+from .baselines import ChoySinghDiners, ForkOrderingDiners, HygienicDiners
+from .core import (
+    NADiners,
+    NoDynamicThresholdDiners,
+    NoFixdepthDiners,
+    invariant_report,
+    invariant_with_threshold,
+    nc_holds,
+    red_set,
+    run_figure2,
+)
+from .sim import (
+    AlwaysHungry,
+    Engine,
+    System,
+    Topology,
+    binary_tree,
+    complete,
+    grid,
+    line,
+    random_connected,
+    ring,
+    star,
+)
+
+ALGORITHMS: Dict[str, Callable[[], object]] = {
+    "na-diners": NADiners,
+    "choy-singh": ChoySinghDiners,
+    "hygienic": HygienicDiners,
+    "fork-ordering": ForkOrderingDiners,
+    "no-fixdepth": NoFixdepthDiners,
+    "no-threshold": NoDynamicThresholdDiners,
+}
+
+
+def parse_topology(spec: str) -> Topology:
+    """Parse ``kind:arg[:arg]`` specs like ``ring:8`` or ``grid:4:3``."""
+    kind, _, rest = spec.partition(":")
+    args = [int(x) for x in rest.split(":") if x] if rest else []
+    builders: Dict[str, Callable[..., Topology]] = {
+        "ring": ring,
+        "line": line,
+        "star": star,
+        "complete": complete,
+        "grid": grid,
+        "tree": binary_tree,
+        "random": lambda n, seed=0: random_connected(n, 0.15, seed=seed),
+    }
+    if kind not in builders:
+        raise SystemExit(f"unknown topology kind {kind!r}; one of {sorted(builders)}")
+    try:
+        return builders[kind](*args)
+    except TypeError as exc:
+        raise SystemExit(f"bad arguments for {kind}: {exc}") from None
+
+
+def make_algorithm(name: str):
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown algorithm {name!r}; one of {sorted(ALGORITHMS)}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    system = System(topology, make_algorithm(args.algorithm))
+    engine = Engine(system, hunger=AlwaysHungry(), seed=args.seed)
+    result = engine.run(args.steps)
+    print(f"{topology} / {system.algorithm.name}: ran {result.steps} steps")
+    for pid in topology.nodes:
+        print(f"  {pid}: {engine.eats_of(pid)} meals")
+    final = system.snapshot()
+    variables = set(system.local_variable_names())
+    if "depth" in variables:
+        # NADiners family: the full invariant applies.
+        print(f"invariant: {invariant_report(final)}")
+    else:
+        # Other diners: only the eating-exclusion conjunct is meaningful
+        # (fork-ordering's edge cells are forks, not priorities).
+        from .core import e_holds
+
+        print(f"no neighbours eating together: {e_holds(final)}")
+    return 0
+
+
+def cmd_locality(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    victim = topology.nodes[args.victim]
+    report = measure_failure_locality(
+        make_algorithm(args.algorithm),
+        topology,
+        [victim],
+        malicious_steps=args.malicious or None,
+        warmup_steps=args.steps,
+        settle_steps=args.steps // 3,
+        window=args.steps,
+        seed=args.seed,
+    )
+    kind = f"malicious({args.malicious})" if args.malicious else "benign"
+    print(f"{topology} / {report.algorithm}: {kind} crash of {victim!r} while eating")
+    print(f"  starving: {sorted(report.starving)}")
+    print(f"  starvation radius: {report.starvation_radius}")
+    for d, (count, total) in report.eats_by_distance(topology).items():
+        print(f"  distance {d}: {count} processes, {total} meals")
+    return 0
+
+
+def cmd_stabilize(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    system = System(topology, make_algorithm(args.algorithm))
+    system.randomize(random.Random(args.seed))
+    if args.plant_cycle:
+        from .analysis.stabilization import _find_cycle
+
+        cycle = _find_cycle(topology)
+        if cycle is None:
+            print("topology has no cycle to plant; corruption only")
+        else:
+            plant_priority_cycle(system, cycle)
+            print(f"planted priority cycle: {cycle}")
+    if args.nc_only:
+        predicate = nc_holds
+    elif args.corrected_threshold:
+        predicate = invariant_with_threshold(topology.longest_simple_path())
+    else:
+        from .core import invariant_holds
+
+        predicate = invariant_holds
+    result = steps_to_predicate(
+        system, predicate, max_steps=args.max_steps, seed=args.seed
+    )
+    if result.converged:
+        print(f"converged after {result.steps} steps")
+        print(f"live cycles now: {find_live_cycles(system.snapshot()) or 'none'}")
+        return 0
+    print(f"did NOT converge within {args.max_steps} steps")
+    return 1
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    replay = run_figure2()
+    topo = replay.initial.topology
+    for i, config in enumerate(replay.configurations, start=1):
+        print(f"panel {i}:")
+        states = ", ".join(
+            f"{p}={config.local(p, 'state')}" for p in topo.nodes
+        )
+        print(f"  {states}")
+        print(f"  red: {sorted(red_set(config))}")
+        print(f"  live cycles: {find_live_cycles(config) or 'none'}")
+    print(f"transitions replayed: {replay.executed}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .verification import (
+        TransitionSystem,
+        check_closure,
+        check_convergence,
+        enumerate_configurations,
+    )
+
+    topology = parse_topology(args.topology)
+    threshold = (
+        topology.longest_simple_path()
+        if args.corrected_threshold
+        else topology.diameter
+    )
+    algo = NADiners(depth_cap=threshold + 1, diameter_override=threshold)
+    predicate = invariant_with_threshold(threshold)
+    configs = list(
+        enumerate_configurations(algo, topology, fixed_locals={"needs": True})
+    )
+    print(f"{topology}, threshold={threshold}: {len(configs)} states")
+    ts = TransitionSystem(algo, topology)
+    closure = check_closure(ts, predicate, configs)
+    print(f"I closed: {closure.holds} ({closure.checked_states} legit states)")
+    convergence = check_convergence(ts, predicate, configs)
+    print(
+        f"converges: {convergence.converges} "
+        f"({convergence.scc_count} SCCs, {convergence.legit_states} legit states)"
+    )
+    return 0 if closure.holds and convergence.converges else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import SuiteConfig, run_suite, to_markdown
+
+    config = SuiteConfig(quick=not args.full, seed=args.seed)
+    result = run_suite(config)
+    markdown = to_markdown(result)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dining philosophers that tolerate malicious crashes "
+        "(Nesterenko & Arora, ICDCS 2002) — reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, steps_default=20_000):
+        p.add_argument("--topology", default="ring:8", help="e.g. ring:8, line:12, grid:4:3")
+        p.add_argument("--algorithm", default="na-diners", choices=sorted(ALGORITHMS))
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--steps", type=int, default=steps_default)
+
+    p = sub.add_parser("run", help="simulate and report meals + invariant")
+    common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("locality", help="crash a victim while eating; measure radius")
+    common(p, steps_default=40_000)
+    p.add_argument("--victim", type=int, default=0, help="index into topology nodes")
+    p.add_argument("--malicious", type=int, default=0, help="havoc steps (0 = benign)")
+    p.set_defaults(fn=cmd_locality)
+
+    p = sub.add_parser("stabilize", help="corrupt the state and time recovery")
+    common(p)
+    p.add_argument("--plant-cycle", action="store_true")
+    p.add_argument("--nc-only", action="store_true", help="wait for NC instead of full I")
+    p.add_argument("--corrected-threshold", action="store_true",
+                   help="use longest-simple-path instead of the diameter")
+    p.add_argument("--max-steps", type=int, default=500_000)
+    p.set_defaults(fn=cmd_stabilize)
+
+    p = sub.add_parser("figure2", help="replay the paper's Figure 2")
+    p.set_defaults(fn=cmd_figure2)
+
+    p = sub.add_parser("check", help="model-check a small instance exhaustively")
+    p.add_argument("--topology", default="line:3")
+    p.add_argument("--corrected-threshold", action="store_true")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("report", help="run the experiment suite, emit markdown")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

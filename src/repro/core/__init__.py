@@ -1,0 +1,120 @@
+"""The paper's contribution: the malicious-crash-tolerant diners program.
+
+Public surface:
+
+* :class:`NADiners` — the algorithm of Figure 1;
+* the predicates of §3 (``invariant_holds``, ``nc_holds``, ``st_holds``,
+  ``e_holds``, ``red_set``, ``green_set``, ...);
+* the ablation variants used by experiment E8;
+* the Figure 2 reconstruction.
+"""
+
+from ..sim.hunger import (  # re-exported: hunger is the diners' input signal
+    AlwaysHungry,
+    HungerPolicy,
+    NeverHungry,
+    ProbabilisticHunger,
+    ScriptedHunger,
+    SelectiveHunger,
+)
+from .algorithm import NADiners, view_ancestors, view_descendants
+from .figure2 import (
+    FIGURE2_DEPTHS,
+    FIGURE2_PRIORITIES,
+    FIGURE2_SEQUENCE,
+    FIGURE2_STATES,
+    Figure2Replay,
+    figure2_configuration,
+    figure2_system,
+    run_figure2,
+)
+from .predicates import (
+    e_holds,
+    eating_pairs,
+    green_set,
+    invariant_holds,
+    invariant_report,
+    invariant_with_threshold,
+    is_green,
+    is_shallow,
+    longest_live_ancestor_chain,
+    nc_holds,
+    priority_edges,
+    red_set,
+    shallow_set,
+    st_holds,
+    stably_shallow_set,
+)
+from .state import (
+    ACTION_ENTER,
+    ACTION_EXIT,
+    ACTION_FIXDEPTH,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    VAR_DEPTH,
+    VAR_NEEDS,
+    VAR_STATE,
+    DinerState,
+    diner_state,
+    direct_ancestors,
+    direct_descendants,
+)
+from .variants import (
+    NoDynamicThresholdDiners,
+    NoFixdepthDiners,
+    WrongDiameterDiners,
+    overestimated_diameter,
+    underestimated_diameter,
+)
+
+__all__ = [
+    "AlwaysHungry",
+    "HungerPolicy",
+    "NeverHungry",
+    "ProbabilisticHunger",
+    "ScriptedHunger",
+    "SelectiveHunger",
+    "NADiners",
+    "view_ancestors",
+    "view_descendants",
+    "FIGURE2_DEPTHS",
+    "FIGURE2_PRIORITIES",
+    "FIGURE2_SEQUENCE",
+    "FIGURE2_STATES",
+    "Figure2Replay",
+    "figure2_configuration",
+    "figure2_system",
+    "run_figure2",
+    "e_holds",
+    "eating_pairs",
+    "green_set",
+    "invariant_holds",
+    "invariant_report",
+    "invariant_with_threshold",
+    "is_green",
+    "is_shallow",
+    "longest_live_ancestor_chain",
+    "nc_holds",
+    "priority_edges",
+    "red_set",
+    "shallow_set",
+    "st_holds",
+    "stably_shallow_set",
+    "ACTION_ENTER",
+    "ACTION_EXIT",
+    "ACTION_FIXDEPTH",
+    "ACTION_JOIN",
+    "ACTION_LEAVE",
+    "VAR_DEPTH",
+    "VAR_NEEDS",
+    "VAR_STATE",
+    "DinerState",
+    "diner_state",
+    "direct_ancestors",
+    "direct_descendants",
+    "NoDynamicThresholdDiners",
+    "NoFixdepthDiners",
+    "WrongDiameterDiners",
+    "overestimated_diameter",
+    "underestimated_diameter",
+]

@@ -1,0 +1,242 @@
+"""The paper's program (Figure 1): stabilizing diners with failure locality 2.
+
+Five actions per process ``p``:
+
+``join``
+    ``needs ∧ state = T ∧ (∀ ancestor q: state.q = T)  →  state := H``
+``leave``
+    ``state = H ∧ (∃ ancestor q: state.q ≠ T)  →  state := T``
+    — the *dynamic threshold*: a hungry process yields to its descendants
+    while an ancestor is hungry or eating, which is what bounds the failure
+    locality at 2.
+``enter``
+    ``state = H ∧ (∀ ancestor q: state.q = T) ∧ (∀ descendant q: state.q ≠ E)
+    →  state := E``
+``exit``
+    ``state = E ∨ depth > D  →  state := T; depth := 0;
+    (∀ neighbour q: priority := q)``
+    — finishing a meal *or* detecting a priority cycle (depth beyond the
+    diameter) demotes ``p`` below all its neighbours, which keeps the
+    priority graph acyclic and, in the cycle case, breaks the cycle.
+``fixdepth``
+    ``∃ descendant q: depth < depth.q + 1  →  depth := depth.q + 1``
+    — propagates the distance-to-farthest-descendant estimate upwards; in a
+    priority cycle the estimates grow without bound until some process
+    exceeds ``D`` and ``exit`` fires.
+
+The translation is literal except for two deliberate, documented choices:
+
+* ``fixdepth`` takes the **maximum** violating descendant value rather than
+  an arbitrary one.  This equals executing the paper's action once per
+  violating descendant back-to-back, so every computation produced is still
+  a computation of the paper's program (with stuttering removed).
+* an optional ``depth_cap`` clamps ``depth`` for the model checker.  With
+  ``depth_cap = D + 1`` the clamp is a sound abstraction: every guard only
+  tests ``depth > D``, and the clamped guard ``depth < min(depth.q + 1, cap)``
+  prevents the degenerate self-loop at the cap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Tuple
+
+from ..sim.domains import BoolDomain, Domain, FiniteDomain, IntRange, SaturatingInt
+from ..sim.process import ActionDef, Algorithm, ProcessView
+from ..sim.topology import Edge, Pid, Topology
+from .state import (
+    ACTION_ENTER,
+    ACTION_EXIT,
+    ACTION_FIXDEPTH,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    VAR_DEPTH,
+    VAR_NEEDS,
+    VAR_STATE,
+    DinerState,
+)
+
+T = DinerState.THINKING.value
+H = DinerState.HUNGRY.value
+E = DinerState.EATING.value
+
+
+def view_ancestors(view: ProcessView) -> Tuple[Pid, ...]:
+    """Direct ancestors of the view's process (edge variable names them)."""
+    return tuple(q for q in view.neighbors if view.edge_value(q) == q)
+
+
+def view_descendants(view: ProcessView) -> Tuple[Pid, ...]:
+    """Direct descendants of the view's process."""
+    return tuple(q for q in view.neighbors if view.edge_value(q) == view.pid)
+
+
+class NADiners(Algorithm):
+    """Nesterenko–Arora malicious-crash-tolerant dining philosophers.
+
+    Parameters
+    ----------
+    depth_cap:
+        ``None`` (default) keeps ``depth`` unbounded as in the paper.  An
+        integer cap (use ``topology.diameter + 1``) makes the state space
+        finite for model checking; see the module docstring for why the
+        clamp is sound.
+    diameter_override:
+        The value each process uses as the constant ``D``.  ``None``
+        (default, and what the paper assumes) uses the true diameter; the
+        wrong-D ablation (:mod:`repro.core.variants`) sets this to study what
+        a mis-configured diameter costs.
+    """
+
+    name = "na-diners"
+    hunger_variable = VAR_NEEDS
+
+    def __init__(
+        self,
+        depth_cap: int | None = None,
+        *,
+        diameter_override: int | None = None,
+    ) -> None:
+        if depth_cap is not None and depth_cap < 1:
+            raise ValueError("depth_cap must be at least 1")
+        if diameter_override is not None and diameter_override < 0:
+            raise ValueError("diameter_override must be non-negative")
+        self.depth_cap = depth_cap
+        self.diameter_override = diameter_override
+        self._initial_depth_cache: dict[int, dict[Pid, int]] = {}
+        self._actions = (
+            ActionDef(ACTION_JOIN, self._join_guard, self._join),
+            ActionDef(ACTION_LEAVE, self._leave_guard, self._leave),
+            ActionDef(ACTION_ENTER, self._enter_guard, self._enter),
+            ActionDef(ACTION_EXIT, self._exit_guard, self._exit),
+            ActionDef(ACTION_FIXDEPTH, self._fixdepth_guard, self._fixdepth),
+        )
+
+    # ------------------------------------------------------- declarations
+
+    def local_domains(self, topology: Topology) -> Mapping[str, Domain]:
+        if self.depth_cap is not None:
+            depth_domain: Domain = IntRange(0, self.depth_cap)
+        else:
+            # Unbounded for writes; fault injection samples up to 2D + 2 so a
+            # transient fault can push depth both below and beyond the
+            # cycle-detection threshold.
+            depth_domain = SaturatingInt(2 * topology.diameter + 2)
+        return {
+            VAR_STATE: FiniteDomain((T, H, E)),
+            VAR_NEEDS: BoolDomain(),
+            VAR_DEPTH: depth_domain,
+        }
+
+    def edge_domain(self, topology: Topology, e: Edge) -> Domain:
+        order = {p: i for i, p in enumerate(topology.nodes)}
+        endpoints = sorted(e, key=lambda p: order[p])
+        return FiniteDomain(tuple(endpoints))
+
+    def initial_locals(self, pid: Pid, topology: Topology) -> Mapping[str, Any]:
+        return {
+            VAR_STATE: T,
+            VAR_NEEDS: False,
+            VAR_DEPTH: self._initial_depth(pid, topology),
+        }
+
+    def _initial_depth(self, pid: Pid, topology: Topology) -> int:
+        """The exact distance to ``pid``'s farthest descendant in the initial
+        (node-order) priority DAG, so the initial state is quiescent: with
+        all-zero depths ``fixdepth`` would be legitimately enabled."""
+        key = id(topology)
+        if key not in self._initial_depth_cache:
+            order = {p: i for i, p in enumerate(topology.nodes)}
+            depths: dict[Pid, int] = {}
+            for p in reversed(topology.nodes):  # descendants come later
+                below = [
+                    depths[q] + 1 for q in topology.neighbors(p) if order[q] > order[p]
+                ]
+                depths[p] = max(below, default=0)
+            self._initial_depth_cache[key] = depths
+        value = self._initial_depth_cache[key][pid]
+        if self.depth_cap is not None:
+            value = min(value, self.depth_cap)
+        return value
+
+    def initial_edge(self, e: Edge, topology: Topology) -> Any:
+        # Priority by node order: the earlier endpoint is the ancestor.
+        # Consistent with a global topological order, hence acyclic.
+        order = {p: i for i, p in enumerate(topology.nodes)}
+        return min(e, key=lambda p: order[p])
+
+    def actions(self) -> Tuple[ActionDef, ...]:
+        return self._actions
+
+    # ------------------------------------------------------------ actions
+
+    @staticmethod
+    def _join_guard(view: ProcessView) -> bool:
+        return (
+            bool(view.get(VAR_NEEDS))
+            and view.get(VAR_STATE) == T
+            and all(view.peek(q, VAR_STATE) == T for q in view_ancestors(view))
+        )
+
+    @staticmethod
+    def _join(view: ProcessView) -> None:
+        view.set(VAR_STATE, H)
+
+    @staticmethod
+    def _leave_guard(view: ProcessView) -> bool:
+        return view.get(VAR_STATE) == H and any(
+            view.peek(q, VAR_STATE) != T for q in view_ancestors(view)
+        )
+
+    @staticmethod
+    def _leave(view: ProcessView) -> None:
+        view.set(VAR_STATE, T)
+
+    @staticmethod
+    def _enter_guard(view: ProcessView) -> bool:
+        return (
+            view.get(VAR_STATE) == H
+            and all(view.peek(q, VAR_STATE) == T for q in view_ancestors(view))
+            and all(view.peek(q, VAR_STATE) != E for q in view_descendants(view))
+        )
+
+    @staticmethod
+    def _enter(view: ProcessView) -> None:
+        view.set(VAR_STATE, E)
+
+    def _d(self, view: ProcessView) -> int:
+        """The constant ``D`` as this algorithm instance believes it."""
+        if self.diameter_override is not None:
+            return self.diameter_override
+        return view.diameter
+
+    def _exit_guard(self, view: ProcessView) -> bool:
+        return view.get(VAR_STATE) == E or view.get(VAR_DEPTH) > self._d(view)
+
+    @staticmethod
+    def _exit(view: ProcessView) -> None:
+        view.set(VAR_STATE, T)
+        view.set(VAR_DEPTH, 0)
+        for q in view.neighbors:
+            view.set_edge(q, q)
+
+    def _fixdepth_guard(self, view: ProcessView) -> bool:
+        depth = view.get(VAR_DEPTH)
+        return any(
+            depth < self._propagated(view, q) for q in view_descendants(view)
+        )
+
+    def _fixdepth(self, view: ProcessView) -> None:
+        depth = view.get(VAR_DEPTH)
+        candidates = [
+            value
+            for q in view_descendants(view)
+            if (value := self._propagated(view, q)) > depth
+        ]
+        view.set(VAR_DEPTH, max(candidates))
+
+    def _propagated(self, view: ProcessView, q: Pid) -> int:
+        """``depth.q + 1``, clamped when a depth cap is in force."""
+        value = view.peek(q, VAR_DEPTH) + 1
+        if self.depth_cap is not None:
+            value = min(value, self.depth_cap)
+        return value

@@ -1,0 +1,129 @@
+"""The paper's Figure 2, reconstructed exactly.
+
+Figure 2 shows a fragment of a computation on a seven-process system with
+diameter 3 in which, simultaneously:
+
+* process ``a`` has crashed **while eating**.  Its neighbours ``b`` (hungry,
+  with dead eater ``a`` as its only descendant blocking ``enter`` and no
+  ancestor to trigger ``leave``) and ``c`` (thinking, with ``a`` as a
+  non-thinking ancestor blocking ``join``) are blocked forever;
+* process ``d`` (distance 2 from the crash) is hungry behind blocked ``b``;
+  the **dynamic threshold** fires: ``d`` executes ``leave`` and yields to its
+  descendant ``e``, containing the crash's effect within distance 2;
+* processes ``e``, ``f``, ``g`` carry a **priority cycle**
+  (``e → f → g → e``) left over from a transient fault; their depth values
+  (2, 3, 4) grew via ``fixdepth`` until ``depth.g = 4`` exceeded the
+  diameter 3, so ``g`` executes ``exit``, breaking the cycle and letting
+  ``e`` eat.
+
+The three panel transitions of the figure are therefore::
+
+    state 1 --(d: leave)--> state 2 --(g: exit)--> state 3 --(e: enter)--> ...
+
+:func:`figure2_configuration` builds state 1; :func:`run_figure2` replays the
+three transitions, checking each action is enabled exactly as the paper
+narrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.configuration import Configuration
+from ..sim.network import System
+from ..sim.topology import edge, figure2 as figure2_topology
+from .algorithm import NADiners
+from .state import VAR_DEPTH, VAR_NEEDS, VAR_STATE, DinerState
+
+T = DinerState.THINKING.value
+H = DinerState.HUNGRY.value
+E = DinerState.EATING.value
+
+#: The action sequence the figure narrates: (process, action-name).
+FIGURE2_SEQUENCE: Tuple[Tuple[str, str], ...] = (
+    ("d", "leave"),
+    ("g", "exit"),
+    ("e", "enter"),
+)
+
+#: T/H/E of each process in the figure's first panel.
+FIGURE2_STATES = {"a": E, "b": H, "c": T, "d": H, "e": H, "f": T, "g": H}
+
+#: depth of each process in the figure's first panel ("e H 2", "f 3", "g H 4").
+FIGURE2_DEPTHS = {"a": 0, "b": 0, "c": 0, "d": 0, "e": 2, "f": 3, "g": 4}
+
+#: Priority edges as (ancestor, descendant) pairs in the first panel.
+FIGURE2_PRIORITIES: Tuple[Tuple[str, str], ...] = (
+    ("b", "a"),  # a is b's descendant: b cannot enter past the dead eater
+    ("a", "c"),  # a is c's ancestor: c cannot join past the dead eater
+    ("b", "d"),  # d waits behind blocked b -> dynamic threshold fires
+    ("c", "d"),
+    ("d", "e"),  # d yields to e
+    ("d", "f"),
+    ("d", "g"),
+    ("e", "f"),  # the cycle e -> f -> g -> e
+    ("f", "g"),
+    ("g", "e"),
+)
+
+
+def figure2_configuration() -> Configuration:
+    """State 1 of Figure 2 as an immutable configuration (``a`` dead)."""
+    topology = figure2_topology()
+    local_values = {
+        pid: {
+            VAR_STATE: FIGURE2_STATES[pid],
+            VAR_NEEDS: True,
+            VAR_DEPTH: FIGURE2_DEPTHS[pid],
+        }
+        for pid in topology.nodes
+    }
+    edge_values = {
+        edge(ancestor, descendant): ancestor
+        for ancestor, descendant in FIGURE2_PRIORITIES
+    }
+    return Configuration(topology, local_values, edge_values, dead=("a",))
+
+
+def figure2_system(algorithm: NADiners | None = None) -> System:
+    """A mutable system initialised to state 1 of Figure 2."""
+    return System.from_configuration(algorithm or NADiners(), figure2_configuration())
+
+
+@dataclass(frozen=True)
+class Figure2Replay:
+    """Outcome of :func:`run_figure2`: the four panel configurations."""
+
+    configurations: Tuple[Configuration, ...]
+    executed: Tuple[Tuple[str, str], ...]
+
+    @property
+    def initial(self) -> Configuration:
+        return self.configurations[0]
+
+    @property
+    def final(self) -> Configuration:
+        return self.configurations[-1]
+
+
+def run_figure2(algorithm: NADiners | None = None) -> Figure2Replay:
+    """Replay the figure's three transitions, verifying enabledness.
+
+    Raises ``AssertionError`` if any narrated action is not enabled at its
+    panel — i.e. if the reconstruction stopped matching the algorithm.
+    """
+    system = figure2_system(algorithm)
+    algo = system.algorithm
+    configurations: List[Configuration] = [system.snapshot()]
+    for pid, action_name in FIGURE2_SEQUENCE:
+        action = algo.action_named(action_name)
+        enabled = [a.name for a in system.enabled_actions(pid)]
+        if action_name not in enabled:
+            raise AssertionError(
+                f"Figure 2 replay diverged: {action_name!r} not enabled at "
+                f"{pid!r} (enabled there: {enabled})"
+            )
+        system.execute(pid, action)
+        configurations.append(system.snapshot())
+    return Figure2Replay(tuple(configurations), FIGURE2_SEQUENCE)

@@ -1,0 +1,97 @@
+"""Ablation variants of the paper's program.
+
+Each variant removes (or misconfigures) exactly one of the mechanisms the
+paper's "Solution ideas" section credits with one tolerance property, so the
+ablation benchmarks (experiment E8) can show that the mechanism is what buys
+the property:
+
+* :class:`NoFixdepthDiners` — drops cycle breaking (``fixdepth`` and the
+  ``depth > D`` disjunct of ``exit``).  Crash-tolerant but **not
+  stabilizing**: a transient fault that creates a priority cycle livelocks
+  the cycle's processes forever.
+* :class:`NoDynamicThresholdDiners` — drops ``leave``.  Stabilizing but with
+  **unbounded failure locality**: a crashed eater can starve a whole chain
+  of waiting processes, at any distance.
+* :class:`WrongDiameterDiners` — runs the full program with a wrong constant
+  ``D``.  Underestimating keeps liveness and stabilization (more spurious
+  ``exit`` s, so more scheduling churn); overestimating keeps correctness but
+  slows cycle detection proportionally.
+"""
+
+from __future__ import annotations
+
+from ..sim.process import ActionDef, ProcessView
+from ..sim.topology import Topology
+from .algorithm import NADiners
+from .state import (
+    ACTION_ENTER,
+    ACTION_EXIT,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    VAR_STATE,
+)
+from .state import DinerState
+
+E = DinerState.EATING.value
+
+
+class NoFixdepthDiners(NADiners):
+    """The program without its cycle-breaking machinery.
+
+    ``fixdepth`` is removed and ``exit`` fires only after eating, never on
+    ``depth > D``.  From a legitimate initial state this behaves exactly like
+    the full program; from an arbitrary state a priority cycle is permanent.
+    """
+
+    name = "na-diners/no-fixdepth"
+
+    def __init__(self, depth_cap: int | None = None) -> None:
+        super().__init__(depth_cap)
+        base = {a.name: a for a in super().actions()}
+        self._actions = (
+            base[ACTION_JOIN],
+            base[ACTION_LEAVE],
+            base[ACTION_ENTER],
+            ActionDef(ACTION_EXIT, self._exit_meal_only_guard, self._exit),
+        )
+
+    @staticmethod
+    def _exit_meal_only_guard(view: ProcessView) -> bool:
+        return view.get(VAR_STATE) == E
+
+
+class NoDynamicThresholdDiners(NADiners):
+    """The program without ``leave`` (no dynamic threshold).
+
+    Hungry processes never yield to their descendants, so waiting chains
+    behind a crashed process extend arbitrarily far: failure locality grows
+    with the topology instead of staying at 2.
+    """
+
+    name = "na-diners/no-threshold"
+
+    def __init__(self, depth_cap: int | None = None) -> None:
+        super().__init__(depth_cap)
+        self._actions = tuple(
+            a for a in super().actions() if a.name != ACTION_LEAVE
+        )
+
+
+class WrongDiameterDiners(NADiners):
+    """The full program run with a wrong value of the constant ``D``."""
+
+    def __init__(self, assumed_diameter: int, depth_cap: int | None = None) -> None:
+        super().__init__(depth_cap, diameter_override=assumed_diameter)
+        self.name = f"na-diners/D={assumed_diameter}"
+
+
+def underestimated_diameter(topology: Topology) -> WrongDiameterDiners:
+    """The wrong-D variant with the smallest non-trivial underestimate."""
+    return WrongDiameterDiners(max(0, topology.diameter - 1))
+
+
+def overestimated_diameter(topology: Topology, factor: int = 2) -> WrongDiameterDiners:
+    """The wrong-D variant with an overestimate of ``factor * D``."""
+    if factor < 1:
+        raise ValueError("factor must be at least 1")
+    return WrongDiameterDiners(topology.diameter * factor)

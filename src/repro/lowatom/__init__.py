@@ -1,0 +1,12 @@
+"""Low-atomicity (read/write) execution of composite-atomicity algorithms.
+
+§4 of the paper notes that moving off composite atomicity needs the
+atomicity refinement of Nesterenko & Arora [15].  This package provides the
+mechanical half of that move — running any kernel algorithm over cached
+neighbour state with one remote read per step — and experiment E11 measures
+the safety gap the refinement exists to close.
+"""
+
+from .adapter import CachedView, LowAtomicityAdapter, cache_var, edge_cache_var
+
+__all__ = ["CachedView", "LowAtomicityAdapter", "cache_var", "edge_cache_var"]

@@ -1,0 +1,206 @@
+"""Message-passing diners via Chandy–Misra fork collection (§4, option 1).
+
+§4 of the paper offers two routes from the shared-memory program to message
+passing; the first is "Chandy and Misra's fork collection [5]", which this
+module implements faithfully:
+
+* one **fork** and one **request token** per edge, carried as messages;
+* forks are *clean* or *dirty*; eating dirties every held fork;
+* a hungry process holding a request token for a missing fork sends it;
+* a process surrenders a held fork when it holds the matching request
+  token, the fork is dirty, and it is not eating (the fork is cleaned in
+  transit); clean forks and forks at an eating process are deferred;
+* a hungry process holding every incident fork eats.
+
+Initial fork placement follows the node order so the precedence graph is
+acyclic (fork, dirty, at the earlier endpoint; request token at the other).
+
+Fault posture (measured in E7): safe and live without faults; a benign
+crash blocks neighbours waiting on the dead process's forks (Chandy–Misra
+has unbounded failure locality — which is exactly why the paper's §4 calls
+fork collection "cumbersome" and prefers the priority-based scheme); a
+malicious crash can forge forks, but only on its own incident edges, so
+every simultaneous-eating pair it causes includes the faulty process.  The
+fork layer is not self-stabilizing (duplicated or lost forks persist); the
+stabilizing ingredient of §4 is the handshake layer, built and validated in
+:mod:`repro.mp.handshake`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Tuple
+
+from ..core.state import DinerState
+from ..sim.topology import Pid, Topology
+from .node import MpContext, MpProcess
+
+T = DinerState.THINKING.value
+H = DinerState.HUNGRY.value
+E = DinerState.EATING.value
+
+TAG_FORK = "fork"
+TAG_REQUEST = "request"
+
+
+def edge_key(p: Pid, q: Pid) -> Tuple[str, str]:
+    """Canonical session key for the edge ``{p, q}``."""
+    a, b = sorted((repr(p), repr(q)))
+    return (a, b)
+
+
+class DinersMpProcess(MpProcess):
+    """One Chandy–Misra philosopher.
+
+    Parameters
+    ----------
+    pid / topology:
+        Identity and the communication graph (for neighbour order).
+    needs:
+        Called on every tick while thinking; True means "become hungry".
+        Defaults to always-hungry (the liveness experiments' worst case).
+    eat_ticks:
+        How many of its own ticks a meal lasts before the process exits;
+        keeps meals finite, as the problem statement requires.
+    """
+
+    def __init__(
+        self,
+        pid: Pid,
+        topology: Topology,
+        *,
+        needs: Callable[[], bool] | None = None,
+        eat_ticks: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(pid)
+        if eat_ticks < 1:
+            raise ValueError("eat_ticks must be positive")
+        self._topology = topology
+        self._needs = needs if needs is not None else (lambda: True)
+        self._eat_ticks = eat_ticks
+        self._rng = random.Random(seed)
+        order = {p: i for i, p in enumerate(topology.nodes)}
+        self.state: str = T
+        self.eats = 0
+        self._eating_remaining = 0
+        self.holds_fork: Dict[Pid, bool] = {}
+        self.fork_clean: Dict[Pid, bool] = {}
+        self.holds_request: Dict[Pid, bool] = {}
+        #: request already sent and not yet answered, per neighbour —
+        #: suppresses useless retransmission storms (retransmit anyway on
+        #: tick when still hungry, since requests can be dropped).
+        for q in topology.neighbors(pid):
+            earlier = order[pid] < order[q]
+            self.holds_fork[q] = earlier
+            self.fork_clean[q] = False  # all forks start dirty
+            self.holds_request[q] = not earlier
+
+    # ----------------------------------------------------------- protocol
+
+    def on_message(self, ctx: MpContext, src: Pid, payload: Tuple) -> None:
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 2
+            or payload[1] != edge_key(self.pid, src)
+        ):
+            return  # junk
+        tag = payload[0]
+        if tag == TAG_FORK:
+            self.holds_fork[src] = True
+            self.fork_clean[src] = True  # forks are cleaned in transit
+        elif tag == TAG_REQUEST:
+            self.holds_request[src] = True
+            self._maybe_surrender(ctx, src)
+
+    def on_tick(self, ctx: MpContext) -> None:
+        if self.state == T and self._needs():
+            self.state = H
+        if self.state == E:
+            self._eating_remaining -= 1
+            if self._eating_remaining <= 0:
+                self._exit(ctx)
+            return
+        if self.state == H:
+            for q in ctx.neighbors:
+                if not self.holds_fork[q] and self.holds_request[q]:
+                    if ctx.send(q, (TAG_REQUEST, edge_key(self.pid, q))):
+                        self.holds_request[q] = False
+                self._maybe_surrender(ctx, q)
+            if all(self.holds_fork[q] for q in ctx.neighbors):
+                self.state = E
+                self.eats += 1
+                self._eating_remaining = self._eat_ticks
+                for q in ctx.neighbors:
+                    self.fork_clean[q] = False  # eating dirties every fork
+        else:
+            # Thinking: nothing to defend — honour any pending requests.
+            for q in ctx.neighbors:
+                self._maybe_surrender(ctx, q)
+
+    def _maybe_surrender(self, ctx: MpContext, q: Pid) -> None:
+        """Send the fork to ``q`` when obliged: request held, fork dirty,
+        not eating."""
+        if (
+            self.state != E
+            and self.holds_fork.get(q, False)
+            and not self.fork_clean.get(q, True)
+            and self.holds_request.get(q, False)
+        ):
+            if ctx.send(q, (TAG_FORK, edge_key(self.pid, q))):
+                self.holds_fork[q] = False
+
+    def _exit(self, ctx: MpContext) -> None:
+        self.state = T
+        for q in ctx.neighbors:
+            self.fork_clean[q] = False
+            self._maybe_surrender(ctx, q)
+
+    # -------------------------------------------------------------- faults
+
+    def corrupt(self, rng: random.Random) -> None:
+        self.state = rng.choice((T, H, E))
+        self._eating_remaining = rng.randrange(self._eat_ticks + 1)
+        for q in list(self.holds_fork):
+            self.holds_fork[q] = rng.random() < 0.5
+            self.fork_clean[q] = rng.random() < 0.5
+            self.holds_request[q] = rng.random() < 0.5
+
+    def random_payload(self, rng: random.Random) -> Tuple:
+        neighbors = self._topology.neighbors(self.pid)
+        q = neighbors[rng.randrange(len(neighbors))]
+        tag = rng.choice((TAG_FORK, TAG_REQUEST, "junk"))
+        return (tag, edge_key(self.pid, q))
+
+
+def build_diners(
+    topology: Topology,
+    *,
+    needs: Callable[[], bool] | None = None,
+    eat_ticks: int = 1,
+    seed: int = 0,
+) -> Dict[Pid, DinersMpProcess]:
+    """One :class:`DinersMpProcess` per node, ready for an ``MpEngine``."""
+    return {
+        pid: DinersMpProcess(
+            pid, topology, needs=needs, eat_ticks=eat_ticks, seed=seed + i
+        )
+        for i, pid in enumerate(topology.nodes)
+    }
+
+
+def eating_now(processes: Dict[Pid, DinersMpProcess]) -> Tuple[Pid, ...]:
+    """All processes currently in the eating state."""
+    return tuple(p for p, proc in processes.items() if proc.state == E)
+
+
+def neighbours_both_eating(
+    topology: Topology, processes: Dict[Pid, DinersMpProcess]
+) -> Tuple[Tuple[Pid, Pid], ...]:
+    """Safety metric: neighbour pairs simultaneously eating."""
+    pairs = []
+    for e in topology.edges:
+        p, q = tuple(e)
+        if processes[p].state == E and processes[q].state == E:
+            pairs.append((p, q))
+    return tuple(pairs)

@@ -1,0 +1,231 @@
+"""The message-passing engine.
+
+Events are of two kinds: *deliver* the head of a non-empty channel to its
+destination, or *tick* a live process.  The engine interleaves them under
+the same weak-fairness discipline as the shared-memory daemon: every event
+kind that stays continuously available fires within a bounded number of
+opportunities.  This gives the two liveness assumptions message-passing
+algorithms rely on — every sent message is eventually delivered, and every
+process takes infinitely many spontaneous steps.
+
+The fault repertoire mirrors :mod:`repro.sim.faults`:
+
+* :meth:`MpEngine.crash` — the process stops; messages addressed to it are
+  still delivered (and silently discarded), as a real network would;
+* :meth:`MpEngine.crash_maliciously` — the process takes ``k`` havoc steps
+  (state corruption plus junk messages to neighbours) before halting;
+* :meth:`MpEngine.transient_fault` — every process state and every channel
+  content is replaced with arbitrary values from their legal spaces.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from ..sim.errors import DeadProcessError, SimulationError, UnknownProcessError
+from ..sim.topology import Pid, Topology
+from .channel import Channel
+from .node import MpContext, MpProcess
+
+
+class MpEngine:
+    """Runs message-passing processes over a topology of FIFO channels.
+
+    Parameters
+    ----------
+    topology:
+        Communication graph; one directed channel per edge direction.
+    processes:
+        ``{pid: MpProcess}`` covering every node.
+    channel_capacity:
+        Bound on in-flight messages per directed channel.
+    patience:
+        Weak-fairness bound: an event continuously available for this many
+        selections fires.
+    seed:
+        Engine RNG seed (scheduling and fault randomness).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[Pid, MpProcess],
+        *,
+        channel_capacity: int = 8,
+        loss_probability: float = 0.0,
+        patience: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if set(processes) != set(topology.nodes):
+            raise SimulationError("processes must cover exactly the topology nodes")
+        if patience < 1:
+            raise SimulationError("patience must be at least 1")
+        self.topology = topology
+        self.processes: Dict[Pid, MpProcess] = dict(processes)
+        self._channels: Dict[Tuple[Pid, Pid], Channel] = {}
+        loss_rng = random.Random(seed ^ 0x10552)
+        for p in topology.nodes:
+            for q in topology.neighbors(p):
+                self._channels[(p, q)] = Channel(
+                    p,
+                    q,
+                    channel_capacity,
+                    loss_probability=loss_probability,
+                    rng=loss_rng,
+                )
+        self._alive: Dict[Pid, bool] = {p: True for p in topology.nodes}
+        self._malicious_budget: Dict[Pid, int] = {}
+        self._contexts: Dict[Pid, MpContext] = {
+            p: MpContext(self, p) for p in topology.nodes
+        }
+        self.patience = patience
+        self.rng = random.Random(seed)
+        self.step_count = 0
+        self.delivered = 0
+        self.ticks = 0
+        #: per-process delivered/tick counters for tests and metrics.
+        self.counters: Counter = Counter()
+        self._ages: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------- access
+
+    def channel(self, src: Pid, dst: Pid) -> Channel:
+        try:
+            return self._channels[(src, dst)]
+        except KeyError:
+            raise SimulationError(f"no channel {src!r}->{dst!r}") from None
+
+    def channels(self) -> Tuple[Channel, ...]:
+        return tuple(self._channels.values())
+
+    def is_alive(self, pid: Pid) -> bool:
+        try:
+            return self._alive[pid]
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+
+    def live_pids(self) -> Tuple[Pid, ...]:
+        return tuple(p for p in self.topology.nodes if self._alive[p])
+
+    def in_flight(self) -> int:
+        """Total messages currently queued across all channels."""
+        return sum(len(c) for c in self._channels.values())
+
+    # ------------------------------------------------------------- faults
+
+    def crash(self, pid: Pid) -> None:
+        """Benign crash: the process halts immediately."""
+        if not self.is_alive(pid):
+            raise DeadProcessError(pid)
+        self._alive[pid] = False
+        self._malicious_budget.pop(pid, None)
+
+    def crash_maliciously(self, pid: Pid, havoc_steps: int) -> None:
+        """Malicious crash: ``havoc_steps`` arbitrary steps, then halt."""
+        if havoc_steps < 0:
+            raise SimulationError("havoc_steps must be non-negative")
+        if not self.is_alive(pid):
+            raise DeadProcessError(pid)
+        if havoc_steps == 0:
+            self.crash(pid)
+        else:
+            self._malicious_budget[pid] = havoc_steps
+
+    def transient_fault(self, pids: Iterable[Pid] | None = None) -> None:
+        """Corrupt process states and channel contents arbitrarily."""
+        targets = tuple(self.topology.nodes if pids is None else pids)
+        target_set = set(targets)
+        for pid in targets:
+            self.processes[pid].corrupt(self.rng)
+        for (src, dst), channel in self._channels.items():
+            if src in target_set or dst in target_set:
+                channel.corrupt(self.rng, self.processes[src].random_payload)
+
+    # ----------------------------------------------------------- stepping
+
+    def _available_events(self) -> List[Hashable]:
+        events: List[Hashable] = []
+        for key, channel in self._channels.items():
+            if not channel.empty:
+                events.append(("deliver", key))
+        for pid in self.topology.nodes:
+            if self._alive[pid]:
+                events.append(("tick", pid))
+        return events
+
+    def _choose(self, events: List[Hashable]) -> Hashable:
+        current = set(events)
+        for key in list(self._ages):
+            if key not in current:
+                del self._ages[key]
+        for key in current:
+            self._ages[key] = self._ages.get(key, 0) + 1
+        oldest = max(events, key=lambda e: self._ages.get(e, 0))
+        if self._ages.get(oldest, 0) >= self.patience:
+            chosen = oldest
+        else:
+            chosen = events[self.rng.randrange(len(events))]
+        self._ages.pop(chosen, None)
+        return chosen
+
+    def step(self) -> bool:
+        """One engine step; False when nothing can ever happen again."""
+        events = self._available_events()
+        if not events:
+            return False
+        kind, detail = self._choose(events)
+        if kind == "deliver":
+            src, dst = detail
+            message = self._channels[detail].deliver()
+            self.delivered += 1
+            self.counters[("delivered", dst)] += 1
+            if self._alive[dst]:
+                budget = self._malicious_budget.get(dst)
+                if budget is None:
+                    self.processes[dst].on_message(
+                        self._contexts[dst], message.src, message.payload
+                    )
+                # A malicious process consumes messages without meaningful
+                # processing; its havoc happens on its ticks.
+        else:
+            pid = detail
+            self.ticks += 1
+            self.counters[("tick", pid)] += 1
+            budget = self._malicious_budget.get(pid)
+            if budget is not None:
+                self.processes[pid].havoc(self._contexts[pid], self.rng)
+                if budget <= 1:
+                    self.crash(pid)
+                else:
+                    self._malicious_budget[pid] = budget - 1
+            else:
+                self.processes[pid].on_tick(self._contexts[pid])
+        self.step_count += 1
+        return True
+
+    def run(
+        self,
+        max_steps: int,
+        *,
+        stop_when: Callable[["MpEngine"], bool] | None = None,
+        check_every: int = 1,
+    ) -> int:
+        """Step up to ``max_steps``; returns steps taken.
+
+        ``stop_when`` receives the engine itself (message-passing state has
+        no global snapshot object) and is polled every ``check_every`` steps.
+        """
+        if check_every < 1:
+            raise ValueError("check_every must be positive")
+        taken = 0
+        if stop_when is not None and stop_when(self):
+            return taken
+        while taken < max_steps:
+            if not self.step():
+                break
+            taken += 1
+            if stop_when is not None and taken % check_every == 0 and stop_when(self):
+                break
+        return taken

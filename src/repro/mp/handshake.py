@@ -1,0 +1,222 @@
+"""A stabilizing neighbour handshake over FIFO channels.
+
+This is the §4 building block: a two-endpoint, per-edge session that (a)
+alternates a token between the endpoints and (b) piggybacks each endpoint's
+published data on every token pass, so each side keeps an eventually
+up-to-date cache of the other's state.  The design transplants the K-state
+idea (:mod:`repro.mp.kstate`) to two parties over unreliable-content
+channels:
+
+* the **master** (canonically the endpoint earlier in node order) holds the
+  token when its counter ``c`` equals the last echo it received; it then
+  publishes ``(c+1 mod K, data)`` and waits;
+* the **slave** holds the token when it has an unechoed counter; on its next
+  tick it echoes ``(counter, data)`` back.
+
+Both endpoints retransmit their latest frame on every tick (channels may
+have dropped sends, and an arbitrary initial state may contain no frame at
+all), and ignore frames that are not syntactically valid or not addressed
+to their session.
+
+Stabilization argument (validated by tests): channels are FIFO with
+capacity ``C``, so at most ``2C`` junk frames exist; every junk frame is
+consumed on delivery and never regenerated, while retransmission guarantees
+genuine frames keep flowing.  With ``K >= 2C + 3`` a junk echo matching the
+master's current counter can cause at most one spurious advance before the
+counters leave the junk's value range, after which the alternation is clean
+and every subsequent cache value is genuine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from ..sim.topology import Pid
+from .node import MpProcess
+
+#: Payload tag of handshake frames: (TAG, session_key, counter, data).
+TAG_FRAME = "hs"
+
+DataFactory = Callable[[random.Random], Any]
+
+
+@dataclass
+class HandshakeStats:
+    """Counters a session keeps for tests and benchmarks."""
+
+    sent: int = 0
+    received_valid: int = 0
+    received_junk: int = 0
+    rounds: int = 0  #: completed master->slave->master exchanges
+
+
+class HandshakeSession:
+    """One endpoint of a per-edge handshake.
+
+    A process owns one session per incident edge.  The session consumes
+    frames handed to it by the owner's ``on_message`` and emits frames on
+    the owner's ticks via the supplied ``send`` callable.
+
+    Parameters
+    ----------
+    me / peer:
+        The endpoints; ``is_master`` is derived from ``master`` explicitly
+        so callers control the orientation.
+    k:
+        Counter modulus; must be at least ``2 * channel_capacity + 3`` for
+        the stabilization argument to apply.
+    session_key:
+        Distinguishes this edge's frames from other traffic between the
+        same pair (and lets junk be recognised).
+    """
+
+    def __init__(
+        self,
+        me: Pid,
+        peer: Pid,
+        *,
+        master: bool,
+        k: int,
+        session_key: Any = None,
+    ) -> None:
+        if k < 3:
+            raise ValueError("k must be at least 3")
+        self.me = me
+        self.peer = peer
+        self.master = master
+        self.k = k
+        self.session_key = session_key if session_key is not None else TAG_FRAME
+        self.counter = 0
+        #: last counter received from the peer (slave: pending echo value).
+        self.peer_counter: Optional[int] = None
+        #: latest data received from the peer (the cache §4 needs).
+        self.peer_data: Any = None
+        #: True when this endpoint currently holds the token.
+        self.stats = HandshakeStats()
+
+    # -------------------------------------------------------------- state
+
+    @property
+    def holds_token(self) -> bool:
+        """Token possession: may this endpoint publish next?
+
+        The master holds the token when its last publication has been
+        echoed; the slave holds it while it sits on an unechoed counter.
+        """
+        if self.master:
+            return self.peer_counter == self.counter
+        return self.peer_counter is not None and self.peer_counter != self.counter
+
+    def fresh(self) -> bool:
+        """Has at least one full round completed (cache known genuine)?"""
+        return self.stats.rounds > 0
+
+    # ------------------------------------------------------------ protocol
+
+    def corrupt(self, rng: random.Random) -> None:
+        """Transient fault on this endpoint's session state."""
+        self.counter = rng.randrange(self.k)
+        self.peer_counter = rng.choice([None] + list(range(self.k)))
+        self.peer_data = None
+        self.stats = HandshakeStats()
+
+    def random_frame(self, rng: random.Random, data_factory: DataFactory) -> Tuple:
+        """A syntactically valid junk frame (for fault injection)."""
+        return (TAG_FRAME, self.session_key, rng.randrange(self.k), data_factory(rng))
+
+    def handle(self, payload: Tuple) -> bool:
+        """Consume one incoming frame; True when it was valid for us."""
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 4
+            or payload[0] != TAG_FRAME
+            or payload[1] != self.session_key
+            or not isinstance(payload[2], int)
+            or not 0 <= payload[2] < self.k
+        ):
+            self.stats.received_junk += 1
+            return False
+        _, _, counter, data = payload
+        self.stats.received_valid += 1
+        if self.master:
+            # An echo: adopt it; if it matches our counter a round completed.
+            self.peer_counter = counter
+            if counter == self.counter:
+                self.peer_data = data
+                self.stats.rounds += 1
+        else:
+            if counter != self.peer_counter:
+                self.stats.rounds += 1  # a new master publication arrived
+            self.peer_counter = counter
+            self.peer_data = data
+        return True
+
+    def tick_payload(self, data: Any) -> Optional[Tuple]:
+        """The frame to (re)transmit this tick, if any.
+
+        The master advances its counter when it holds the token and then
+        retransmits ``(counter, data)`` until echoed; the slave retransmits
+        the echo of the last counter it saw.  ``None`` when the slave has
+        not seen any counter yet.
+        """
+        if self.master:
+            if self.holds_token:
+                self.counter = (self.counter + 1) % self.k
+            frame = (TAG_FRAME, self.session_key, self.counter, data)
+        else:
+            if self.peer_counter is None:
+                return None
+            self.counter = self.peer_counter  # echo = adopting the counter
+            frame = (TAG_FRAME, self.session_key, self.counter, data)
+        self.stats.sent += 1
+        return frame
+
+
+class HandshakeNode(MpProcess):
+    """A ready-made :class:`~repro.mp.node.MpProcess` running one handshake
+    session with one peer — the two-process building block §4 composes.
+
+    ``data`` (mutable attribute) is what this endpoint publishes on every
+    token pass; the peer's latest publication is ``session.peer_data``.
+    """
+
+    def __init__(self, pid: Pid, peer: Pid, *, master: bool, k: int = 11) -> None:
+        super().__init__(pid)
+        self.session = HandshakeSession(pid, peer, master=master, k=k)
+        self.data: Any = f"data-from-{pid}"
+
+    def on_message(self, ctx, src: Pid, payload: Tuple) -> None:
+        self.session.handle(payload)
+
+    def on_tick(self, ctx) -> None:
+        frame = self.session.tick_payload(self.data)
+        if frame is not None:
+            ctx.send(self.session.peer, frame)
+
+    def corrupt(self, rng: random.Random) -> None:
+        self.session.corrupt(rng)
+
+    def random_payload(self, rng: random.Random) -> Tuple:
+        return self.session.random_frame(rng, lambda r: ("junk", r.randrange(9)))
+
+    def havoc(self, ctx, rng: random.Random) -> None:
+        """Malicious behaviour: corrupt the session and spray junk frames."""
+        self.corrupt(rng)
+        if rng.random() < 0.7:
+            ctx.send(self.session.peer, self.random_payload(rng))
+
+    def __repr__(self) -> str:
+        return f"<HandshakeNode {self.pid!r}<->{self.session.peer!r}>"
+
+
+def make_session_pair(
+    p: Pid, q: Pid, *, k: int, session_key: Any = None
+) -> Tuple[HandshakeSession, HandshakeSession]:
+    """Master/slave session endpoints for the edge ``{p, q}`` (``p`` master)."""
+    key = session_key if session_key is not None else (repr(p), repr(q))
+    return (
+        HandshakeSession(p, q, master=True, k=k, session_key=key),
+        HandshakeSession(q, p, master=False, k=k, session_key=key),
+    )

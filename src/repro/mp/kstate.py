@@ -1,0 +1,143 @@
+"""Dijkstra's K-state self-stabilizing token circulation (reference [9]).
+
+§4 of the paper names "a stabilizing handshake mechanism based on
+Dijkstra's K-state token circulation protocol" as the synchronization
+substrate of the message-passing transformation.  This module implements
+the original protocol on the shared-memory kernel — both as that substrate's
+reference semantics and as a second algorithm exercising the kernel and the
+model checker.
+
+On a ring ``0 .. n-1`` each process holds a counter ``x ∈ {0 .. K-1}``:
+
+* the *bottom* process 0 is privileged when ``x.0 == x.(n-1)`` and then
+  increments its counter mod K;
+* every other process ``i`` is privileged when ``x.i != x.(i-1)`` and then
+  copies its predecessor's counter.
+
+With ``K >= n`` the protocol stabilizes from any state to exactly one
+privilege circulating forever — the classic first self-stabilizing
+algorithm, and the one the handshake layer's counters are modelled on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Tuple
+
+from ..sim.configuration import Configuration
+from ..sim.domains import Domain, FiniteDomain, IntRange
+from ..sim.errors import TopologyError
+from ..sim.process import ActionDef, Algorithm, ProcessView
+from ..sim.topology import Edge, Pid, Topology
+
+VAR_X = "x"
+ACTION_PASS = "pass"
+
+
+def _ring_order(topology: Topology) -> Tuple[Pid, ...]:
+    """The nodes in ring order; validates the topology is a simple cycle."""
+    n = len(topology)
+    if n < 3 or any(topology.degree(p) != 2 for p in topology.nodes):
+        raise TopologyError("the K-state protocol runs on a ring")
+    start = topology.nodes[0]
+    order = [start]
+    previous = None
+    while len(order) < n:
+        current = order[-1]
+        nxt = [q for q in topology.neighbors(current) if q != previous]
+        previous = current
+        order.append(nxt[0])
+    if not topology.are_neighbors(order[-1], start):
+        raise TopologyError("topology is not a single cycle")
+    return tuple(order)
+
+
+class KStateToken(Algorithm):
+    """Dijkstra's K-state protocol as a kernel algorithm.
+
+    Parameters
+    ----------
+    k:
+        Number of counter values; stabilization requires ``k >= n``.
+    """
+
+    name = "k-state"
+    hunger_variable = None
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        self.k = k
+        self._actions = (ActionDef(ACTION_PASS, self._guard, self._command),)
+        self._order_cache: dict[int, Tuple[Pid, ...]] = {}
+
+    # ------------------------------------------------------- declarations
+
+    def local_domains(self, topology: Topology) -> Mapping[str, Domain]:
+        return {VAR_X: IntRange(0, self.k - 1)}
+
+    def edge_domain(self, topology: Topology, e: Edge) -> Domain:
+        # The protocol has no shared edge state; a constant placeholder
+        # keeps the kernel's edge machinery uniform.
+        return FiniteDomain((0,))
+
+    def initial_locals(self, pid: Pid, topology: Topology) -> Mapping[str, Any]:
+        return {VAR_X: 0}
+
+    def initial_edge(self, e: Edge, topology: Topology) -> Any:
+        return 0
+
+    def actions(self) -> Tuple[ActionDef, ...]:
+        return self._actions
+
+    # ------------------------------------------------------------ helpers
+
+    def _order(self, topology: Topology) -> Tuple[Pid, ...]:
+        key = id(topology)
+        if key not in self._order_cache:
+            self._order_cache[key] = _ring_order(topology)
+        return self._order_cache[key]
+
+    def _predecessor(self, view: ProcessView) -> Pid:
+        order = self._order(view.topology)
+        index = order.index(view.pid)
+        return order[index - 1]
+
+    def _is_bottom(self, view: ProcessView) -> bool:
+        return view.pid == self._order(view.topology)[0]
+
+    # ------------------------------------------------------------- action
+
+    def _guard(self, view: ProcessView) -> bool:
+        mine = view.get(VAR_X)
+        theirs = view.peek(self._predecessor(view), VAR_X)
+        if self._is_bottom(view):
+            return mine == theirs
+        return mine != theirs
+
+    def _command(self, view: ProcessView) -> None:
+        theirs = view.peek(self._predecessor(view), VAR_X)
+        if self._is_bottom(view):
+            view.set(VAR_X, (theirs + 1) % self.k)
+        else:
+            view.set(VAR_X, theirs)
+
+
+def privileged(config: Configuration, algorithm: KStateToken) -> Tuple[Pid, ...]:
+    """The processes currently holding a privilege.
+
+    Process 0 (ring order) is privileged when its counter equals its
+    predecessor's; every other process when the counters differ.
+    """
+    order = _ring_order(config.topology)
+    result = []
+    for index, pid in enumerate(order):
+        mine = config.local(pid, VAR_X)
+        theirs = config.local(order[index - 1], VAR_X)
+        if (mine == theirs) if index == 0 else (mine != theirs):
+            result.append(pid)
+    return tuple(result)
+
+
+def single_privilege(config: Configuration, algorithm: KStateToken) -> bool:
+    """The protocol's legitimacy predicate: exactly one privilege."""
+    return len(privileged(config, algorithm)) == 1

@@ -1,0 +1,100 @@
+"""Message-passing processes.
+
+An :class:`MpProcess` owns mutable Python state and reacts to two stimuli:
+
+* :meth:`on_message` — a message arrived;
+* :meth:`on_tick` — the scheduler gave it a spontaneous step (the model's
+  substitute for timeouts: ticks occur infinitely often under the engine's
+  fairness, so tick-driven retransmission needs no clocks).
+
+Both receive an :class:`MpContext`, the only door to the network.  The fault
+machinery requires every process to know how to *corrupt itself*
+(:meth:`corrupt` — transient faults) and how to fabricate junk payloads
+(:meth:`random_payload` — channel corruption and malicious havoc), keeping
+fault injection honest: a fault can only produce states and messages within
+the declared spaces.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Tuple
+
+from ..sim.errors import NotNeighborsError
+from ..sim.topology import Pid, Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import MpEngine
+
+
+class MpContext:
+    """Capabilities handed to a process during one of its steps."""
+
+    __slots__ = ("_engine", "_pid", "_neighbors")
+
+    def __init__(self, engine: "MpEngine", pid: Pid) -> None:
+        self._engine = engine
+        self._pid = pid
+        self._neighbors = engine.topology.neighbors(pid)
+
+    @property
+    def pid(self) -> Pid:
+        return self._pid
+
+    @property
+    def neighbors(self) -> Tuple[Pid, ...]:
+        return self._neighbors
+
+    @property
+    def topology(self) -> Topology:
+        return self._engine.topology
+
+    def send(self, dst: Pid, payload: Tuple) -> bool:
+        """Send to a neighbour; returns False if the channel dropped it."""
+        if dst not in self._neighbors:
+            raise NotNeighborsError(self._pid, dst)
+        return self._engine.channel(self._pid, dst).send(payload)
+
+
+class MpProcess(ABC):
+    """A reactive process of the message-passing model."""
+
+    def __init__(self, pid: Pid) -> None:
+        self.pid = pid
+
+    @abstractmethod
+    def on_message(self, ctx: MpContext, src: Pid, payload: Tuple) -> None:
+        """Handle one delivered message.
+
+        ``payload`` may be arbitrary junk (transient faults corrupt
+        channels; malicious processes send garbage): implementations must
+        validate before trusting any field.
+        """
+
+    def on_tick(self, ctx: MpContext) -> None:
+        """One spontaneous step; default does nothing."""
+
+    @abstractmethod
+    def corrupt(self, rng: random.Random) -> None:
+        """Transient fault: replace all local state with arbitrary values
+        from its legal space."""
+
+    @abstractmethod
+    def random_payload(self, rng: random.Random) -> Tuple:
+        """An arbitrary syntactically valid payload (for fault injection)."""
+
+    def havoc(self, ctx: MpContext, rng: random.Random) -> None:
+        """One arbitrary step of a malicious crash.
+
+        Default: corrupt the local state and spray junk at a random subset
+        of neighbours — the strongest behaviour the model allows a faulty
+        process (it cannot forge messages from others).
+        """
+        self.corrupt(rng)
+        for dst in ctx.neighbors:
+            if rng.random() < 0.5:
+                ctx.send(dst, self.random_payload(rng))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.pid!r}>"

@@ -1,0 +1,145 @@
+"""Guarded-command shared-memory simulation kernel.
+
+This package implements the computation model of §2 of the paper: processes
+with local variables and guarded actions, shared per-edge variables, weakly
+fair maximal interleavings, and the fault machinery (benign crashes,
+malicious crashes, transient faults) the tolerance claims are stated over.
+
+Typical usage::
+
+    from repro.sim import System, Engine, WeaklyFairDaemon, ring
+    from repro.core import NADiners
+
+    system = System(ring(8), NADiners())
+    engine = Engine(system, WeaklyFairDaemon(), hunger=AlwaysHungry(), seed=1)
+    result = engine.run(10_000)
+"""
+
+from .configuration import Configuration
+from .domains import BoolDomain, Domain, FiniteDomain, IntRange, SaturatingInt
+from .engine import Engine, RunResult
+from .errors import (
+    DeadProcessError,
+    DomainError,
+    FaultPlanError,
+    NotNeighborsError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+    UnknownProcessError,
+    UnknownVariableError,
+)
+from .faults import BenignCrash, FaultEvent, FaultPlan, MaliciousCrash, TransientFault
+from .hunger import (
+    AlwaysHungry,
+    HungerPolicy,
+    NeverHungry,
+    ProbabilisticHunger,
+    ScriptedHunger,
+    SelectiveHunger,
+)
+from .network import ProcessStatus, System
+from .process import ActionDef, Algorithm, ProcessView
+from .scheduler import (
+    AdversarialDaemon,
+    Daemon,
+    RoundDaemon,
+    RoundRobinDaemon,
+    WeaklyFairDaemon,
+    starve_target,
+)
+from .topology import (
+    Edge,
+    Pid,
+    Topology,
+    binary_tree,
+    complete,
+    edge,
+    figure2,
+    from_mapping,
+    grid,
+    line,
+    hypercube,
+    random_connected,
+    ring,
+    star,
+    torus,
+)
+from .serialize import ConfigurationDiff, diff_configurations, from_json, to_json
+from .trace import EventKind, TraceEvent, TraceRecorder
+
+__all__ = [
+    # configuration
+    "Configuration",
+    # domains
+    "BoolDomain",
+    "Domain",
+    "FiniteDomain",
+    "IntRange",
+    "SaturatingInt",
+    # engine
+    "Engine",
+    "RunResult",
+    # errors
+    "DeadProcessError",
+    "DomainError",
+    "FaultPlanError",
+    "NotNeighborsError",
+    "SchedulingError",
+    "SimulationError",
+    "TopologyError",
+    "UnknownProcessError",
+    "UnknownVariableError",
+    # faults
+    "BenignCrash",
+    "FaultEvent",
+    "FaultPlan",
+    "MaliciousCrash",
+    "TransientFault",
+    # hunger
+    "AlwaysHungry",
+    "HungerPolicy",
+    "NeverHungry",
+    "ProbabilisticHunger",
+    "ScriptedHunger",
+    "SelectiveHunger",
+    # network
+    "ProcessStatus",
+    "System",
+    # process
+    "ActionDef",
+    "Algorithm",
+    "ProcessView",
+    # scheduler
+    "AdversarialDaemon",
+    "Daemon",
+    "RoundDaemon",
+    "RoundRobinDaemon",
+    "WeaklyFairDaemon",
+    "starve_target",
+    # topology
+    "Edge",
+    "Pid",
+    "Topology",
+    "binary_tree",
+    "complete",
+    "edge",
+    "figure2",
+    "from_mapping",
+    "grid",
+    "line",
+    "hypercube",
+    "random_connected",
+    "ring",
+    "star",
+    "torus",
+    # serialize
+    "ConfigurationDiff",
+    "diff_configurations",
+    "from_json",
+    "to_json",
+    # trace
+    "EventKind",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,217 @@
+"""Immutable global-state snapshots.
+
+A :class:`Configuration` is one program state in the sense of §2 of the
+paper: an assignment of values to every local variable of every process and
+to every shared edge variable, plus the crash status of each process.
+
+Configurations are hashable and comparable, which is what the explicit-state
+model checker (:mod:`repro.verification`) needs, and they are the common
+currency between the simulator, the invariant predicates
+(:mod:`repro.core.predicates`) and the analysis suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from .errors import NotNeighborsError, UnknownProcessError, UnknownVariableError
+from .topology import Edge, Pid, Topology, edge
+
+
+class Configuration:
+    """An immutable snapshot of the full system state.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph (shared, never copied).
+    local_values:
+        ``{pid: {variable: value}}`` for every process.
+    edge_values:
+        ``{frozenset({p, q}): value}`` for every edge.
+    dead:
+        Processes that have crashed and halted.
+    malicious:
+        Processes currently in the arbitrary-behaviour phase of a malicious
+        crash.  They are still taking (havoc) steps but are destined to halt;
+        analysis code usually lumps them with ``dead`` via :attr:`faulty`.
+    """
+
+    __slots__ = ("_topology", "_locals", "_edges", "_dead", "_malicious", "_key", "_hash")
+
+    def __init__(
+        self,
+        topology: Topology,
+        local_values: Mapping[Pid, Mapping[str, Any]],
+        edge_values: Mapping[Edge, Any],
+        dead: Iterable[Pid] = (),
+        malicious: Iterable[Pid] = (),
+    ) -> None:
+        self._topology = topology
+        self._locals: Dict[Pid, Dict[str, Any]] = {
+            pid: dict(values) for pid, values in local_values.items()
+        }
+        self._edges: Dict[Edge, Any] = dict(edge_values)
+        self._dead: FrozenSet[Pid] = frozenset(dead)
+        self._malicious: FrozenSet[Pid] = frozenset(malicious)
+        for pid in topology.nodes:
+            if pid not in self._locals:
+                raise UnknownProcessError(pid)
+        for e in topology.edges:
+            if e not in self._edges:
+                raise NotNeighborsError(*tuple(e))
+        self._key: Tuple[Any, ...] | None = None
+        self._hash: int | None = None
+
+    # ----------------------------------------------------------- accessors
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def dead(self) -> FrozenSet[Pid]:
+        """Processes that have halted."""
+        return self._dead
+
+    @property
+    def malicious(self) -> FrozenSet[Pid]:
+        """Processes in the arbitrary phase of a malicious crash."""
+        return self._malicious
+
+    @property
+    def faulty(self) -> FrozenSet[Pid]:
+        """Dead plus malicious processes."""
+        return self._dead | self._malicious
+
+    @property
+    def live(self) -> Tuple[Pid, ...]:
+        """Processes that are neither dead nor malicious, in node order."""
+        return tuple(p for p in self._topology.nodes if p not in self.faulty)
+
+    def is_dead(self, pid: Pid) -> bool:
+        return pid in self._dead
+
+    def local(self, pid: Pid, variable: str) -> Any:
+        """The value of ``variable`` at process ``pid``."""
+        try:
+            values = self._locals[pid]
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+        try:
+            return values[variable]
+        except KeyError:
+            raise UnknownVariableError(variable) from None
+
+    def locals_of(self, pid: Pid) -> Mapping[str, Any]:
+        """A read-only view of all local variables of ``pid``."""
+        try:
+            return dict(self._locals[pid])
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+
+    def edge_value(self, p: Pid, q: Pid) -> Any:
+        """The shared variable on the edge between ``p`` and ``q``."""
+        e = edge(p, q)
+        try:
+            return self._edges[e]
+        except KeyError:
+            raise NotNeighborsError(p, q) from None
+
+    def edge_values(self) -> Mapping[Edge, Any]:
+        """A copy of all shared edge variables."""
+        return dict(self._edges)
+
+    # --------------------------------------------------------- derivations
+
+    def replace(
+        self,
+        *,
+        local_updates: Mapping[Pid, Mapping[str, Any]] | None = None,
+        edge_updates: Mapping[Edge, Any] | None = None,
+        dead: Iterable[Pid] | None = None,
+        malicious: Iterable[Pid] | None = None,
+    ) -> "Configuration":
+        """A new configuration with the given pointwise updates applied."""
+        new_locals = {pid: dict(values) for pid, values in self._locals.items()}
+        if local_updates:
+            for pid, updates in local_updates.items():
+                if pid not in new_locals:
+                    raise UnknownProcessError(pid)
+                new_locals[pid].update(updates)
+        new_edges = dict(self._edges)
+        if edge_updates:
+            for e, value in edge_updates.items():
+                if e not in new_edges:
+                    raise NotNeighborsError(*tuple(e))
+                new_edges[e] = value
+        return Configuration(
+            self._topology,
+            new_locals,
+            new_edges,
+            self._dead if dead is None else dead,
+            self._malicious if malicious is None else malicious,
+        )
+
+    # ------------------------------------------------------- hash/equality
+
+    def _canonical_key(self) -> Tuple[Any, ...]:
+        if self._key is None:
+            topo = self._topology
+            order = {p: i for i, p in enumerate(topo.nodes)}
+            local_part = tuple(
+                tuple(sorted(self._locals[p].items())) for p in topo.nodes
+            )
+            edge_part = tuple(
+                self._edges[e]
+                for e in sorted(
+                    topo.edges, key=lambda e: tuple(sorted(order[x] for x in e))
+                )
+            )
+            self._key = (
+                local_part,
+                edge_part,
+                tuple(sorted(order[p] for p in self._dead)),
+                tuple(sorted(order[p] for p in self._malicious)),
+            )
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        if self._topology is not other._topology and (
+            self._topology.nodes != other._topology.nodes
+            or self._topology.edges != other._topology.edges
+        ):
+            return False
+        return self._canonical_key() == other._canonical_key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._canonical_key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Configuration(n={len(self._topology)}, dead={sorted(map(repr, self._dead))}, "
+            f"malicious={sorted(map(repr, self._malicious))})"
+        )
+
+    def describe(self) -> str:
+        """A multi-line human-readable rendering (used by examples/traces)."""
+        lines = []
+        for pid in self._topology.nodes:
+            status = (
+                "DEAD"
+                if pid in self._dead
+                else "MALICIOUS"
+                if pid in self._malicious
+                else "live"
+            )
+            values = ", ".join(f"{k}={v!r}" for k, v in sorted(self._locals[pid].items()))
+            lines.append(f"  {pid!r} [{status}] {values}")
+        order = {p: i for i, p in enumerate(self._topology.nodes)}
+        for e in sorted(self._topology.edges, key=lambda e: tuple(sorted(order[x] for x in e))):
+            p, q = sorted(e, key=lambda x: order[x])
+            lines.append(f"  edge {p!r}--{q!r}: {self._edges[e]!r}")
+        return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""The simulation engine: drives one system through a computation.
+
+Each engine step performs, in order:
+
+1. **faults** — apply every fault event due at this step;
+2. **malice** — every process in the arbitrary phase of a malicious crash
+   takes one havoc step; a process whose budget runs out halts;
+3. **hunger** — refresh the ``needs`` input variable of every live process
+   from the hunger policy;
+4. **action** — the daemon picks one enabled ``(process, action)`` pair and
+   the engine executes it.
+
+The interleaving this produces is a legal computation of the paper's model:
+exactly one (algorithm or havoc) transition mutates protocol state per step
+aside from the environment inputs, and the default daemon is weakly fair.
+
+A run ends at quiescence (no enabled action and no pending fault — the
+paper's *maximal* computation reaching a terminal state), when a caller's
+``stop_when`` predicate first holds, or at the step budget.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .configuration import Configuration
+from .errors import SchedulingError
+from .faults import BenignCrash, FaultPlan, MaliciousCrash
+from .hunger import HungerPolicy
+from .network import ProcessStatus, System
+from .scheduler import Daemon, WeaklyFairDaemon
+from .topology import Pid
+from .trace import EventKind, TraceEvent, TraceRecorder
+
+StopPredicate = Callable[[Configuration], bool]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of :meth:`Engine.run`.
+
+    ``steps`` counts engine steps taken (including idle steps spent waiting
+    for scheduled faults).  Exactly one of the three flags explains why the
+    run ended.
+    """
+
+    steps: int
+    quiescent: bool
+    stopped: bool
+    exhausted: bool
+    final: Configuration
+
+    def __post_init__(self) -> None:
+        assert self.quiescent + self.stopped + self.exhausted == 1
+
+
+class Engine:
+    """Runs a :class:`~repro.sim.network.System` under a daemon, a hunger
+    policy, and a fault plan.
+
+    Parameters
+    ----------
+    system:
+        The system to run (mutated in place).
+    daemon:
+        Scheduling strategy; defaults to a fresh :class:`WeaklyFairDaemon`.
+    hunger:
+        Drives the algorithm's hunger input variable, if it declares one.
+        ``None`` leaves the variable entirely to its initial/corrupted value.
+    faults:
+        Scheduled fault events; ``None`` means a fault-free run.
+    recorder:
+        Optional trace recorder.
+    seed:
+        Seed for the engine's private RNG; runs are deterministic given
+        (system state, daemon state, seed).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        daemon: Daemon | None = None,
+        *,
+        hunger: HungerPolicy | None = None,
+        faults: FaultPlan | None = None,
+        recorder: TraceRecorder | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.system = system
+        self.daemon = daemon if daemon is not None else WeaklyFairDaemon()
+        self.hunger = hunger
+        self.faults = faults
+        self.recorder = recorder
+        self.rng = random.Random(seed)
+        self.step_count = 0
+        #: Executed algorithm actions, keyed by ``(pid, action_name)``.
+        self.action_counts: Counter = Counter()
+        self._malicious_budget: Dict[Pid, int] = (
+            faults.malicious_budget() if faults is not None else {}
+        )
+        self._hunger_var = system.algorithm.hunger_variable
+
+    # ---------------------------------------------------------------- step
+
+    def step(self) -> bool:
+        """Advance the computation by one engine step.
+
+        Returns False — without consuming a step — when nothing can ever
+        happen again: no enabled action, no malicious process mid-phase, and
+        no pending fault event.
+        """
+        step = self.step_count
+
+        pending_faults = self.faults is not None and not self.faults.exhausted()
+        self._apply_due_faults(step)
+        self._malice_phase(step)
+        self._refresh_hunger(step)
+
+        enabled = self.system.all_enabled()
+        if enabled:
+            pid, action = self.daemon.select(self.system, enabled, step, self.rng)
+            if (pid, action) not in enabled:
+                raise SchedulingError(
+                    f"daemon chose disabled action {action.name!r} at {pid!r}"
+                )
+            self.system.execute(pid, action)
+            self.action_counts[(pid, action.name)] += 1
+            self._record(TraceEvent(step, EventKind.ACTION, pid, action.name))
+        else:
+            still_malicious = any(
+                self.system.status(p) is ProcessStatus.MALICIOUS
+                for p in self.system.pids
+            )
+            if not pending_faults and not still_malicious:
+                return False
+            self._record(TraceEvent(step, EventKind.IDLE))
+
+        self.step_count += 1
+        if self.recorder is not None:
+            self.recorder.maybe_snapshot(self.step_count, self.system.snapshot())
+        return True
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        max_steps: int,
+        *,
+        stop_when: StopPredicate | None = None,
+        check_every: int = 1,
+    ) -> RunResult:
+        """Run until quiescence, ``stop_when``, or ``max_steps``.
+
+        ``stop_when`` is evaluated on a fresh snapshot before the first step
+        and then every ``check_every`` executed steps (snapshots cost O(n)).
+        """
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if check_every < 1:
+            raise ValueError("check_every must be positive")
+        if self.recorder is not None:
+            self.recorder.force_snapshot(self.step_count, self.system.snapshot())
+
+        taken = 0
+        if stop_when is not None and stop_when(self.system.snapshot()):
+            return self._result(taken, stopped=True)
+        while taken < max_steps:
+            if not self.step():
+                return self._result(taken, quiescent=True)
+            taken += 1
+            if stop_when is not None and taken % check_every == 0:
+                if stop_when(self.system.snapshot()):
+                    return self._result(taken, stopped=True)
+        return self._result(taken, exhausted=True)
+
+    def run_to_quiescence(self, max_steps: int) -> RunResult:
+        """Run with no stop predicate; convenience wrapper over :meth:`run`."""
+        return self.run(max_steps)
+
+    # ------------------------------------------------------------ internals
+
+    def _result(
+        self,
+        steps: int,
+        *,
+        quiescent: bool = False,
+        stopped: bool = False,
+        exhausted: bool = False,
+    ) -> RunResult:
+        final = self.system.snapshot()
+        if self.recorder is not None:
+            self.recorder.force_snapshot(self.step_count, final)
+        return RunResult(
+            steps=steps,
+            quiescent=quiescent,
+            stopped=stopped,
+            exhausted=exhausted,
+            final=final,
+        )
+
+    def _apply_due_faults(self, step: int) -> None:
+        if self.faults is None:
+            return
+        for event in self.faults.due(step):
+            event.apply(self.system, self.rng)
+            if isinstance(event, MaliciousCrash):
+                if event.malicious_steps > 0:
+                    self._record(
+                        TraceEvent(
+                            step, EventKind.MALICE_BEGIN, event.pid, event.malicious_steps
+                        )
+                    )
+                else:
+                    self._record(TraceEvent(step, EventKind.CRASH, event.pid, "malicious"))
+            elif isinstance(event, BenignCrash):
+                self._record(TraceEvent(step, EventKind.CRASH, event.pid, "benign"))
+            else:
+                self._record(
+                    TraceEvent(step, EventKind.TRANSIENT, None, getattr(event, "pids", None))
+                )
+
+    def _malice_phase(self, step: int) -> None:
+        for pid in self.system.pids:
+            if self.system.status(pid) is not ProcessStatus.MALICIOUS:
+                continue
+            budget = self._malicious_budget.get(pid, 0)
+            if budget > 0:
+                self.system.havoc_process(pid, self.rng)
+                self._record(TraceEvent(step, EventKind.HAVOC, pid))
+                self._malicious_budget[pid] = budget - 1
+            if self._malicious_budget.get(pid, 0) <= 0:
+                self.system.kill(pid)
+                self._record(TraceEvent(step, EventKind.CRASH, pid, "malice exhausted"))
+
+    def _refresh_hunger(self, step: int) -> None:
+        if self.hunger is None or self._hunger_var is None:
+            return
+        for pid in self.system.live_pids():
+            self.system.write_local(
+                pid, self._hunger_var, self.hunger.wants(pid, step, self.rng)
+            )
+
+    def _record(self, event: TraceEvent) -> None:
+        if self.recorder is not None:
+            self.recorder.record_event(event)
+
+    def inject(self, event) -> None:
+        """Apply a fault event immediately, outside any schedule.
+
+        State-dependent fault scenarios ("crash the victim while it is
+        eating") cannot be expressed as step-indexed plans; drive the engine
+        to the state you want, then inject.
+        """
+        event.apply(self.system, self.rng)
+        step = self.step_count
+        if isinstance(event, MaliciousCrash):
+            if event.malicious_steps > 0:
+                self._malicious_budget[event.pid] = event.malicious_steps
+                self._record(
+                    TraceEvent(step, EventKind.MALICE_BEGIN, event.pid, event.malicious_steps)
+                )
+            else:
+                self._record(TraceEvent(step, EventKind.CRASH, event.pid, "malicious"))
+        elif isinstance(event, BenignCrash):
+            self._record(TraceEvent(step, EventKind.CRASH, event.pid, "benign"))
+        else:
+            self._record(
+                TraceEvent(step, EventKind.TRANSIENT, None, getattr(event, "pids", None))
+            )
+
+    # -------------------------------------------------------------- helpers
+
+    def eats_of(self, pid: Pid, enter_action: str = "enter") -> int:
+        """How many times ``pid`` has executed its ``enter`` action."""
+        return self.action_counts[(pid, enter_action)]
+
+    def total_eats(self, enter_action: str = "enter") -> int:
+        """Total ``enter`` executions across all processes."""
+        return sum(
+            count
+            for (pid, name), count in self.action_counts.items()
+            if name == enter_action
+        )

@@ -1,0 +1,331 @@
+"""The mutable system: processes, their variables, and shared edge cells.
+
+A :class:`System` instantiates an :class:`~repro.sim.process.Algorithm` on a
+:class:`~repro.sim.topology.Topology`.  It owns all mutable state — local
+variables, shared edge variables, and each process's crash status — and
+mediates every read and write so that domain violations and model violations
+(writing a neighbour's local, stepping a dead process) fail loudly.
+
+The system knows nothing about time or scheduling; that is the engine's job.
+It does know how to snapshot itself into an immutable
+:class:`~repro.sim.configuration.Configuration` and how to rebuild itself
+from one, which is how the simulator, the predicates, and the model checker
+share a single implementation of the algorithm's transition semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from .configuration import Configuration
+from .domains import Domain
+from .errors import (
+    DeadProcessError,
+    NotNeighborsError,
+    UnknownProcessError,
+    UnknownVariableError,
+)
+from .process import ActionDef, Algorithm, ProcessView
+from .topology import Edge, Pid, Topology
+
+
+class ProcessStatus(enum.Enum):
+    """Crash status of one process."""
+
+    ALIVE = "alive"
+    #: Arbitrary-behaviour phase of a malicious crash: the process still
+    #: takes steps, but they are havoc writes, not algorithm actions.
+    MALICIOUS = "malicious"
+    #: Halted.  A dead process never takes another step; its variables stay
+    #: frozen at whatever values they held when it died.
+    DEAD = "dead"
+
+
+class System:
+    """Mutable state of one distributed system run.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph.
+    algorithm:
+        The program every process runs.
+    initially_dead:
+        Processes dead from the very first state (the paper's "initially
+        dead" special case of crash failure).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: Algorithm,
+        *,
+        initially_dead: Iterable[Pid] = (),
+    ) -> None:
+        self._topology = topology
+        self._algorithm = algorithm
+        self._local_domains: Mapping[str, Domain] = dict(algorithm.local_domains(topology))
+        self._edge_domains: Dict[Edge, Domain] = {
+            e: algorithm.edge_domain(topology, e) for e in topology.edges
+        }
+        self._locals: Dict[Pid, Dict[str, Any]] = {}
+        for pid in topology.nodes:
+            values = dict(algorithm.initial_locals(pid, topology))
+            self._validate_locals(pid, values)
+            self._locals[pid] = values
+        self._edges: Dict[Edge, Any] = {}
+        for e in topology.edges:
+            value = algorithm.initial_edge(e, topology)
+            self._edge_domains[e].validate(f"edge {tuple(e)!r}", value)
+            self._edges[e] = value
+        self._status: Dict[Pid, ProcessStatus] = {
+            pid: ProcessStatus.ALIVE for pid in topology.nodes
+        }
+        for pid in initially_dead:
+            if pid not in self._status:
+                raise UnknownProcessError(pid)
+            self._status[pid] = ProcessStatus.DEAD
+        self._views: Dict[Pid, ProcessView] = {
+            pid: ProcessView(self, pid) for pid in topology.nodes
+        }
+
+    def _validate_locals(self, pid: Pid, values: Mapping[str, Any]) -> None:
+        """Check initial locals cover exactly the declared variables."""
+        declared = set(self._local_domains)
+        provided = set(values)
+        if provided != declared:
+            missing = declared - provided
+            extra = provided - declared
+            raise UnknownVariableError(
+                f"initial locals of {pid!r} mismatch declaration "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        for name, value in values.items():
+            self._local_domains[name].validate(name, value)
+
+    # ------------------------------------------------------------- basics
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def algorithm(self) -> Algorithm:
+        return self._algorithm
+
+    @property
+    def pids(self) -> Tuple[Pid, ...]:
+        """All process identifiers in deterministic (construction) order."""
+        return self._topology.nodes
+
+    def view(self, pid: Pid) -> ProcessView:
+        """The action-execution view of ``pid``."""
+        try:
+            return self._views[pid]
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+
+    # ------------------------------------------------------------- status
+
+    def status(self, pid: Pid) -> ProcessStatus:
+        try:
+            return self._status[pid]
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+
+    def is_live(self, pid: Pid) -> bool:
+        """True when ``pid`` runs algorithm actions (neither dead nor malicious)."""
+        return self.status(pid) is ProcessStatus.ALIVE
+
+    def live_pids(self) -> Tuple[Pid, ...]:
+        return tuple(p for p in self.pids if self._status[p] is ProcessStatus.ALIVE)
+
+    def mark_malicious(self, pid: Pid) -> None:
+        """Enter the arbitrary-behaviour phase of a malicious crash."""
+        if self.status(pid) is ProcessStatus.DEAD:
+            raise DeadProcessError(pid)
+        self._status[pid] = ProcessStatus.MALICIOUS
+
+    def kill(self, pid: Pid) -> None:
+        """Halt ``pid`` permanently (benign crash, or end of malice)."""
+        self.status(pid)  # raises for unknown pid
+        self._status[pid] = ProcessStatus.DEAD
+
+    # ----------------------------------------------------------- variables
+
+    def read_local(self, pid: Pid, variable: str) -> Any:
+        try:
+            values = self._locals[pid]
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+        try:
+            return values[variable]
+        except KeyError:
+            raise UnknownVariableError(variable) from None
+
+    def write_local(self, pid: Pid, variable: str, value: Any) -> None:
+        if variable not in self._local_domains:
+            raise UnknownVariableError(variable)
+        self._local_domains[variable].validate(variable, value)
+        try:
+            self._locals[pid][variable] = value
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+
+    def read_edge(self, e: Edge) -> Any:
+        try:
+            return self._edges[e]
+        except KeyError:
+            raise NotNeighborsError(*tuple(e))
+
+    def write_edge(self, e: Edge, value: Any) -> None:
+        if e not in self._edges:
+            raise NotNeighborsError(*tuple(e))
+        self._edge_domains[e].validate(f"edge {tuple(e)!r}", value)
+        self._edges[e] = value
+
+    def local_domain(self, variable: str) -> Domain:
+        try:
+            return self._local_domains[variable]
+        except KeyError:
+            raise UnknownVariableError(variable) from None
+
+    def local_variable_names(self) -> Tuple[str, ...]:
+        return tuple(self._local_domains)
+
+    def edge_domain_of(self, e: Edge) -> Domain:
+        try:
+            return self._edge_domains[e]
+        except KeyError:
+            raise NotNeighborsError(*tuple(e))
+
+    # ------------------------------------------------------------- actions
+
+    def enabled_actions(self, pid: Pid) -> List[ActionDef]:
+        """The algorithm actions of ``pid`` whose guards hold right now.
+
+        Dead and malicious processes have no enabled algorithm actions: a
+        dead process takes no steps at all, and a malicious one only takes
+        havoc steps (driven by the fault machinery, not by guards).
+        """
+        if self.status(pid) is not ProcessStatus.ALIVE:
+            return []
+        view = self._views[pid]
+        return [a for a in self._algorithm.actions() if a.enabled(view)]
+
+    def all_enabled(self) -> List[Tuple[Pid, ActionDef]]:
+        """Every enabled ``(pid, action)`` pair, in deterministic order."""
+        result: List[Tuple[Pid, ActionDef]] = []
+        for pid in self.pids:
+            for action in self.enabled_actions(pid):
+                result.append((pid, action))
+        return result
+
+    def execute(self, pid: Pid, action: ActionDef) -> None:
+        """Run ``action`` at ``pid`` (the caller has checked the guard)."""
+        if self.status(pid) is not ProcessStatus.ALIVE:
+            raise DeadProcessError(pid)
+        action.execute(self._views[pid])
+
+    def is_quiescent(self) -> bool:
+        """True when no live process has an enabled action (terminal state)."""
+        return not self.all_enabled()
+
+    # ---------------------------------------------------- fault primitives
+
+    def havoc_process(self, pid: Pid, rng: random.Random) -> None:
+        """One arbitrary step of a malicious process.
+
+        Writes random in-domain values to a random non-empty subset of
+        ``pid``'s own local variables and incident edge variables.  This is
+        the strongest perturbation the paper's model allows a faulty process:
+        it can only touch state it could legally write when healthy.
+        """
+        if self.status(pid) is ProcessStatus.DEAD:
+            raise DeadProcessError(pid)
+        targets: List[Tuple[str, Any]] = [("local", name) for name in self._local_domains]
+        targets.extend(
+            ("edge", q) for q in self._topology.neighbors(pid)
+        )
+        count = rng.randint(1, len(targets))
+        for kind, key in rng.sample(targets, count):
+            if kind == "local":
+                domain = self._local_domains[key]
+                self._locals[pid][key] = domain.sample(rng)
+            else:
+                from .topology import edge as mk_edge
+
+                e = mk_edge(pid, key)
+                self._edges[e] = self._edge_domains[e].sample(rng)
+
+    def randomize(self, rng: random.Random, pids: Iterable[Pid] | None = None) -> None:
+        """Transient fault: replace state with arbitrary in-domain values.
+
+        With ``pids=None`` the whole system state (all locals, all edges) is
+        perturbed, matching the paper's "transient failure ... leaves the
+        system in arbitrary state".  A subset limits the blast radius.
+        """
+        chosen = tuple(self.pids if pids is None else pids)
+        chosen_set = set(chosen)
+        for pid in chosen:
+            if pid not in self._locals:
+                raise UnknownProcessError(pid)
+            for name, domain in self._local_domains.items():
+                self._locals[pid][name] = domain.sample(rng)
+        for e in self._topology.edges:
+            if chosen_set & set(e):
+                self._edges[e] = self._edge_domains[e].sample(rng)
+
+    # ------------------------------------------------------- configuration
+
+    def snapshot(self) -> Configuration:
+        """Freeze the current state into an immutable configuration."""
+        return Configuration(
+            self._topology,
+            self._locals,
+            self._edges,
+            dead=(p for p, s in self._status.items() if s is ProcessStatus.DEAD),
+            malicious=(p for p, s in self._status.items() if s is ProcessStatus.MALICIOUS),
+        )
+
+    def restore(self, configuration: Configuration) -> None:
+        """Overwrite the system state from ``configuration``.
+
+        The configuration must concern the same topology.  Domain validation
+        is applied, so a configuration fabricated with out-of-domain values
+        is rejected rather than silently accepted.
+        """
+        if configuration.topology.nodes != self._topology.nodes or (
+            configuration.topology.edges != self._topology.edges
+        ):
+            raise UnknownProcessError("configuration topology mismatch")
+        for pid in self.pids:
+            for name, value in configuration.locals_of(pid).items():
+                self.write_local(pid, name, value)
+        for e in self._topology.edges:
+            self.write_edge(e, configuration.edge_value(*tuple(e)))
+        for pid in self.pids:
+            if pid in configuration.dead:
+                self._status[pid] = ProcessStatus.DEAD
+            elif pid in configuration.malicious:
+                self._status[pid] = ProcessStatus.MALICIOUS
+            else:
+                self._status[pid] = ProcessStatus.ALIVE
+
+    @classmethod
+    def from_configuration(
+        cls, algorithm: Algorithm, configuration: Configuration
+    ) -> "System":
+        """Materialise a mutable system from a snapshot."""
+        system = cls(configuration.topology, algorithm)
+        system.restore(configuration)
+        return system
+
+    def __repr__(self) -> str:
+        dead = [p for p, s in self._status.items() if s is not ProcessStatus.ALIVE]
+        return (
+            f"System({self._algorithm.name}, n={len(self._topology)}, "
+            f"faulty={sorted(map(repr, dead))})"
+        )

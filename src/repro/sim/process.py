@@ -1,0 +1,189 @@
+"""Algorithms, actions, and the view an action executes against.
+
+The paper's programming model (§2) is guarded commands over shared memory: a
+process owns local variables, may *read* its neighbours' local variables, and
+shares with each neighbour one edge variable that either endpoint may write
+(in a restricted manner).  This module captures that model:
+
+* :class:`ActionDef` — a named ``guard``/``command`` pair.  Both receive a
+  :class:`ProcessView`, the only handle through which an action may touch
+  state.  The view enforces the model: reads of neighbour locals are allowed,
+  writes are confined to own locals and incident edge variables, and crash
+  status is *not* observable (crashes are undetectable in the paper's model).
+* :class:`Algorithm` — a distributed program: variable declarations (with
+  domains, so faults and the model checker know every variable's value
+  space), initial values, and the action list every process runs.
+
+Algorithms are written once and instantiated per system; all per-process
+state lives in the :class:`~repro.sim.network.System`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Tuple
+
+from .domains import Domain
+from .errors import NotNeighborsError, SimulationError
+from .topology import Edge, Pid, Topology, edge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .network import System
+
+
+class ProcessView:
+    """The window through which one process's actions see the world.
+
+    A view is bound to a process ``pid`` in a :class:`System`.  It exposes:
+
+    * read/write access to ``pid``'s own local variables;
+    * read-only access to neighbours' local variables (shared-memory reads);
+    * read/write access to the shared variable of each incident edge.
+
+    It deliberately does **not** expose whether a neighbour is alive: the
+    malicious-crash model makes crashes undetectable, and keeping death out
+    of the view keeps every algorithm honest about that.
+    """
+
+    __slots__ = ("_system", "_pid", "_neighbors")
+
+    def __init__(self, system: "System", pid: Pid) -> None:
+        self._system = system
+        self._pid = pid
+        self._neighbors = system.topology.neighbors(pid)
+
+    @property
+    def pid(self) -> Pid:
+        """The process this view belongs to."""
+        return self._pid
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph (read-only global knowledge)."""
+        return self._system.topology
+
+    @property
+    def diameter(self) -> int:
+        """The system diameter — the paper's constant ``D``, known to all."""
+        return self._system.topology.diameter
+
+    @property
+    def neighbors(self) -> Tuple[Pid, ...]:
+        """The direct neighbours of this process."""
+        return self._neighbors
+
+    # ------------------------------------------------------------- locals
+
+    def get(self, variable: str) -> Any:
+        """Read one of this process's own local variables."""
+        return self._system.read_local(self._pid, variable)
+
+    def set(self, variable: str, value: Any) -> None:
+        """Write one of this process's own local variables."""
+        self._system.write_local(self._pid, variable, value)
+
+    def peek(self, neighbor: Pid, variable: str) -> Any:
+        """Read a local variable of a *neighbour* (shared-memory read).
+
+        Reading an arbitrary remote process would break the model, so only
+        neighbours (and the process itself) are allowed.
+        """
+        if neighbor != self._pid and neighbor not in self._neighbors:
+            raise NotNeighborsError(self._pid, neighbor)
+        return self._system.read_local(neighbor, variable)
+
+    # -------------------------------------------------------------- edges
+
+    def edge_value(self, neighbor: Pid) -> Any:
+        """Read the shared variable on the edge to ``neighbor``."""
+        if neighbor not in self._neighbors:
+            raise NotNeighborsError(self._pid, neighbor)
+        return self._system.read_edge(edge(self._pid, neighbor))
+
+    def set_edge(self, neighbor: Pid, value: Any) -> None:
+        """Write the shared variable on the edge to ``neighbor``."""
+        if neighbor not in self._neighbors:
+            raise NotNeighborsError(self._pid, neighbor)
+        self._system.write_edge(edge(self._pid, neighbor), value)
+
+
+GuardFn = Callable[[ProcessView], bool]
+CommandFn = Callable[[ProcessView], None]
+
+
+@dataclass(frozen=True)
+class ActionDef:
+    """One guarded command: ``name : guard -> command``.
+
+    The same :class:`ActionDef` object is shared by every process running the
+    algorithm; per-process binding happens by pairing it with a ``pid`` at
+    scheduling time.
+    """
+
+    name: str
+    guard: GuardFn
+    command: CommandFn
+
+    def enabled(self, view: ProcessView) -> bool:
+        """Evaluate the guard against ``view``."""
+        return bool(self.guard(view))
+
+    def execute(self, view: ProcessView) -> None:
+        """Run the command against ``view`` (caller checks the guard)."""
+        self.command(view)
+
+    def __repr__(self) -> str:
+        return f"ActionDef({self.name!r})"
+
+
+class Algorithm(ABC):
+    """A distributed program in the guarded-command shared-memory model.
+
+    Subclasses declare variables with domains, provide initial values, and
+    list their actions.  ``hunger_variable`` names the boolean input variable
+    driven externally by a :class:`~repro.sim.hunger.HungerPolicy` (the
+    paper's ``needs():p``); algorithms without such an input return ``None``.
+    """
+
+    #: Human-readable algorithm name (used in traces and benchmark output).
+    name: str = "algorithm"
+
+    #: Name of the externally driven "wants to eat" boolean, or None.
+    hunger_variable: str | None = None
+
+    @abstractmethod
+    def local_domains(self, topology: Topology) -> Mapping[str, Domain]:
+        """Declare every local variable and its domain.
+
+        The domains may depend on the topology (e.g. the ``depth`` counter
+        saturates relative to the diameter).
+        """
+
+    @abstractmethod
+    def edge_domain(self, topology: Topology, e: Edge) -> Domain:
+        """The domain of the shared variable on edge ``e``."""
+
+    @abstractmethod
+    def initial_locals(self, pid: Pid, topology: Topology) -> Mapping[str, Any]:
+        """Legitimate initial values for ``pid``'s local variables."""
+
+    @abstractmethod
+    def initial_edge(self, e: Edge, topology: Topology) -> Any:
+        """Legitimate initial value for the shared variable on edge ``e``."""
+
+    @abstractmethod
+    def actions(self) -> Tuple[ActionDef, ...]:
+        """The guarded commands every process runs, in declaration order."""
+
+    # ------------------------------------------------------------ helpers
+
+    def action_named(self, name: str) -> ActionDef:
+        """Look an action up by name (mostly for tests and ablations)."""
+        for action in self.actions():
+            if action.name == name:
+                return action
+        raise SimulationError(f"{self.name} has no action named {name!r}")
+
+    def __repr__(self) -> str:
+        return f"<Algorithm {self.name}>"

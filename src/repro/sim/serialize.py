@@ -1,0 +1,181 @@
+"""Configuration (de)serialization and diffing.
+
+Model-checker counterexamples, locality reports, and bug reports all need
+to move configurations between runs and machines.  ``to_json``/``from_json``
+give a stable, human-readable round-trip; ``diff_configurations`` renders
+what changed between two states (ideal for explaining a single transition
+or a fault's blast radius).
+
+Pids and values are encoded via ``repr`` and decoded with a restricted
+literal parser, so arbitrary code never executes during loading.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from .configuration import Configuration
+from .errors import SimulationError
+from .topology import Topology, edge
+
+FORMAT_VERSION = 1
+
+
+def _encode(value: Any) -> str:
+    text = repr(value)
+    try:
+        if ast.literal_eval(text) != value:
+            raise ValueError
+    except (ValueError, SyntaxError):
+        raise SimulationError(
+            f"value {value!r} is not literal-serialisable"
+        ) from None
+    return text
+
+
+def _decode(text: str) -> Any:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        raise SimulationError(f"malformed serialized value: {text!r}") from None
+
+
+def to_json(config: Configuration, *, indent: int | None = 2) -> str:
+    """Serialize a configuration (including its topology) to JSON."""
+    topology = config.topology
+    order = {p: i for i, p in enumerate(topology.nodes)}
+    payload = {
+        "format": FORMAT_VERSION,
+        "nodes": [_encode(p) for p in topology.nodes],
+        "edges": [
+            sorted((_encode(a) for a in e), key=lambda s: order[_decode(s)])
+            for e in sorted(
+                topology.edges, key=lambda e: tuple(sorted(order[x] for x in e))
+            )
+        ],
+        "locals": {
+            _encode(p): {
+                name: _encode(value)
+                for name, value in sorted(config.locals_of(p).items())
+            }
+            for p in topology.nodes
+        },
+        "edge_values": [
+            _encode(config.edge_value(_decode(a), _decode(b)))
+            for a, b in (
+                sorted((_encode(x) for x in e), key=lambda s: order[_decode(s)])
+                for e in sorted(
+                    topology.edges, key=lambda e: tuple(sorted(order[x] for x in e))
+                )
+            )
+        ],
+        "dead": sorted((_encode(p) for p in config.dead), key=str),
+        "malicious": sorted((_encode(p) for p in config.malicious), key=str),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def from_json(text: str) -> Configuration:
+    """Rebuild a configuration serialized by :func:`to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"not valid JSON: {exc}") from None
+    if payload.get("format") != FORMAT_VERSION:
+        raise SimulationError(
+            f"unsupported serialization format: {payload.get('format')!r}"
+        )
+    nodes = [_decode(p) for p in payload["nodes"]]
+    edges = [tuple(_decode(x) for x in pair) for pair in payload["edges"]]
+    topology = Topology(nodes, edges)
+    local_values = {
+        _decode(p): {name: _decode(v) for name, v in values.items()}
+        for p, values in payload["locals"].items()
+    }
+    edge_values = {
+        edge(*pair): _decode(value)
+        for pair, value in zip(
+            ([tuple(_decode(x) for x in e) for e in payload["edges"]]),
+            payload["edge_values"],
+        )
+    }
+    return Configuration(
+        topology,
+        local_values,
+        edge_values,
+        dead=[_decode(p) for p in payload["dead"]],
+        malicious=[_decode(p) for p in payload["malicious"]],
+    )
+
+
+@dataclass(frozen=True)
+class ConfigurationDiff:
+    """The pointwise differences between two same-topology configurations."""
+
+    #: (pid, variable, before, after)
+    locals_changed: Tuple[Tuple[Any, str, Any, Any], ...]
+    #: (endpoint_a, endpoint_b, before, after)
+    edges_changed: Tuple[Tuple[Any, Any, Any, Any], ...]
+    #: pids whose crash status changed: (pid, before, after)
+    status_changed: Tuple[Tuple[Any, str, str], ...]
+
+    @property
+    def empty(self) -> bool:
+        return not (self.locals_changed or self.edges_changed or self.status_changed)
+
+    def render(self) -> str:
+        """A unified-diff-flavoured listing."""
+        if self.empty:
+            return "(no differences)"
+        lines: List[str] = []
+        for pid, name, before, after in self.locals_changed:
+            lines.append(f"  {pid!r}.{name}: {before!r} -> {after!r}")
+        for a, b, before, after in self.edges_changed:
+            lines.append(f"  edge {a!r}--{b!r}: {before!r} -> {after!r}")
+        for pid, before, after in self.status_changed:
+            lines.append(f"  {pid!r}: {before} -> {after}")
+        return "\n".join(lines)
+
+
+def _status(config: Configuration, pid: Any) -> str:
+    if pid in config.dead:
+        return "dead"
+    if pid in config.malicious:
+        return "malicious"
+    return "alive"
+
+
+def diff_configurations(
+    before: Configuration, after: Configuration
+) -> ConfigurationDiff:
+    """What changed from ``before`` to ``after`` (same topology required)."""
+    topo = before.topology
+    if topo.nodes != after.topology.nodes or topo.edges != after.topology.edges:
+        raise SimulationError("cannot diff configurations of different topologies")
+    locals_changed = []
+    for pid in topo.nodes:
+        old = before.locals_of(pid)
+        new = after.locals_of(pid)
+        for name in old:
+            if old[name] != new.get(name):
+                locals_changed.append((pid, name, old[name], new.get(name)))
+    order = {p: i for i, p in enumerate(topo.nodes)}
+    edges_changed = []
+    for e in sorted(topo.edges, key=lambda e: tuple(sorted(order[x] for x in e))):
+        a, b = sorted(e, key=lambda x: order[x])
+        old_value = before.edge_value(a, b)
+        new_value = after.edge_value(a, b)
+        if old_value != new_value:
+            edges_changed.append((a, b, old_value, new_value))
+    status_changed = []
+    for pid in topo.nodes:
+        old_status = _status(before, pid)
+        new_status = _status(after, pid)
+        if old_status != new_status:
+            status_changed.append((pid, old_status, new_status))
+    return ConfigurationDiff(
+        tuple(locals_changed), tuple(edges_changed), tuple(status_changed)
+    )

@@ -1,0 +1,58 @@
+"""Explicit-state model checking of the paper's lemmas on small instances.
+
+Workflow (see experiment E9)::
+
+    from repro.core import NADiners, invariant_holds
+    from repro.sim import ring
+    from repro.verification import (
+        TransitionSystem, enumerate_configurations, check_closure,
+        check_convergence,
+    )
+
+    topo = ring(3)
+    algo = NADiners(depth_cap=topo.diameter + 1)   # finite, sound abstraction
+    ts = TransitionSystem(algo, topo)
+    configs = list(enumerate_configurations(algo, topo, fixed_locals={"needs": True}))
+    assert check_closure(ts, invariant_holds, configs).holds        # I closed
+    assert check_convergence(ts, invariant_holds, configs).converges  # true ⤳ I
+"""
+
+from .explorer import (
+    Transition,
+    TransitionSystem,
+    enumerate_configurations,
+    space_size,
+)
+from .properties import (
+    ClosureReport,
+    ConvergenceReport,
+    Counterexample,
+    build_graph,
+    check_all_states,
+    check_closure,
+    check_convergence,
+    check_monotone_set,
+    check_numeric_nonincreasing,
+    confirm_fair_livelock,
+    convergence_distances,
+    optimal_recovery_diameter,
+)
+
+__all__ = [
+    "Transition",
+    "TransitionSystem",
+    "enumerate_configurations",
+    "space_size",
+    "ClosureReport",
+    "ConvergenceReport",
+    "Counterexample",
+    "build_graph",
+    "check_all_states",
+    "check_closure",
+    "check_convergence",
+    "check_monotone_set",
+    "check_numeric_nonincreasing",
+    "confirm_fair_livelock",
+    "convergence_distances",
+    "optimal_recovery_diameter",
+]

@@ -1,0 +1,166 @@
+"""State-space enumeration and the transition relation.
+
+The paper's stabilization claims quantify over **every** state: Theorem 1
+says the program converges from an arbitrary state.  On small instances we
+can make that "every" literal: enumerate the full configuration space
+(product of all variable domains) and compute every transition by executing
+the very same :class:`~repro.sim.process.ActionDef` objects the simulator
+runs — no second implementation of the semantics exists to drift.
+
+Enumerability requires finite domains, so algorithms must be instantiated
+with finite counters (e.g. ``NADiners(depth_cap=topology.diameter + 1)`` —
+see :mod:`repro.core.algorithm` for why that cap is sound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from ..sim.configuration import Configuration
+from ..sim.errors import SimulationError
+from ..sim.network import System
+from ..sim.process import Algorithm
+from ..sim.topology import Pid, Topology
+
+
+def space_size(
+    algorithm: Algorithm,
+    topology: Topology,
+    *,
+    fixed_locals: Mapping[str, Any] | None = None,
+) -> int:
+    """How many configurations :func:`enumerate_configurations` will yield."""
+    fixed = fixed_locals or {}
+    domains = algorithm.local_domains(topology)
+    per_process = 1
+    for name, domain in domains.items():
+        if name in fixed:
+            continue
+        per_process *= len(list(domain.values()))
+    total = per_process ** len(topology)
+    for e in topology.edges:
+        total *= len(list(algorithm.edge_domain(topology, e).values()))
+    return total
+
+
+def enumerate_configurations(
+    algorithm: Algorithm,
+    topology: Topology,
+    *,
+    fixed_locals: Mapping[str, Any] | None = None,
+    dead: Iterable[Pid] = (),
+) -> Iterator[Configuration]:
+    """Yield every configuration of the (possibly restricted) state space.
+
+    ``fixed_locals`` pins variables to one value system-wide — typically
+    ``{"needs": True}``, which cuts the space in half per process without
+    affecting the stabilization predicates (they never read ``needs``).
+    ``dead`` marks processes as crashed; their variables still range over
+    their domains (a dead process's state is frozen but arbitrary).
+    """
+    fixed = dict(fixed_locals or {})
+    domains = dict(algorithm.local_domains(topology))
+    for name in fixed:
+        if name not in domains:
+            raise SimulationError(f"fixed variable {name!r} is not declared")
+
+    free_names = [n for n in domains if n not in fixed]
+    free_values: List[List[Any]] = [list(domains[n].values()) for n in free_names]
+    per_process: List[Dict[str, Any]] = []
+    for combo in itertools.product(*free_values):
+        values = dict(fixed)
+        values.update(zip(free_names, combo))
+        per_process.append(values)
+
+    nodes = topology.nodes
+    order = {p: i for i, p in enumerate(nodes)}
+    edges = sorted(topology.edges, key=lambda e: tuple(sorted(order[x] for x in e)))
+    edge_values = [list(algorithm.edge_domain(topology, e).values()) for e in edges]
+
+    dead = tuple(dead)
+    for local_combo in itertools.product(per_process, repeat=len(nodes)):
+        local_values = dict(zip(nodes, local_combo))
+        for edge_combo in itertools.product(*edge_values):
+            yield Configuration(
+                topology,
+                local_values,
+                dict(zip(edges, edge_combo)),
+                dead=dead,
+            )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One labelled edge of the transition system."""
+
+    pid: Pid
+    action: str
+    target: Configuration
+
+
+class TransitionSystem:
+    """Computes successors of configurations by executing the algorithm.
+
+    A single scratch :class:`System` is reused across calls; each successor
+    computation restores it to the source configuration, executes one
+    enabled action, and snapshots.
+    """
+
+    def __init__(self, algorithm: Algorithm, topology: Topology) -> None:
+        self.algorithm = algorithm
+        self.topology = topology
+        self._scratch = System(topology, algorithm)
+
+    def enabled(self, config: Configuration) -> List[Tuple[Pid, str]]:
+        """Every enabled ``(pid, action name)`` pair at ``config``."""
+        self._scratch.restore(config)
+        return [
+            (pid, action.name)
+            for pid, action in self._scratch.all_enabled()
+        ]
+
+    def successors(self, config: Configuration) -> List[Transition]:
+        """All one-step successors of ``config`` with their labels."""
+        scratch = self._scratch
+        scratch.restore(config)
+        enabled = scratch.all_enabled()
+        transitions: List[Transition] = []
+        for pid, action in enabled:
+            scratch.restore(config)
+            scratch.execute(pid, action)
+            transitions.append(Transition(pid, action.name, scratch.snapshot()))
+        return transitions
+
+    def reachable_from(
+        self, sources: Iterable[Configuration], *, max_states: int = 1_000_000
+    ) -> Dict[Configuration, List[Transition]]:
+        """BFS closure of ``sources`` under the transition relation.
+
+        Returns the full labelled graph ``{config: transitions}``.  Raises
+        :class:`SimulationError` past ``max_states`` (guard against an
+        accidentally infinite space, e.g. an uncapped depth counter).
+        """
+        graph: Dict[Configuration, List[Transition]] = {}
+        frontier: List[Configuration] = []
+        for config in sources:
+            if config not in graph:
+                graph[config] = []
+                frontier.append(config)
+        cursor = 0
+        while cursor < len(frontier):
+            config = frontier[cursor]
+            cursor += 1
+            transitions = self.successors(config)
+            graph[config] = transitions
+            for transition in transitions:
+                target = transition.target
+                if target not in graph:
+                    if len(graph) >= max_states:
+                        raise SimulationError(
+                            f"state space exceeds max_states={max_states}"
+                        )
+                    graph[target] = []
+                    frontier.append(target)
+        return graph

@@ -1,0 +1,424 @@
+"""Exhaustive property checks: closure, convergence, monotonicity.
+
+These functions turn the paper's lemmas into machine-checked statements on
+small instances:
+
+* :func:`check_closure` — Lemmas 1/4 closure parts and Theorem 1's "I is
+  closed": no transition leaves the predicate.
+* :func:`check_monotone_set` — Lemma 2 ("once stably shallow, always stably
+  shallow") and Lemma 5 ("a red process never changes colour once I
+  holds"): a configuration-to-set function never loses members along any
+  transition.
+* :func:`check_convergence` — Theorem 1's convergence part, proved per
+  instance via strongly connected components:
+
+  1. enumerate the full state space and its transition graph;
+  2. condense it into SCCs (Tarjan);
+  3. closure makes every SCC purely legitimate or purely illegitimate;
+  4. an illegitimate SCC cannot trap a weakly fair computation if it is
+     *fair-escapable*: some ``(process, action)`` is enabled at **every**
+     state of the SCC and executing it from **any** state of the SCC leaves
+     the SCC (weak fairness eventually fires it), or the SCC has no internal
+     transition at all (every computation must leave it immediately, or it
+     is a terminal deadlock, which fails the check);
+  5. the condensation is a DAG, so a computation escapes illegitimate SCCs
+     finitely often and its tail lives in a legitimate SCC.
+
+  If every illegitimate SCC is fair-escapable the instance provably
+  converges under weak fairness.  The check is sufficient, not necessary:
+  a failure returns the offending SCC for inspection instead of claiming
+  non-convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..sim.configuration import Configuration
+from ..sim.topology import Pid
+from .explorer import Transition, TransitionSystem
+
+Predicate = Callable[[Configuration], bool]
+SetFn = Callable[[Configuration], AbstractSet[Pid]]
+Graph = Dict[Configuration, List[Transition]]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A transition that violated a property."""
+
+    source: Configuration
+    pid: Pid
+    action: str
+    target: Configuration
+
+
+@dataclass(frozen=True)
+class ClosureReport:
+    holds: bool
+    checked_states: int
+    counterexample: Optional[Counterexample]
+
+
+def build_graph(
+    ts: TransitionSystem,
+    configs: Iterable[Configuration],
+    *,
+    close_under_reachability: bool = True,
+    max_states: int = 1_000_000,
+) -> Graph:
+    """The labelled transition graph over ``configs``.
+
+    With ``close_under_reachability`` (default) successors outside the given
+    set are explored too, so the graph is transition-closed; exploring a full
+    enumerated space adds nothing, but partial seed sets stay sound.
+    """
+    if close_under_reachability:
+        return ts.reachable_from(configs, max_states=max_states)
+    return {config: ts.successors(config) for config in configs}
+
+
+def check_closure(
+    ts: TransitionSystem,
+    predicate: Predicate,
+    configs: Iterable[Configuration],
+) -> ClosureReport:
+    """Does every transition out of a predicate-state stay in the predicate?
+
+    Only states satisfying the predicate are expanded — exactly the paper's
+    definition of a closed predicate.
+    """
+    checked = 0
+    for config in configs:
+        if not predicate(config):
+            continue
+        checked += 1
+        for transition in ts.successors(config):
+            if not predicate(transition.target):
+                return ClosureReport(
+                    holds=False,
+                    checked_states=checked,
+                    counterexample=Counterexample(
+                        config, transition.pid, transition.action, transition.target
+                    ),
+                )
+    return ClosureReport(holds=True, checked_states=checked, counterexample=None)
+
+
+def check_monotone_set(
+    ts: TransitionSystem,
+    set_fn: SetFn,
+    configs: Iterable[Configuration],
+    *,
+    only_when: Predicate | None = None,
+) -> ClosureReport:
+    """Does ``set_fn(source) ⊆ set_fn(target)`` hold along every transition?
+
+    ``only_when`` restricts the sources considered (e.g. Lemma 5 is stated
+    for computations starting in I).  Note that when ``only_when`` is a
+    closed predicate, restricting sources checks whole computations, not
+    just single steps.
+    """
+    checked = 0
+    for config in configs:
+        if only_when is not None and not only_when(config):
+            continue
+        checked += 1
+        members = set_fn(config)
+        for transition in ts.successors(config):
+            if not members <= set_fn(transition.target):
+                return ClosureReport(
+                    holds=False,
+                    checked_states=checked,
+                    counterexample=Counterexample(
+                        config, transition.pid, transition.action, transition.target
+                    ),
+                )
+    return ClosureReport(holds=True, checked_states=checked, counterexample=None)
+
+
+# ------------------------------------------------------------- convergence
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Outcome of the SCC-based convergence proof attempt."""
+
+    converges: bool
+    total_states: int
+    legit_states: int
+    scc_count: int
+    illegit_scc_count: int
+    #: When the check fails: the states of the first SCC that is neither
+    #: legitimate nor provably fair-escapable (for inspection).
+    stuck_scc: Tuple[Configuration, ...] = ()
+    #: "deadlock" when the stuck SCC is a terminal illegitimate state;
+    #: "no-escape-action" when it cycles without a provable escape.
+    failure_kind: Optional[str] = None
+
+
+def _tarjan_sccs(graph: Graph) -> List[List[Configuration]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: Dict[Configuration, int] = {}
+    low: Dict[Configuration, int] = {}
+    on_stack: set = set()
+    stack: List[Configuration] = []
+    sccs: List[List[Configuration]] = []
+    counter = 0
+
+    for root in graph:
+        if root in index:
+            continue
+        work: List[Tuple[Configuration, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            transitions = graph[node]
+            while child_index < len(transitions):
+                child = transitions[child_index].target
+                child_index += 1
+                if child not in index:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                scc: List[Configuration] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def _has_internal_transition(scc_set: set, graph: Graph) -> bool:
+    return any(
+        transition.target in scc_set
+        for node in scc_set
+        for transition in graph[node]
+    )
+
+
+def _fair_escape_exists(scc: Sequence[Configuration], graph: Graph) -> bool:
+    """Is there an action enabled at every SCC state that always exits it?"""
+    scc_set = set(scc)
+    # Candidate labels: (pid, action) pairs enabled at the first state.
+    first = scc[0]
+    candidates = {(t.pid, t.action) for t in graph[first]}
+    for node in scc:
+        labels = {(t.pid, t.action) for t in graph[node]}
+        candidates &= labels
+        if not candidates:
+            return False
+    for pid, action in sorted(candidates, key=repr):
+        if all(
+            all(
+                t.target not in scc_set
+                for t in graph[node]
+                if t.pid == pid and t.action == action
+            )
+            for node in scc
+        ):
+            return True
+    return False
+
+
+def check_convergence(
+    ts: TransitionSystem,
+    predicate: Predicate,
+    configs: Iterable[Configuration],
+    *,
+    max_states: int = 1_000_000,
+    graph: Graph | None = None,
+) -> ConvergenceReport:
+    """Attempt the SCC-based convergence proof (see module docstring).
+
+    ``configs`` seeds the space; it is closed under reachability first, so
+    passing the full enumeration checks convergence from truly arbitrary
+    states.  Pass a prebuilt ``graph`` (from :func:`build_graph` over the
+    same configs) to reuse it across several checks.
+    """
+    if graph is None:
+        graph = build_graph(ts, configs, max_states=max_states)
+    legit = {config for config in graph if predicate(config)}
+    sccs = _tarjan_sccs(graph)
+
+    illegit_sccs = [scc for scc in sccs if scc[0] not in legit]
+    for scc in illegit_sccs:
+        scc_set = set(scc)
+        internal = _has_internal_transition(scc_set, graph)
+        if not internal:
+            # Computations cannot linger; but a terminal state would trap.
+            if len(scc) == 1 and not graph[scc[0]]:
+                return ConvergenceReport(
+                    converges=False,
+                    total_states=len(graph),
+                    legit_states=len(legit),
+                    scc_count=len(sccs),
+                    illegit_scc_count=len(illegit_sccs),
+                    stuck_scc=tuple(scc),
+                    failure_kind="deadlock",
+                )
+            continue
+        if not _fair_escape_exists(scc, graph):
+            return ConvergenceReport(
+                converges=False,
+                total_states=len(graph),
+                legit_states=len(legit),
+                scc_count=len(sccs),
+                illegit_scc_count=len(illegit_sccs),
+                stuck_scc=tuple(scc),
+                failure_kind="no-escape-action",
+            )
+    return ConvergenceReport(
+        converges=True,
+        total_states=len(graph),
+        legit_states=len(legit),
+        scc_count=len(sccs),
+        illegit_scc_count=len(illegit_sccs),
+    )
+
+
+def convergence_distances(
+    graph: Graph, predicate: Predicate
+) -> Dict[Configuration, Optional[int]]:
+    """Per state: the length of the *shortest* path to a legitimate state.
+
+    Computed by reverse BFS from the legitimate set, so one pass covers the
+    whole graph.  ``None`` marks states from which no legitimate state is
+    reachable at all (with a correct stabilizing program there are none).
+    The maximum finite value is the instance's optimal-recovery diameter —
+    a lower bound on any daemon's worst-case convergence time, useful to
+    compare against the measured E3 numbers.
+    """
+    reverse: Dict[Configuration, List[Configuration]] = {c: [] for c in graph}
+    for config, transitions in graph.items():
+        for t in transitions:
+            reverse[t.target].append(config)
+    distances: Dict[Configuration, Optional[int]] = {c: None for c in graph}
+    frontier: List[Configuration] = []
+    for config in graph:
+        if predicate(config):
+            distances[config] = 0
+            frontier.append(config)
+    cursor = 0
+    while cursor < len(frontier):
+        config = frontier[cursor]
+        cursor += 1
+        next_distance = distances[config] + 1  # type: ignore[operator]
+        for predecessor in reverse[config]:
+            if distances[predecessor] is None:
+                distances[predecessor] = next_distance
+                frontier.append(predecessor)
+    return distances
+
+
+def optimal_recovery_diameter(graph: Graph, predicate: Predicate) -> Optional[int]:
+    """max over states of the shortest distance to legitimacy (None when
+    some state cannot reach legitimacy at all)."""
+    distances = convergence_distances(graph, predicate)
+    worst = 0
+    for value in distances.values():
+        if value is None:
+            return None
+        worst = max(worst, value)
+    return worst
+
+
+def check_numeric_nonincreasing(
+    ts: TransitionSystem,
+    measure: Callable[[Configuration], float],
+    configs: Iterable[Configuration],
+) -> ClosureReport:
+    """Does ``measure`` never increase along any transition?
+
+    Theorem 3 in checkable form: with ``measure = len ∘ eating_pairs``,
+    a pass over the full enumeration proves the simultaneously-eating-pairs
+    count is non-increasing from *every* state, not just inside I.
+    """
+    checked = 0
+    for config in configs:
+        checked += 1
+        value = measure(config)
+        for transition in ts.successors(config):
+            if measure(transition.target) > value:
+                return ClosureReport(
+                    holds=False,
+                    checked_states=checked,
+                    counterexample=Counterexample(
+                        config, transition.pid, transition.action, transition.target
+                    ),
+                )
+    return ClosureReport(holds=True, checked_states=checked, counterexample=None)
+
+
+def confirm_fair_livelock(
+    ts: TransitionSystem, states: Sequence[Configuration]
+) -> bool:
+    """Is an infinite *weakly fair* execution trapped in ``states``?
+
+    ``states`` must be a strongly connected component of the transition
+    graph (as returned in :attr:`ConvergenceReport.stuck_scc`).  Because an
+    SCC admits a tour visiting all its states infinitely often, it hosts a
+    weakly fair livelock whenever **no action is enabled at every state** —
+    along the tour, every action is disabled infinitely often, so weak
+    fairness imposes no obligation.  (Sufficient condition; a False result
+    is inconclusive.)
+
+    This turns a :class:`ConvergenceReport` failure into a positive
+    counterexample: the no-fixdepth ablation's hungry/thinking alternation
+    wave (the paper's Figure 2 narration) is confirmed this way.
+    """
+    if not states:
+        return False
+    scc_set = set(states)
+    if len(states) == 1:
+        has_self_loop = any(
+            t.target in scc_set for t in ts.successors(states[0])
+        )
+        if not has_self_loop:
+            return False
+    common = None
+    for config in states:
+        labels = set(ts.enabled(config))
+        common = labels if common is None else common & labels
+        if not common:
+            return True
+    return False
+
+
+def check_all_states(
+    predicate: Predicate, configs: Iterable[Configuration]
+) -> Tuple[bool, Optional[Configuration]]:
+    """Does ``predicate`` hold at every configuration?  Returns the first
+    counterexample otherwise (used for "safety inside I" style checks)."""
+    for config in configs:
+        if not predicate(config):
+            return False, config
+    return True, None

@@ -1,0 +1,161 @@
+"""Unit tests for throughput/fairness metrics and step monitors."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    StepMonitor,
+    ThroughputReport,
+    eating_pairs_count,
+    live_eating_pairs_count,
+    run_monitored,
+    throughput_report,
+)
+from repro.core import NADiners
+from repro.sim import AlwaysHungry, Engine, System, line, ring
+
+
+class TestThroughputReport:
+    def make_report(self, eats):
+        return ThroughputReport(algorithm="x", steps=1000, eats=eats)
+
+    def test_total_and_rate(self):
+        r = self.make_report({0: 10, 1: 20})
+        assert r.total == 30
+        assert r.per_1000_steps == 30.0
+
+    def test_jain_perfect_fairness(self):
+        r = self.make_report({0: 5, 1: 5, 2: 5})
+        assert r.jain_index == pytest.approx(1.0)
+
+    def test_jain_starvation(self):
+        r = self.make_report({0: 30, 1: 0, 2: 0})
+        assert r.jain_index == pytest.approx(1 / 3)
+
+    def test_spread_infinite_on_starvation(self):
+        r = self.make_report({0: 30, 1: 0})
+        assert r.spread == math.inf
+
+    def test_min_max(self):
+        r = self.make_report({0: 3, 1: 9})
+        assert (r.min_eats, r.max_eats) == (3, 9)
+
+    def test_measured_report(self):
+        s = System(ring(5), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=1)
+        r = throughput_report(e, 4000)
+        assert r.total == e.total_eats()
+        assert r.min_eats > 0
+        assert 0.9 <= r.jain_index <= 1.0
+
+    def test_dead_excluded(self):
+        s = System(line(4), NADiners(), initially_dead=[0])
+        e = Engine(s, hunger=AlwaysHungry(), seed=2)
+        r = throughput_report(e, 2000)
+        assert 0 not in r.eats
+
+
+class TestStepMonitor:
+    def test_series_and_final(self):
+        m = StepMonitor("const", lambda c: 7)
+        s = System(line(3), NADiners())
+        m.sample(s.snapshot())
+        m.sample(s.snapshot())
+        assert m.series == [7, 7]
+        assert m.final() == 7
+
+    def test_non_increasing(self):
+        m = StepMonitor("x", lambda c: 0)
+        m.series = [3, 2, 2, 1]
+        assert m.is_non_increasing()
+        m.series = [1, 2]
+        assert not m.is_non_increasing()
+
+    def test_empty_final(self):
+        assert StepMonitor("x", lambda c: 0).final() is None
+
+
+class TestEatingPairCounters:
+    def test_counts_pairs(self):
+        s = System(line(4), NADiners())
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        assert eating_pairs_count(s.snapshot()) == 1
+
+    def test_live_filter(self):
+        s = System(line(4), NADiners())
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        s.kill(1)
+        s.kill(2)
+        c = s.snapshot()
+        assert eating_pairs_count(c) == 1
+        assert live_eating_pairs_count(c) == 0
+
+
+class TestRunMonitored:
+    def test_samples_initial_and_each_step(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=3)
+        m = StepMonitor("pairs", eating_pairs_count)
+        taken = run_monitored(e, [m], 50)
+        assert taken == 50
+        assert len(m.series) == 51
+
+    def test_sample_every(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=3)
+        m = StepMonitor("pairs", eating_pairs_count)
+        run_monitored(e, [m], 50, sample_every=10)
+        assert len(m.series) == 6
+
+    def test_bad_sample_every(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=3)
+        with pytest.raises(ValueError):
+            run_monitored(e, [], 10, sample_every=0)
+
+    def test_stops_at_quiescence(self):
+        from repro.sim import NeverHungry
+
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=NeverHungry(), seed=3)
+        m = StepMonitor("pairs", eating_pairs_count)
+        taken = run_monitored(e, [m], 100)
+        assert taken == 0
+        assert len(m.series) == 1
+
+
+class TestRendering:
+    def test_strip_glyphs(self):
+        from repro.analysis import render_strip
+        from repro.core import figure2_configuration
+
+        strip = render_strip(figure2_configuration())
+        # a=dead(x), b=H(?), c=T(.), d=H(?), e=H(?), f=T(.), g=H(?)
+        assert strip == "x?.??.?"
+
+    def test_strip_custom_order(self):
+        from repro.analysis import render_strip
+        from repro.core import figure2_configuration
+
+        assert render_strip(figure2_configuration(), order=["a", "g"]) == "x?"
+
+    def test_configuration_render_mentions_everything(self):
+        from repro.analysis import render_configuration
+        from repro.core import figure2_configuration
+
+        text = render_configuration(figure2_configuration())
+        assert "DEAD" in text
+        assert "red" in text and "green" in text
+        assert "edge" in text
+
+    def test_malicious_marker(self):
+        from repro.analysis import render_strip
+        from repro.core import NADiners
+        from repro.sim import System, line
+
+        s = System(line(3), NADiners())
+        s.mark_malicious(1)
+        assert render_strip(s.snapshot())[1] == "!"

@@ -1,0 +1,100 @@
+"""Unit tests for priority-graph analytics."""
+
+from repro.analysis import (
+    depth_errors,
+    find_live_cycles,
+    graph_stats,
+    longest_live_chain,
+    to_networkx,
+)
+from repro.analysis import plant_priority_cycle
+from repro.core import NADiners
+from repro.sim import System, line, ring
+
+
+class TestCycles:
+    def test_acyclic_initially(self):
+        c = System(line(4), NADiners()).snapshot()
+        assert find_live_cycles(c) == ()
+
+    def test_detects_planted_cycle(self):
+        s = System(ring(4), NADiners())
+        plant_priority_cycle(s, [0, 1, 2, 3])
+        cycles = find_live_cycles(s.snapshot())
+        assert any(set(cy) == {0, 1, 2, 3} for cy in cycles)
+
+    def test_cycle_with_dead_member_not_live(self):
+        s = System(ring(4), NADiners())
+        plant_priority_cycle(s, [0, 1, 2, 3])
+        s.kill(2)
+        assert find_live_cycles(s.snapshot()) == ()
+
+    def test_canonical_dedup(self):
+        s = System(ring(3), NADiners())
+        plant_priority_cycle(s, [0, 1, 2])
+        cycles = find_live_cycles(s.snapshot())
+        assert len(cycles) == 1
+
+
+class TestChains:
+    def test_line_chain(self):
+        c = System(line(4), NADiners()).snapshot()
+        assert longest_live_chain(c) == 4
+
+    def test_dead_break_chain(self):
+        s = System(line(4), NADiners())
+        s.kill(1)
+        assert longest_live_chain(s.snapshot()) == 2  # 2 -> 3
+
+    def test_cycle_reports_live_count(self):
+        s = System(ring(5), NADiners())
+        plant_priority_cycle(s, list(range(5)))
+        assert longest_live_chain(s.snapshot()) == 5
+
+
+class TestStats:
+    def test_initial_line_stats(self):
+        stats = graph_stats(System(line(4), NADiners()).snapshot())
+        assert stats.live_acyclic
+        assert stats.longest_live_chain == 4
+        assert stats.sinks == (3,)
+        assert stats.sources == (0,)
+
+    def test_cycle_stats(self):
+        s = System(ring(4), NADiners())
+        plant_priority_cycle(s, [0, 1, 2, 3])
+        stats = graph_stats(s.snapshot())
+        assert not stats.live_acyclic
+        assert stats.cycles
+
+
+class TestDepthErrors:
+    def test_exact_initial_depths(self):
+        c = System(line(4), NADiners()).snapshot()
+        assert all(err == 0 for err in depth_errors(c).values())
+
+    def test_underestimate_negative(self):
+        s = System(line(4), NADiners())
+        s.write_local(0, "depth", 0)  # true depth is 3
+        assert depth_errors(s.snapshot())[0] == -3
+
+    def test_stale_overestimate_positive(self):
+        s = System(line(4), NADiners())
+        s.write_local(3, "depth", 2)  # sink: true depth 0
+        assert depth_errors(s.snapshot())[3] == 2
+
+
+class TestNetworkxExport:
+    def test_digraph_shape(self):
+        nx_graph = to_networkx(System(line(4), NADiners()).snapshot())
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 3
+        assert nx_graph.has_edge(0, 1)  # 0 is 1's ancestor initially
+
+    def test_node_attributes(self):
+        s = System(line(3), NADiners())
+        s.write_local(1, "state", "E")
+        s.kill(2)
+        g = to_networkx(s.snapshot())
+        assert g.nodes[1]["state"] == "E"
+        assert g.nodes[2]["dead"] is True

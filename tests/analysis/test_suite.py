@@ -1,0 +1,56 @@
+"""Tests for the programmatic experiment suite."""
+
+import pytest
+
+from repro.analysis import SuiteConfig, SuiteResult, run_suite, to_markdown
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_suite(SuiteConfig(quick=True, seed=1))
+
+
+class TestSuiteConfig:
+    def test_quick_sizes(self):
+        config = SuiteConfig(quick=True)
+        assert config.line_n < SuiteConfig(quick=False).line_n
+        assert config.window < SuiteConfig(quick=False).window
+
+
+class TestRunSuite:
+    def test_all_sections_present(self, quick_result):
+        titles = [s.title for s in quick_result.sections]
+        assert len(titles) == 5
+        assert any("locality" in t.lower() for t in titles)
+        assert any("stabilization" in t.lower() for t in titles)
+        assert any("throughput" in t.lower() for t in titles)
+        assert any("malicious" in t.lower() for t in titles)
+        assert any("masking" in t.lower() for t in titles)
+
+    def test_rows_match_headers(self, quick_result):
+        for section in quick_result.sections:
+            for row in section.rows:
+                assert len(row) == len(section.header)
+
+    def test_paper_shape_in_results(self, quick_result):
+        locality = quick_result.sections[0]
+        radius = {row[0]: row[1] for row in locality.rows}
+        assert radius["na-diners"] <= 2
+        assert radius["hygienic"] > 2
+        masking = quick_result.sections[4]
+        assert all(row[2] == 0 for row in masking.rows)  # clean pairs: never
+
+
+class TestMarkdownRendering:
+    def test_renders_tables(self, quick_result):
+        md = to_markdown(quick_result)
+        assert md.startswith("# repro experiment suite")
+        assert md.count("## ") == 5
+        assert "| algorithm |" in md
+
+    def test_mode_in_header(self, quick_result):
+        assert "**quick**" in to_markdown(quick_result)
+
+    def test_empty_result_renders(self):
+        md = to_markdown(SuiteResult(config=SuiteConfig()))
+        assert md.startswith("# repro experiment suite")

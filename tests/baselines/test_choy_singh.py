@@ -1,0 +1,46 @@
+"""Unit tests for the Choy–Singh style dynamic-threshold baseline."""
+
+from repro.analysis import measure_failure_locality
+from repro.baselines import ChoySinghDiners
+from repro.core import NoFixdepthDiners
+from repro.sim import AlwaysHungry, Engine, System, line, ring
+
+
+class TestIdentity:
+    def test_is_the_no_fixdepth_skeleton(self):
+        # The baseline is the paper's program minus stabilization — i.e. the
+        # no-fixdepth ablation under another (historically honest) name.
+        assert isinstance(ChoySinghDiners(), NoFixdepthDiners)
+        assert [a.name for a in ChoySinghDiners().actions()] == [
+            "join",
+            "leave",
+            "enter",
+            "exit",
+        ]
+
+    def test_distinct_name(self):
+        assert ChoySinghDiners().name == "choy-singh"
+
+
+class TestBehaviour:
+    def test_liveness_without_faults(self):
+        s = System(ring(6), ChoySinghDiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=1)
+        e.run(6000)
+        assert all(e.eats_of(p) > 0 for p in s.pids)
+
+    def test_failure_locality_two_on_line(self):
+        """The defining property: a benign crash starves only processes
+        within distance 2."""
+        topo = line(8)
+        report = measure_failure_locality(
+            ChoySinghDiners(),
+            topo,
+            [0],
+            warmup_steps=30_000,
+            settle_steps=8_000,
+            window=30_000,
+            seed=2,
+        )
+        assert report.starvation_radius is None or report.starvation_radius <= 2
+        assert report.all_beyond_radius_eat(topo, radius=2)

@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the whole test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import NADiners
+from repro.sim import AlwaysHungry, Engine, System, WeaklyFairDaemon, line, ring
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def ring8_system() -> System:
+    return System(ring(8), NADiners())
+
+
+@pytest.fixture
+def line5_system() -> System:
+    return System(line(5), NADiners())
+
+
+def make_engine(system: System, seed: int = 1, **kwargs) -> Engine:
+    """An engine with the default fair daemon and everyone always hungry."""
+    kwargs.setdefault("hunger", AlwaysHungry())
+    return Engine(system, WeaklyFairDaemon(), seed=seed, **kwargs)

@@ -1,0 +1,130 @@
+"""Tests replaying the paper's Figure 2 exactly."""
+
+import pytest
+
+from repro.core import (
+    FIGURE2_SEQUENCE,
+    figure2_configuration,
+    figure2_system,
+    green_set,
+    nc_holds,
+    red_set,
+    run_figure2,
+)
+from repro.analysis import find_live_cycles
+
+
+class TestInitialPanel:
+    def test_states_match_figure(self):
+        c = figure2_configuration()
+        expected = {"a": "E", "b": "H", "c": "T", "d": "H", "e": "H", "f": "T", "g": "H"}
+        assert {p: c.local(p, "state") for p in c.topology.nodes} == expected
+
+    def test_a_is_dead(self):
+        assert figure2_configuration().dead == frozenset({"a"})
+
+    def test_depths_match_figure(self):
+        c = figure2_configuration()
+        assert c.local("e", "depth") == 2
+        assert c.local("f", "depth") == 3
+        assert c.local("g", "depth") == 4
+
+    def test_efg_cycle_present(self):
+        c = figure2_configuration()
+        cycles = find_live_cycles(c)
+        assert any(set(cycle) == {"e", "f", "g"} for cycle in cycles)
+
+    def test_nc_violated_initially(self):
+        assert not nc_holds(figure2_configuration())
+
+    def test_g_depth_exceeds_diameter(self):
+        c = figure2_configuration()
+        assert c.local("g", "depth") > c.topology.diameter
+
+
+class TestNarratedTransitions:
+    def test_replay_succeeds(self):
+        replay = run_figure2()
+        assert replay.executed == FIGURE2_SEQUENCE
+
+    def test_d_has_leave_enabled_initially(self):
+        s = figure2_system()
+        assert "leave" in [a.name for a in s.enabled_actions("d")]
+
+    def test_d_cannot_enter_initially(self):
+        s = figure2_system()
+        assert "enter" not in [a.name for a in s.enabled_actions("d")]
+
+    def test_g_has_exit_enabled_initially(self):
+        s = figure2_system()
+        assert "exit" in [a.name for a in s.enabled_actions("g")]
+
+    def test_e_cannot_enter_before_cycle_breaks(self):
+        s = figure2_system()
+        assert "enter" not in [a.name for a in s.enabled_actions("e")]
+
+    def test_b_is_stuck_forever(self):
+        # b is hungry with the dead eater among its descendants and no
+        # ancestors: every eating-related action is disabled, now and
+        # forever (only the harmless fixdepth bookkeeping can fire).
+        s = figure2_system()
+        names = {a.name for a in s.enabled_actions("b")}
+        assert not names & {"join", "leave", "enter", "exit"}
+
+
+class TestFinalPanel:
+    def test_e_eats(self):
+        replay = run_figure2()
+        assert replay.final.local("e", "state") == "E"
+
+    def test_d_yielded(self):
+        replay = run_figure2()
+        assert replay.final.local("d", "state") == "T"
+
+    def test_cycle_broken(self):
+        replay = run_figure2()
+        assert nc_holds(replay.final)
+        assert not find_live_cycles(replay.final)
+
+    def test_g_reset(self):
+        replay = run_figure2()
+        assert replay.final.local("g", "state") == "T"
+        assert replay.final.local("g", "depth") == 0
+
+
+class TestCrashContainment:
+    def test_red_set_within_distance_two(self):
+        """The figure's headline: the crash's effect is contained within
+        distance 2 — every red process is within 2 hops of the crash."""
+        replay = run_figure2()
+        c = replay.final
+        topo = c.topology
+        for p in red_set(c):
+            assert topo.distance("a", p) <= 2
+
+    def test_efg_stay_green(self):
+        replay = run_figure2()
+        assert green_set(replay.final) >= {"e", "f", "g"}
+
+    def test_d_turns_red_after_yielding(self):
+        # d is green while hungry (leave is enabled), red once it yielded
+        # behind the forever-hungry b.
+        replay = run_figure2()
+        assert "d" not in red_set(replay.initial)
+        assert "d" in red_set(replay.final)
+
+
+class TestDivergenceDetection:
+    def test_replay_rejects_algorithm_without_depth_exit(self):
+        from repro.core import NoFixdepthDiners
+
+        # Without the depth > D disjunct, g's narrated exit cannot fire.
+        with pytest.raises(AssertionError, match="not enabled"):
+            run_figure2(NoFixdepthDiners())
+
+    def test_replay_rejects_algorithm_missing_action(self):
+        from repro.core import NoDynamicThresholdDiners
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError, match="leave"):
+            run_figure2(NoDynamicThresholdDiners())

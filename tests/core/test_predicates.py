@@ -1,0 +1,251 @@
+"""Unit tests for the §3 predicates: NC, SH/ST, E, I, RD."""
+
+import math
+
+from repro.core import (
+    NADiners,
+    e_holds,
+    eating_pairs,
+    green_set,
+    invariant_holds,
+    invariant_report,
+    invariant_with_threshold,
+    is_shallow,
+    longest_live_ancestor_chain,
+    nc_holds,
+    priority_edges,
+    red_set,
+    st_holds,
+    stably_shallow_set,
+)
+from repro.sim import System, edge, line, ring
+
+
+def line4():
+    return System(line(4), NADiners())
+
+
+class TestPriorityEdges:
+    def test_initial_orientation(self):
+        c = line4().snapshot()
+        assert priority_edges(c) == ((0, 1), (1, 2), (2, 3))
+
+    def test_after_flip(self):
+        s = line4()
+        s.write_edge(edge(0, 1), 1)
+        assert (1, 0) in priority_edges(s.snapshot())
+
+
+class TestNC:
+    def test_initial_acyclic(self):
+        assert nc_holds(line4().snapshot())
+
+    def test_live_cycle_violates(self):
+        s = System(ring(4), NADiners())
+        for i in range(4):  # orient the ring into a directed cycle
+            s.write_edge(edge(i, (i + 1) % 4), i)
+        assert not nc_holds(s.snapshot())
+
+    def test_cycle_through_dead_process_allowed(self):
+        s = System(ring(4), NADiners())
+        for i in range(4):
+            s.write_edge(edge(i, (i + 1) % 4), i)
+        s.kill(0)
+        assert nc_holds(s.snapshot())
+
+    def test_acyclic_orientation_of_cycle_graph(self):
+        s = System(ring(4), NADiners())  # node-order orientation is acyclic
+        assert nc_holds(s.snapshot())
+
+
+class TestAncestorChain:
+    def test_source(self):
+        c = line4().snapshot()
+        assert longest_live_ancestor_chain(c, 0) == 1
+
+    def test_sink(self):
+        c = line4().snapshot()
+        assert longest_live_ancestor_chain(c, 3) == 4
+
+    def test_dead_process_zero(self):
+        s = line4()
+        s.kill(2)
+        assert longest_live_ancestor_chain(s.snapshot(), 2) == 0
+
+    def test_dead_ancestor_cuts_chain(self):
+        s = line4()
+        s.kill(0)
+        assert longest_live_ancestor_chain(s.snapshot(), 3) == 3
+
+    def test_live_cycle_is_infinite(self):
+        s = System(ring(4), NADiners())
+        for i in range(4):
+            s.write_edge(edge(i, (i + 1) % 4), i)
+        assert longest_live_ancestor_chain(s.snapshot(), 0) == math.inf
+
+
+class TestShallow:
+    def test_initial_line_all_shallow(self):
+        c = line4().snapshot()
+        assert all(is_shallow(c, p) for p in range(4))
+
+    def test_depth_above_diameter_not_shallow(self):
+        s = line4()
+        s.write_local(3, "depth", 4)  # diameter is 3
+        assert not is_shallow(s.snapshot(), 3)
+
+    def test_dead_always_shallow(self):
+        s = line4()
+        s.write_local(1, "depth", 99)
+        s.kill(1)
+        assert is_shallow(s.snapshot(), 1)
+
+    def test_propagation_hazard_detected(self):
+        # descendant's depth + ancestor-chain length exceeds D while
+        # fixdepth is still enabled: unstably deep.
+        s = line4()
+        s.write_local(2, "depth", 3)  # descendant of 1
+        s.write_local(1, "depth", 1)
+        # depth.2 + l.1 = 3 + 2 = 5 > 3 and depth.2 + 1 = 4 > depth.1
+        assert not is_shallow(s.snapshot(), 1)
+
+    def test_fixdepth_disabled_rescues(self):
+        s = line4()
+        s.write_local(2, "depth", 2)
+        s.write_local(1, "depth", 3)  # depth.2 + 1 <= depth.1: no propagation
+        assert is_shallow(s.snapshot(), 1)
+
+    def test_threshold_parameter(self):
+        s = System(ring(3), NADiners())
+        c = s.snapshot()
+        # literal diameter (1): the chain's source has depth 2 > 1;
+        # corrected threshold (longest simple path = 2): shallow.
+        assert not is_shallow(c, 0)
+        assert is_shallow(c, 0, threshold=2)
+
+
+class TestStablyShallow:
+    def test_initial_line_all_stable(self):
+        c = line4().snapshot()
+        assert stably_shallow_set(c) == frozenset(range(4))
+        assert st_holds(c)
+
+    def test_deep_descendant_destabilises(self):
+        s = line4()
+        s.write_local(3, "depth", 9)  # 3 is everyone's descendant
+        stable = stably_shallow_set(s.snapshot())
+        assert 3 not in stable
+        assert 2 not in stable  # 3 is reachable from 2
+
+    def test_dead_process_always_stable(self):
+        s = line4()
+        s.write_local(3, "depth", 9)
+        s.kill(3)
+        assert 3 in stably_shallow_set(s.snapshot())
+
+
+class TestE:
+    def test_no_eaters(self):
+        assert e_holds(line4().snapshot())
+
+    def test_live_neighbors_eating_violates(self):
+        s = line4()
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        assert not e_holds(s.snapshot())
+
+    def test_dead_pair_allowed(self):
+        s = line4()
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        s.kill(1)
+        s.kill(2)
+        assert e_holds(s.snapshot())
+
+    def test_one_dead_one_live_still_violates(self):
+        s = line4()
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        s.kill(1)
+        assert not e_holds(s.snapshot())
+
+    def test_nonadjacent_eaters_fine(self):
+        s = line4()
+        s.write_local(0, "state", "E")
+        s.write_local(2, "state", "E")
+        assert e_holds(s.snapshot())
+
+    def test_eating_pairs(self):
+        s = line4()
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        assert eating_pairs(s.snapshot()) == frozenset({edge(1, 2)})
+
+
+class TestInvariant:
+    def test_initial_state_legitimate(self):
+        c = line4().snapshot()
+        assert invariant_holds(c)
+        assert invariant_report(c) == {"NC": True, "ST": True, "E": True}
+
+    def test_k3_literal_invariant_empty_but_threshold_fixes(self):
+        c = System(ring(3), NADiners()).snapshot()
+        assert not invariant_holds(c)  # the documented K3 finding
+        assert invariant_holds(c, threshold=2)
+
+    def test_invariant_with_threshold_factory(self):
+        pred = invariant_with_threshold(2)
+        assert pred(System(ring(3), NADiners()).snapshot())
+
+
+class TestRedGreen:
+    def test_no_crash_all_green(self):
+        c = line4().snapshot()
+        assert red_set(c) == frozenset()
+        assert green_set(c) == frozenset(range(4))
+
+    def test_dead_is_red(self):
+        s = line4()
+        s.kill(1)
+        assert 1 in red_set(s.snapshot())
+
+    def test_thinking_behind_dead_eater_is_red(self):
+        s = line4()
+        s.write_local(0, "state", "E")
+        s.kill(0)  # 0 is 1's ancestor, eating forever
+        assert 1 in red_set(s.snapshot())
+
+    def test_hungry_above_dead_eater_is_red(self):
+        # 1 hungry; its descendant 2 eats forever (dead); 1's ancestor 0
+        # must be red-and-thinking for RD's third disjunct.
+        s = line4()
+        s.write_local(2, "state", "E")
+        s.kill(2)
+        s.write_local(1, "state", "H")
+        s.write_local(0, "state", "T")
+        s.kill(0)
+        red = red_set(s.snapshot())
+        assert 1 in red
+
+    def test_red_propagates_transitively(self):
+        s = System(line(5), NADiners())
+        s.write_local(0, "state", "E")
+        s.kill(0)
+        s.write_local(1, "state", "H")  # red: blocked hungry? -> thinking chain
+        # 1 is thinking? set states to form a chain of blocked thinkers.
+        s.write_local(1, "state", "T")
+        # 1 red? ancestor 0 red and eating -> yes (T disjunct).
+        red = red_set(s.snapshot())
+        assert 1 in red
+
+    def test_hungry_with_live_ancestor_not_red(self):
+        s = line4()
+        s.write_local(1, "state", "H")
+        assert 1 not in red_set(s.snapshot())
+
+    def test_figure2_red_set(self):
+        from repro.core import figure2_configuration
+
+        c = figure2_configuration()
+        assert red_set(c) == frozenset({"a", "b", "c"})
+        assert green_set(c) == frozenset({"d", "e", "f", "g"})

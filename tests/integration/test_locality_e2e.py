@@ -1,0 +1,152 @@
+"""End-to-end failure locality: Theorem 2 and the baseline contrast."""
+
+import pytest
+
+from repro.analysis import measure_failure_locality
+from repro.baselines import ChoySinghDiners, ForkOrderingDiners, HygienicDiners
+from repro.core import NADiners
+from repro.sim import binary_tree, line, ring
+
+
+PARAMS = dict(warmup_steps=40_000, settle_steps=10_000, window=40_000)
+
+
+class TestNADinersLocality:
+    @pytest.mark.parametrize("n", [8, 12])
+    def test_line(self, n):
+        topo = line(n)
+        report = measure_failure_locality(NADiners(), topo, [0], seed=n, **PARAMS)
+        assert report.all_beyond_radius_eat(topo, radius=2)
+        assert report.starvation_radius is None or report.starvation_radius <= 2
+
+    def test_ring(self):
+        topo = ring(10)
+        report = measure_failure_locality(NADiners(), topo, [0], seed=1, **PARAMS)
+        assert report.all_beyond_radius_eat(topo, radius=2)
+        assert report.starvation_radius is None or report.starvation_radius <= 2
+
+    def test_tree(self):
+        topo = binary_tree(3)
+        report = measure_failure_locality(NADiners(), topo, [0], seed=2, **PARAMS)
+        assert report.all_beyond_radius_eat(topo, radius=2)
+
+    def test_interior_crash_on_line(self):
+        topo = line(11)
+        report = measure_failure_locality(NADiners(), topo, [5], seed=3, **PARAMS)
+        assert report.all_beyond_radius_eat(topo, radius=2)
+
+    def test_two_crashes(self):
+        topo = line(14)
+        report = measure_failure_locality(
+            NADiners(), topo, [0, 13], seed=4, **PARAMS
+        )
+        assert report.all_beyond_radius_eat(topo, radius=2)
+
+
+class TestMaliciousLocality:
+    @pytest.mark.parametrize("malice", [3, 10])
+    def test_malicious_crash_still_local(self, malice):
+        topo = line(10)
+        report = measure_failure_locality(
+            NADiners(), topo, [0], malicious_steps=malice, seed=malice, **PARAMS
+        )
+        assert report.all_beyond_radius_eat(topo, radius=2)
+        assert report.starvation_radius is None or report.starvation_radius <= 2
+
+
+class TestBaselineContrast:
+    def test_choy_singh_also_local(self):
+        # Choy–Singh has locality 2 for benign crashes (its design point).
+        topo = line(10)
+        report = measure_failure_locality(
+            ChoySinghDiners(), topo, [0], seed=5, **PARAMS
+        )
+        assert report.all_beyond_radius_eat(topo, radius=2)
+
+    def test_hygienic_not_guaranteed_local(self):
+        """Hygienic's starvation can reach past distance 2 on some seed —
+        the chains the dynamic threshold exists to cut."""
+        topo = line(10)
+        worst = 0
+        for seed in range(6):
+            report = measure_failure_locality(
+                HygienicDiners(), topo, [0], seed=seed, **PARAMS
+            )
+            if report.starvation_radius is not None:
+                worst = max(worst, report.starvation_radius)
+        assert worst > 2
+
+    def test_fork_ordering_blocks_neighbors(self):
+        topo = line(8)
+        report = measure_failure_locality(
+            ForkOrderingDiners(), topo, [0], seed=6, **PARAMS
+        )
+        # the crashed eater holds its forks forever: neighbour 1 starves.
+        assert 1 in report.starving
+
+
+class TestRandomGraphs:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_locality_on_random_graphs(self, seed):
+        from repro.sim import random_connected
+
+        topo = random_connected(12, 0.12, seed=seed)
+        report = measure_failure_locality(
+            NADiners(), topo, [topo.nodes[0]], seed=seed, **PARAMS
+        )
+        assert report.all_beyond_radius_eat(topo, radius=2)
+        assert report.starvation_radius is None or report.starvation_radius <= 2
+
+
+class TestScale:
+    def test_hundred_process_ring(self):
+        """Scalability smoke: locality still holds at n=100 and the
+        engine sustains a long run comfortably."""
+        from repro.sim import AlwaysHungry, BenignCrash, Engine, System, ring
+
+        topo = ring(100)
+        system = System(topo, NADiners())
+        engine = Engine(system, hunger=AlwaysHungry(), seed=5)
+        engine.run(20_000)
+        engine.inject(BenignCrash(0))
+        baseline = dict(engine.action_counts)
+        engine.run(40_000)
+        starving = [
+            p
+            for p in topo.nodes
+            if system.is_live(p)
+            and engine.action_counts.get((p, "enter"), 0)
+            == baseline.get((p, "enter"), 0)
+        ]
+        assert all(topo.distance(0, p) <= 2 for p in starving)
+
+
+class TestAdversarialSchedules:
+    def test_adversary_cannot_starve_beyond_radius_two(self):
+        """Theorem 2 under a hostile (but weakly fair) daemon: with a dead
+        eater at the end of the line, an adversary that always prefers not
+        to schedule process 3 (distance 3) still cannot starve it."""
+        from repro.core import NADiners
+        from repro.sim import (
+            AdversarialDaemon,
+            AlwaysHungry,
+            Engine,
+            System,
+            line,
+            starve_target,
+        )
+
+        topo = line(8)
+        system = System(topo, NADiners())
+        system.write_local(0, "state", "E")
+        system.kill(0)
+        engine = Engine(
+            system,
+            AdversarialDaemon(starve_target(3), patience=48),
+            hunger=AlwaysHungry(),
+            seed=13,
+        )
+        engine.run(60_000)
+        assert engine.eats_of(3) > 0
+        # and the contained processes stay contained
+        assert engine.eats_of(1) == 0

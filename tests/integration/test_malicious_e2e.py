@@ -1,0 +1,122 @@
+"""End-to-end malicious crashes: the paper's headline fault model.
+
+A malicious crash = finite arbitrary behaviour + halt.  The composed claim
+(Proposition 1 + Theorems 1–3): after the arbitrary phase ends, the system
+stabilizes, and every process far enough from the crash site eats again.
+"""
+
+import pytest
+
+from repro.analysis import StepMonitor, live_eating_pairs_count, run_monitored
+from repro.core import NADiners, invariant_holds, nc_holds, red_set
+from repro.sim import (
+    AlwaysHungry,
+    Engine,
+    FaultPlan,
+    MaliciousCrash,
+    ProcessStatus,
+    System,
+    line,
+    ring,
+)
+
+
+class TestSingleMaliciousCrash:
+    @pytest.mark.parametrize("malice", [1, 5, 20])
+    def test_invariant_restored_after_malice(self, malice):
+        topo = line(7)
+        s = System(topo, NADiners())
+        plan = FaultPlan([MaliciousCrash(3, at_step=500, malicious_steps=malice)])
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=malice)
+        e.run(1000)  # malice begins and ends inside this window
+        assert s.status(3) is ProcessStatus.DEAD
+        result = e.run(300_000, stop_when=invariant_holds, check_every=8)
+        assert result.stopped or invariant_holds(s.snapshot())
+
+    def test_far_processes_eat_again(self):
+        topo = line(9)
+        s = System(topo, NADiners())
+        plan = FaultPlan([MaliciousCrash(0, at_step=1000, malicious_steps=10)])
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=2)
+        e.run(8000)
+        baseline = {p: e.eats_of(p) for p in topo.nodes}
+        e.run(40_000)
+        for p in topo.nodes:
+            if s.is_live(p) and topo.distance(0, p) > 2:
+                assert e.eats_of(p) > baseline[p], f"{p} starved"
+
+    def test_red_set_bounded_after_settling(self):
+        topo = line(9)
+        s = System(topo, NADiners())
+        plan = FaultPlan([MaliciousCrash(0, at_step=500, malicious_steps=8)])
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=3)
+        e.run(100_000)
+        reds = red_set(s.snapshot())
+        assert all(topo.distance(0, p) <= 2 for p in reds)
+
+
+class TestMultipleMaliciousCrashes:
+    def test_two_staggered_crashes(self):
+        topo = ring(12)
+        s = System(topo, NADiners())
+        plan = FaultPlan(
+            [
+                MaliciousCrash(0, at_step=500, malicious_steps=5),
+                MaliciousCrash(6, at_step=5000, malicious_steps=5),
+            ]
+        )
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=4)
+        e.run(15_000)
+        baseline = {p: e.eats_of(p) for p in topo.nodes}
+        e.run(50_000)
+        for p in topo.nodes:
+            if s.is_live(p) and min(topo.distance(0, p), topo.distance(6, p)) > 2:
+                assert e.eats_of(p) > baseline[p]
+
+    def test_nc_restored_despite_both(self):
+        topo = ring(10)
+        s = System(topo, NADiners())
+        plan = FaultPlan(
+            [
+                MaliciousCrash(0, at_step=200, malicious_steps=10),
+                MaliciousCrash(5, at_step=400, malicious_steps=10),
+            ]
+        )
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=5)
+        e.run(2000)
+        result = e.run(300_000, stop_when=nc_holds, check_every=8)
+        assert result.stopped or nc_holds(s.snapshot())
+
+
+class TestSafetyDuringRecovery:
+    def test_live_eating_pairs_vanish_and_stay_gone(self):
+        """Theorem 3's operational content: after the malice ends, live
+        simultaneous eating disappears and never comes back."""
+        topo = line(8)
+        s = System(topo, NADiners())
+        plan = FaultPlan([MaliciousCrash(4, at_step=100, malicious_steps=15)])
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=6)
+        e.run(400)  # malice over
+        monitor = StepMonitor("live-pairs", live_eating_pairs_count)
+        run_monitored(e, [monitor], 30_000, sample_every=10)
+        series = monitor.series
+        # find the last index with a violation; all zero afterwards
+        last_bad = max((i for i, v in enumerate(series) if v > 0), default=-1)
+        assert last_bad < len(series) - 1, "violations persisted to the end"
+        # and violations can only have come from the corrupted prefix
+        if last_bad >= 0:
+            assert series[last_bad + 1 :].count(0) == len(series) - last_bad - 1
+
+    def test_masking_of_benign_crashes(self):
+        """The paper: benign crashes (no arbitrary phase) are *masked* —
+        safety never violated at all."""
+        from repro.sim import BenignCrash
+
+        topo = line(8)
+        s = System(topo, NADiners())
+        plan = FaultPlan([BenignCrash(4, at_step=300)])
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=7)
+        for _ in range(20_000):
+            if not e.step():
+                break
+            assert live_eating_pairs_count(s.snapshot()) == 0

@@ -1,0 +1,85 @@
+"""End-to-end safety: Theorem 3 as a trajectory property.
+
+Starting from corrupted states that *already* violate safety, the number of
+simultaneously-eating neighbour pairs must never increase and must reach
+zero (for live pairs).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    StepMonitor,
+    eating_pairs_count,
+    live_eating_pairs_count,
+    run_monitored,
+)
+from repro.core import NADiners
+from repro.sim import AlwaysHungry, Engine, System, line, ring
+
+
+def corrupt_with_eaters(topo, n_eaters, seed):
+    """A system whose first n_eaters processes all eat simultaneously."""
+    s = System(topo, NADiners())
+    s.randomize(random.Random(seed))
+    for p in list(topo.nodes)[:n_eaters]:
+        s.write_local(p, "state", "E")
+    return s
+
+
+class TestPairCountMonotone:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_line_never_increases(self, seed):
+        s = corrupt_with_eaters(line(7), 4, seed)
+        e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+        monitor = StepMonitor("pairs", eating_pairs_count)
+        run_monitored(e, [monitor], 5000)
+        assert monitor.is_non_increasing(), monitor.series[:50]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ring_never_increases(self, seed):
+        s = corrupt_with_eaters(ring(8), 5, seed)
+        e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+        monitor = StepMonitor("pairs", eating_pairs_count)
+        run_monitored(e, [monitor], 5000)
+        assert monitor.is_non_increasing()
+
+    def test_reaches_zero(self, ):
+        s = corrupt_with_eaters(line(7), 7, seed=9)
+        e = Engine(s, hunger=AlwaysHungry(), seed=9)
+        monitor = StepMonitor("pairs", live_eating_pairs_count)
+        run_monitored(e, [monitor], 10_000)
+        assert monitor.final() == 0
+
+    def test_zero_is_absorbing(self):
+        s = corrupt_with_eaters(line(6), 6, seed=11)
+        e = Engine(s, hunger=AlwaysHungry(), seed=11)
+        monitor = StepMonitor("pairs", live_eating_pairs_count)
+        run_monitored(e, [monitor], 15_000)
+        series = monitor.series
+        first_zero = series.index(0)
+        assert all(v == 0 for v in series[first_zero:])
+
+
+class TestPairCountWithDeadEaters:
+    def test_dead_pair_persists_but_is_discounted(self):
+        s = System(line(4), NADiners())
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        s.kill(1)
+        s.kill(2)
+        e = Engine(s, hunger=AlwaysHungry(), seed=12)
+        e.run(3000)
+        final = s.snapshot()
+        assert eating_pairs_count(final) == 1  # frozen forever
+        assert live_eating_pairs_count(final) == 0
+
+    def test_live_member_of_bad_pair_backs_off(self):
+        s = System(line(4), NADiners())
+        s.write_local(1, "state", "E")
+        s.write_local(2, "state", "E")
+        s.kill(1)  # 2 is alive and must exit
+        e = Engine(s, hunger=AlwaysHungry(), seed=13)
+        e.run(5000)
+        assert live_eating_pairs_count(s.snapshot()) == 0

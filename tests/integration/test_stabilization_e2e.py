@@ -1,0 +1,128 @@
+"""End-to-end stabilization: Theorem 1 under the simulator.
+
+From arbitrary states — random corruption, planted cycles, corrupt depths —
+the program must reach the invariant and stay there, on several topologies
+and under several daemons.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import plant_priority_cycle, steps_to_predicate
+from repro.core import NADiners, invariant_holds, invariant_with_threshold, nc_holds
+from repro.sim import (
+    AlwaysHungry,
+    Engine,
+    ProbabilisticHunger,
+    RoundRobinDaemon,
+    System,
+    WeaklyFairDaemon,
+    binary_tree,
+    grid,
+    line,
+    random_connected,
+    ring,
+    star,
+)
+
+
+def converges(system, predicate, seed, max_steps=200_000, daemon=None):
+    result = steps_to_predicate(
+        system, predicate, max_steps=max_steps, seed=seed, daemon=daemon,
+        check_every=4,
+    )
+    return result.converged
+
+
+class TestFromRandomStates:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_line(self, seed):
+        s = System(line(6), NADiners())
+        s.randomize(random.Random(seed))
+        assert converges(s, invariant_holds, seed)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tree(self, seed):
+        s = System(binary_tree(3), NADiners())
+        s.randomize(random.Random(seed))
+        assert converges(s, invariant_holds, seed)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_star(self, seed):
+        s = System(star(6), NADiners())
+        s.randomize(random.Random(seed))
+        assert converges(s, invariant_holds, seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ring_with_corrected_threshold(self, seed):
+        topo = ring(6)
+        t = topo.longest_simple_path()
+        s = System(topo, NADiners(diameter_override=t))
+        s.randomize(random.Random(seed))
+        assert converges(s, invariant_with_threshold(t), seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graph_nc_restored(self, seed):
+        # On arbitrary graphs at least the acyclicity conjunct must always
+        # be restored (threshold-independent).
+        topo = random_connected(10, 0.15, seed=seed)
+        s = System(topo, NADiners())
+        s.randomize(random.Random(seed))
+        assert converges(s, nc_holds, seed)
+
+
+class TestFromPlantedCycles:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_ring_cycle_breaks(self, n):
+        s = System(ring(n), NADiners())
+        plant_priority_cycle(s, list(range(n)))
+        assert converges(s, nc_holds, seed=n)
+
+    def test_grid_cycle_breaks(self):
+        topo = grid(3, 3)
+        s = System(topo, NADiners())
+        plant_priority_cycle(s, [0, 1, 4, 3])  # a unit square of the mesh
+        assert converges(s, nc_holds, seed=1)
+
+    def test_breaks_under_round_robin(self):
+        s = System(ring(6), NADiners())
+        plant_priority_cycle(s, list(range(6)))
+        assert converges(s, nc_holds, seed=2, daemon=RoundRobinDaemon())
+
+
+class TestClosureEmpirically:
+    def test_invariant_never_lost_in_long_run(self):
+        topo = line(7)
+        s = System(topo, NADiners())
+        e = Engine(s, WeaklyFairDaemon(), hunger=ProbabilisticHunger(0.6), seed=5)
+        for step in range(10_000):
+            if not e.step():
+                break
+            if step % 50 == 0:
+                assert invariant_holds(s.snapshot()), f"invariant lost at {step}"
+
+    def test_liveness_after_convergence(self):
+        s = System(binary_tree(3), NADiners())
+        s.randomize(random.Random(3))
+        steps_to_predicate(s, invariant_holds, max_steps=200_000, seed=3)
+        e = Engine(s, hunger=AlwaysHungry(), seed=4)
+        e.run(30_000)
+        assert all(e.eats_of(p) > 0 for p in s.pids)
+
+
+class TestTransientFaultMidRun:
+    def test_recovers_from_injected_transient(self):
+        from repro.sim import TransientFault
+
+        topo = line(6)
+        s = System(topo, NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=6)
+        e.run(2000)
+        e.inject(TransientFault())
+        result = e.run(200_000, stop_when=invariant_holds, check_every=4)
+        assert result.stopped or invariant_holds(s.snapshot())
+        # and liveness resumes
+        before = e.total_eats()
+        e.run(10_000)
+        assert e.total_eats() > before

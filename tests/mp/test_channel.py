@@ -1,0 +1,105 @@
+"""Unit tests for FIFO channels."""
+
+import random
+
+import pytest
+
+from repro.mp import Channel
+from repro.sim import SimulationError
+
+
+class TestFifo:
+    def test_send_deliver_order(self):
+        ch = Channel("a", "b", capacity=4)
+        ch.send(("x",))
+        ch.send(("y",))
+        assert ch.deliver().payload == ("x",)
+        assert ch.deliver().payload == ("y",)
+
+    def test_message_addressing(self):
+        ch = Channel("a", "b")
+        ch.send(("m",))
+        msg = ch.deliver()
+        assert msg.src == "a" and msg.dst == "b"
+
+    def test_deliver_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Channel("a", "b").deliver()
+
+    def test_len_and_empty(self):
+        ch = Channel("a", "b")
+        assert ch.empty
+        ch.send(("m",))
+        assert len(ch) == 1 and not ch.empty
+
+    def test_payload_tuple_coerced(self):
+        ch = Channel("a", "b")
+        ch.send(["tag", 1])
+        assert ch.deliver().payload == ("tag", 1)
+
+
+class TestCapacity:
+    def test_overflow_dropped_and_counted(self):
+        ch = Channel("a", "b", capacity=2)
+        assert ch.send(("1",))
+        assert ch.send(("2",))
+        assert not ch.send(("3",))
+        assert ch.dropped == 1
+        assert len(ch) == 2
+
+    def test_capacity_positive(self):
+        with pytest.raises(SimulationError):
+            Channel("a", "b", capacity=0)
+
+
+class TestFaults:
+    def test_corrupt_fills_with_junk(self):
+        ch = Channel("a", "b", capacity=6)
+        ch.send(("real",))
+        ch.corrupt(random.Random(3), lambda rng: ("junk", rng.random()))
+        assert all(m.payload[0] == "junk" for m in ch.peek_all())
+        assert len(ch) <= 6
+
+    def test_corrupt_respects_capacity(self):
+        ch = Channel("a", "b", capacity=3)
+        for seed in range(20):
+            ch.corrupt(random.Random(seed), lambda rng: ("j",))
+            assert len(ch) <= 3
+
+    def test_clear(self):
+        ch = Channel("a", "b")
+        ch.send(("m",))
+        ch.clear()
+        assert ch.empty
+
+    def test_tag_property(self):
+        ch = Channel("a", "b")
+        ch.send(("fork", "key"))
+        assert ch.deliver().tag == "fork"
+
+
+class TestLossyChannel:
+    def test_loss_is_silent_to_sender(self):
+        ch = Channel("a", "b", capacity=4, loss_probability=0.9999,
+                     rng=random.Random(1))
+        # loss returns True (unobservable to the sender); nothing is queued.
+        results = [ch.send(("m", i)) for i in range(50)]
+        assert ch.lost > 40
+        assert len(ch) < 10
+        # Every send that was lost (not overflowed) reported success:
+        assert sum(results) == 50 - ch.dropped
+
+    def test_zero_loss_default(self):
+        ch = Channel("a", "b")
+        for i in range(5):
+            ch.send(("m", i))
+        assert ch.lost == 0 and len(ch) == 5
+
+    def test_invalid_probability(self):
+        import pytest as _pytest
+        from repro.sim import SimulationError
+
+        with _pytest.raises(SimulationError):
+            Channel("a", "b", loss_probability=1.0)
+        with _pytest.raises(SimulationError):
+            Channel("a", "b", loss_probability=-0.1)

@@ -1,0 +1,162 @@
+"""Unit tests for the stabilizing per-edge handshake."""
+
+import random
+
+import pytest
+
+from repro.mp import (
+    HandshakeSession,
+    MpEngine,
+    make_session_pair,
+)
+from repro.sim import line
+
+
+class TestSessionBasics:
+    def test_master_slave_pairing(self):
+        m, s = make_session_pair("a", "b", k=9)
+        assert m.master and not s.master
+        assert m.session_key == s.session_key
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            HandshakeSession("a", "b", master=True, k=2)
+
+    def test_junk_rejected(self):
+        m, _ = make_session_pair("a", "b", k=9)
+        assert not m.handle(("garbage",))
+        assert not m.handle(("hs", m.session_key, "not-an-int", None))
+        assert not m.handle(("hs", "wrong-key", 1, None))
+        assert not m.handle(("hs", m.session_key, 99, None))  # out of range
+        assert m.stats.received_junk == 4
+
+    def test_slave_silent_until_contacted(self):
+        _, s = make_session_pair("a", "b", k=9)
+        assert s.tick_payload("data") is None
+
+
+def drive(master, slave, rounds, data_m="M", data_s="S", drop=None):
+    """Lock-step exchange helper; drop is a predicate on frame index."""
+    sent = 0
+    for _ in range(rounds):
+        f = master.tick_payload(data_m)
+        if f is not None:
+            sent += 1
+            if drop is None or not drop(sent):
+                slave.handle(f)
+        f = slave.tick_payload(data_s)
+        if f is not None:
+            sent += 1
+            if drop is None or not drop(sent):
+                master.handle(f)
+
+
+class TestAlternation:
+    def test_caches_converge(self):
+        m, s = make_session_pair("a", "b", k=9)
+        drive(m, s, rounds=5)
+        assert m.peer_data == "S"
+        assert s.peer_data == "M"
+
+    def test_rounds_advance(self):
+        m, s = make_session_pair("a", "b", k=9)
+        drive(m, s, rounds=6)
+        assert m.stats.rounds >= 5
+        assert s.stats.rounds >= 5
+
+    def test_token_alternates(self):
+        m, s = make_session_pair("a", "b", k=9)
+        drive(m, s, rounds=3)
+        # After a completed exchange the master holds the token again.
+        assert m.holds_token
+
+    def test_retransmission_survives_drops(self):
+        m, s = make_session_pair("a", "b", k=9)
+        drive(m, s, rounds=30, drop=lambda i: i % 3 == 0)
+        assert m.peer_data == "S"
+        assert s.peer_data == "M"
+
+    def test_data_updates_propagate(self):
+        m, s = make_session_pair("a", "b", k=9)
+        drive(m, s, rounds=3, data_m="old")
+        drive(m, s, rounds=3, data_m="new")
+        assert s.peer_data == "new"
+
+
+class TestStabilization:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_converges_from_corrupt_state(self, seed):
+        rng = random.Random(seed)
+        m, s = make_session_pair("a", "b", k=9)
+        m.corrupt(rng)
+        s.corrupt(rng)
+        drive(m, s, rounds=20)
+        assert m.peer_data == "S"
+        assert s.peer_data == "M"
+        assert m.holds_token  # clean alternation restored
+
+    def test_converges_despite_channel_junk(self):
+        """Junk frames in flight are absorbed; genuine data wins."""
+        rng = random.Random(42)
+        m, s = make_session_pair("a", "b", k=11)
+        junk = [m.random_frame(rng, lambda r: ("junk", r.random())) for _ in range(4)]
+        for frame in junk:  # stale junk delivered to both sides first
+            s.handle(frame)
+            m.handle(frame)
+        drive(m, s, rounds=20)
+        assert m.peer_data == "S"
+        assert s.peer_data == "M"
+
+
+from repro.mp import HandshakeNode
+
+
+class TestOverRealChannels:
+    def make(self, seed=0):
+        topo = line(2)
+        procs = {
+            0: HandshakeNode(0, 1, master=True),
+            1: HandshakeNode(1, 0, master=False),
+        }
+        return procs, MpEngine(topo, procs, channel_capacity=4, seed=seed)
+
+    def test_caches_converge(self):
+        procs, engine = self.make(seed=1)
+        engine.run(400)
+        assert procs[0].session.peer_data == "data-from-1"
+        assert procs[1].session.peer_data == "data-from-0"
+
+    def test_converges_after_transient_fault(self):
+        procs, engine = self.make(seed=2)
+        engine.run(200)
+        engine.transient_fault()  # corrupt sessions AND channel contents
+        engine.run(800)
+        assert procs[0].session.peer_data == "data-from-1"
+        assert procs[1].session.peer_data == "data-from-0"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stabilization_across_seeds(self, seed):
+        procs, engine = self.make(seed=seed)
+        engine.transient_fault()
+        engine.run(1500)
+        assert procs[0].session.peer_data == "data-from-1"
+        assert procs[1].session.peer_data == "data-from-0"
+
+
+class TestLossyChannels:
+    @pytest.mark.parametrize("loss", [0.1, 0.3])
+    def test_handshake_survives_message_loss(self, loss):
+        """Retransmission makes the handshake loss-tolerant — the reason
+        tick-driven design was chosen over request/response."""
+        topo = line(2)
+        procs = {
+            0: HandshakeNode(0, 1, master=True),
+            1: HandshakeNode(1, 0, master=False),
+        }
+        engine = MpEngine(
+            topo, procs, channel_capacity=4, loss_probability=loss, seed=5
+        )
+        engine.run(3000)
+        assert procs[0].session.peer_data == "data-from-1"
+        assert procs[1].session.peer_data == "data-from-0"
+        assert sum(ch.lost for ch in engine.channels()) > 0

@@ -1,0 +1,140 @@
+"""Unit tests for Dijkstra's K-state token circulation."""
+
+import random
+
+import pytest
+
+from repro.mp import KStateToken, privileged, single_privilege
+from repro.sim import Engine, System, TopologyError, line, ring
+
+
+class TestStructure:
+    def test_requires_ring(self):
+        algo = KStateToken(k=5)
+        s = System(line(4), algo)
+        with pytest.raises(TopologyError):
+            s.enabled_actions(0)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KStateToken(k=1)
+
+    def test_single_action(self):
+        assert [a.name for a in KStateToken(5).actions()] == ["pass"]
+
+
+class TestLegitimateOperation:
+    def test_initial_state_single_privilege(self):
+        s = System(ring(5), KStateToken(k=7))
+        assert single_privilege(s.snapshot(), s.algorithm)
+
+    def test_privilege_circulates(self):
+        algo = KStateToken(k=7)
+        s = System(ring(5), algo)
+        e = Engine(s, seed=1)
+        holders = set()
+        for _ in range(100):
+            holders.update(privileged(s.snapshot(), algo))
+            if not e.step():
+                break
+        assert holders == set(range(5))
+
+    def test_exactly_one_privilege_is_invariant(self):
+        algo = KStateToken(k=6)
+        s = System(ring(4), algo)
+        e = Engine(s, seed=2)
+        for _ in range(300):
+            assert single_privilege(s.snapshot(), algo)
+            e.step()
+
+    def test_never_quiescent(self):
+        # Token circulation never terminates: some action always enabled.
+        algo = KStateToken(k=5)
+        s = System(ring(4), algo)
+        e = Engine(s, seed=3)
+        result = e.run(500)
+        assert result.exhausted
+
+
+class TestStabilization:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_converges_from_arbitrary_counters(self, seed):
+        algo = KStateToken(k=7)
+        s = System(ring(5), algo)
+        s.randomize(random.Random(seed))
+        e = Engine(s, seed=seed)
+        result = e.run(
+            5000, stop_when=lambda c: single_privilege(c, algo), check_every=1
+        )
+        assert result.stopped or single_privilege(s.snapshot(), algo)
+
+    def test_stays_converged(self):
+        algo = KStateToken(k=7)
+        s = System(ring(5), algo)
+        s.randomize(random.Random(9))
+        e = Engine(s, seed=9)
+        e.run(5000, stop_when=lambda c: single_privilege(c, algo))
+        for _ in range(300):
+            e.step()
+            assert single_privilege(s.snapshot(), algo)
+
+    def test_model_checked_convergence(self):
+        """Exhaustive proof on a small instance: from every counter
+        assignment the protocol converges to a single circulating
+        privilege under weak fairness."""
+        from repro.verification import (
+            TransitionSystem,
+            check_closure,
+            check_convergence,
+            enumerate_configurations,
+        )
+
+        topo = ring(3)
+        algo = KStateToken(k=4)  # k >= n
+        configs = list(enumerate_configurations(algo, topo))
+        assert len(configs) == 4**3
+        ts = TransitionSystem(algo, topo)
+        legit = lambda c: single_privilege(c, algo)
+        assert check_closure(ts, legit, configs).holds
+        report = check_convergence(ts, legit, configs)
+        assert report.converges
+
+
+class TestCounterBoundary:
+    """How many counter values does stabilization need?  Machine-checked
+    on ring(4): k=2 admits a confirmed weakly fair livelock with multiple
+    circulating privileges, while k=3 (= n-1) already converges."""
+
+    def test_k2_has_fair_livelock(self):
+        from repro.verification import (
+            TransitionSystem,
+            check_convergence,
+            confirm_fair_livelock,
+            enumerate_configurations,
+        )
+
+        topo = ring(4)
+        algo = KStateToken(k=2)
+        configs = list(enumerate_configurations(algo, topo))
+        ts = TransitionSystem(algo, topo)
+        report = check_convergence(
+            ts, lambda c: single_privilege(c, algo), configs
+        )
+        assert not report.converges
+        assert confirm_fair_livelock(ts, report.stuck_scc)
+
+    def test_k3_converges_on_ring4(self):
+        from repro.verification import (
+            TransitionSystem,
+            check_convergence,
+            enumerate_configurations,
+        )
+
+        topo = ring(4)
+        algo = KStateToken(k=3)
+        configs = list(enumerate_configurations(algo, topo))
+        ts = TransitionSystem(algo, topo)
+        report = check_convergence(
+            ts, lambda c: single_privilege(c, algo), configs
+        )
+        assert report.converges

@@ -1,0 +1,131 @@
+"""Property-based tests for algorithm-level invariants.
+
+Each property quantifies over random configurations (arbitrary states, as a
+transient fault would leave them) and random short executions.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NADiners,
+    eating_pairs,
+    nc_holds,
+    priority_edges,
+    red_set,
+)
+from repro.sim import AlwaysHungry, Engine, System, line, ring
+
+
+def randomized_system(topo_builder, n, seed):
+    s = System(topo_builder(n), NADiners())
+    s.randomize(random.Random(seed))
+    return s
+
+
+sizes = st.integers(4, 9)
+seeds = st.integers(0, 10_000)
+
+
+class TestExitNeverCreatesCycles:
+    @given(sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_acyclicity_preserved_by_any_step(self, n, seed):
+        """Lemma 1's induction step, property-based: if the live priority
+        graph is acyclic, no action execution makes it cyclic."""
+        s = randomized_system(ring, n, seed)
+        e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+        was_acyclic = nc_holds(s.snapshot())
+        for _ in range(30):
+            if not e.step():
+                break
+            now_acyclic = nc_holds(s.snapshot())
+            if was_acyclic:
+                assert now_acyclic
+            was_acyclic = now_acyclic
+
+
+class TestEatingPairsMonotone:
+    @given(sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_pair_count_never_increases(self, n, seed):
+        s = randomized_system(line, n, seed)
+        e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+        count = len(eating_pairs(s.snapshot()))
+        for _ in range(40):
+            if not e.step():
+                break
+            new_count = len(eating_pairs(s.snapshot()))
+            assert new_count <= count
+            count = new_count
+
+
+class TestPriorityGraphShape:
+    @given(sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_one_priority_edge_per_topology_edge(self, n, seed):
+        s = randomized_system(ring, n, seed)
+        edges = priority_edges(s.snapshot())
+        assert len(edges) == len(s.topology.edges)
+        for ancestor, descendant in edges:
+            assert s.topology.are_neighbors(ancestor, descendant)
+
+    @given(sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_exit_makes_sink(self, n, seed):
+        s = randomized_system(ring, n, seed)
+        pid = s.pids[seed % len(s.pids)]
+        s.write_local(pid, "state", "E")
+        s.execute(pid, s.algorithm.action_named("exit"))
+        c = s.snapshot()
+        for q in s.topology.neighbors(pid):
+            assert c.edge_value(pid, q) == q  # every neighbour is an ancestor
+
+
+class TestRedSetProperties:
+    @given(sizes, seeds, st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_dead_always_red(self, n, seed, n_dead):
+        s = randomized_system(line, n, seed)
+        dead = list(s.pids)[:n_dead]
+        for p in dead:
+            s.kill(p)
+        reds = red_set(s.snapshot())
+        assert set(dead) <= reds
+
+    @given(sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_no_dead_means_no_red(self, n, seed):
+        """RD is well-founded on dead processes: without crashes the red
+        fixpoint must be empty — in every reachable-from-arbitrary state."""
+        s = randomized_system(line, n, seed)
+        assert red_set(s.snapshot()) == frozenset()
+
+    @given(sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_red_within_radius_two_of_dead_after_settling(self, n, seed):
+        # red is a *static* predicate; check it never marks processes more
+        # than 2 hops from the only dead process once depths settle.
+        s = randomized_system(line, n, seed)
+        e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+        e.run(4000)
+        victim = s.pids[0]
+        s.kill(victim)
+        e.run(4000)
+        for p in red_set(s.snapshot()):
+            assert s.topology.distance(victim, p) <= 2
+
+
+class TestDomainsRespected:
+    @given(sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_long_runs_stay_in_domain(self, n, seed):
+        s = randomized_system(ring, n, seed)
+        e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+        e.run(200)
+        for p in s.pids:
+            assert s.read_local(p, "state") in ("T", "H", "E")
+            assert isinstance(s.read_local(p, "depth"), int)
+            assert s.read_local(p, "depth") >= 0

@@ -1,0 +1,79 @@
+"""Differential testing: the model checker against the simulator.
+
+The checker and the engine share the same ActionDef objects but drive them
+through different code paths (restore/execute/snapshot vs in-place
+mutation).  These properties pin the two paths to each other on random
+states, so semantic drift between "what we prove" and "what we run" cannot
+creep in.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NADiners
+from repro.sim import System, line, ring
+from repro.verification import TransitionSystem
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+seeds = st.integers(0, 10_000)
+sizes = st.integers(3, 6)
+
+
+def random_config(topo, seed):
+    system = System(topo, NADiners())
+    system.randomize(random.Random(seed))
+    return system.snapshot()
+
+
+class TestEnabledSetsAgree:
+    @given(sizes, seeds)
+    @settings(max_examples=40)
+    def test_checker_enabled_equals_engine_enabled(self, n, seed):
+        topo = ring(n)
+        algo = NADiners()
+        config = random_config(topo, seed)
+        ts = TransitionSystem(algo, topo)
+        checker_enabled = set(ts.enabled(config))
+        system = System.from_configuration(algo, config)
+        engine_enabled = {(p, a.name) for p, a in system.all_enabled()}
+        assert checker_enabled == engine_enabled
+
+
+class TestTransitionsAgree:
+    @given(sizes, seeds)
+    @settings(max_examples=30)
+    def test_each_successor_matches_direct_execution(self, n, seed):
+        topo = line(n)
+        algo = NADiners()
+        config = random_config(topo, seed)
+        ts = TransitionSystem(algo, topo)
+        for transition in ts.successors(config):
+            system = System.from_configuration(algo, config)
+            system.execute(transition.pid, algo.action_named(transition.action))
+            assert system.snapshot() == transition.target
+
+    @given(sizes, seeds)
+    @settings(max_examples=30)
+    def test_successors_leave_source_untouched(self, n, seed):
+        topo = ring(n)
+        algo = NADiners()
+        config = random_config(topo, seed)
+        before_key = hash(config)
+        TransitionSystem(algo, topo).successors(config)
+        assert hash(config) == before_key
+
+
+class TestRestoreRoundTrip:
+    @given(sizes, seeds)
+    @settings(max_examples=40)
+    def test_restore_snapshot_identity(self, n, seed):
+        topo = ring(n)
+        algo = NADiners()
+        config = random_config(topo, seed)
+        scratch = System(topo, algo)
+        scratch.restore(config)
+        assert scratch.snapshot() == config

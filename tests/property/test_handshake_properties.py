@@ -1,0 +1,72 @@
+"""Property-based tests for the handshake and the MP diners."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp import MpEngine, build_diners, make_session_pair, neighbours_both_eating
+from repro.sim import line, ring
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+class TestHandshakeStabilization:
+    @given(st.integers(0, 10_000), st.integers(9, 17))
+    def test_converges_from_any_corruption(self, seed, k):
+        rng = random.Random(seed)
+        m, s = make_session_pair("a", "b", k=k)
+        m.corrupt(rng)
+        s.corrupt(rng)
+        # a burst of junk frames in both directions
+        for _ in range(rng.randrange(6)):
+            s.handle(m.random_frame(rng, lambda r: ("junk",)))
+            m.handle(s.random_frame(rng, lambda r: ("junk",)))
+        for _ in range(25):  # lock-step rounds
+            f = m.tick_payload("M")
+            if f is not None:
+                s.handle(f)
+            f = s.tick_payload("S")
+            if f is not None:
+                m.handle(f)
+        assert m.peer_data == "S"
+        assert s.peer_data == "M"
+
+    @given(st.integers(0, 10_000))
+    def test_counters_stay_in_range(self, seed):
+        rng = random.Random(seed)
+        m, s = make_session_pair("a", "b", k=9)
+        m.corrupt(rng)
+        s.corrupt(rng)
+        for _ in range(20):
+            f = m.tick_payload("M")
+            if f is not None:
+                assert 0 <= f[2] < 9
+                s.handle(f)
+            f = s.tick_payload("S")
+            if f is not None:
+                assert 0 <= f[2] < 9
+                m.handle(f)
+
+
+class TestMpDinersSafety:
+    @given(st.integers(0, 500), st.integers(4, 7))
+    @settings(max_examples=15)
+    def test_never_neighbours_both_eating(self, seed, n):
+        topo = ring(n)
+        procs = build_diners(topo)
+        engine = MpEngine(topo, procs, seed=seed)
+        for _ in range(4000):
+            if not engine.step():
+                break
+            assert not neighbours_both_eating(topo, procs)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10)
+    def test_liveness_on_line(self, seed):
+        topo = line(4)
+        procs = build_diners(topo)
+        engine = MpEngine(topo, procs, seed=seed)
+        engine.run(25_000, stop_when=lambda e: all(p.eats > 0 for p in procs.values()))
+        assert all(p.eats > 0 for p in procs.values())

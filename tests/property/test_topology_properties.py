@@ -1,0 +1,87 @@
+"""Property-based tests for topology invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Topology, grid, line, random_connected, ring
+
+# Graph metrics on random graphs can take a while; hypothesis deadlines are
+# per-example and flaky under load.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+#: Small graphs for the exponential longest-simple-path computation.
+small_topologies = st.one_of(
+    st.integers(3, 7).map(ring),
+    st.integers(2, 8).map(line),
+    st.tuples(st.integers(2, 3), st.integers(2, 3)).map(lambda wh: grid(*wh)),
+    st.tuples(st.integers(4, 7), st.floats(0.0, 0.3), st.integers(0, 50)).map(
+        lambda args: random_connected(args[0], args[1], seed=args[2])
+    ),
+)
+
+topologies = st.one_of(
+    st.integers(3, 12).map(ring),
+    st.integers(2, 12).map(line),
+    st.tuples(st.integers(2, 4), st.integers(2, 4)).map(lambda wh: grid(*wh)),
+    st.tuples(st.integers(4, 12), st.floats(0.0, 0.5), st.integers(0, 50)).map(
+        lambda args: random_connected(args[0], args[1], seed=args[2])
+    ),
+)
+
+
+class TestMetricProperties:
+    @given(topologies)
+    def test_distance_symmetric(self, topo: Topology):
+        nodes = topo.nodes
+        for p in nodes[:4]:
+            for q in nodes[-4:]:
+                assert topo.distance(p, q) == topo.distance(q, p)
+
+    @given(topologies)
+    def test_triangle_inequality(self, topo: Topology):
+        nodes = topo.nodes
+        trio = (nodes[0], nodes[len(nodes) // 2], nodes[-1])
+        p, q, r = trio
+        assert topo.distance(p, r) <= topo.distance(p, q) + topo.distance(q, r)
+
+    @given(topologies)
+    def test_neighbors_at_distance_one(self, topo: Topology):
+        for p in topo.nodes[:5]:
+            for q in topo.neighbors(p):
+                assert topo.distance(p, q) == 1
+
+    @given(topologies)
+    def test_diameter_is_max_distance(self, topo: Topology):
+        observed = max(
+            topo.distance(p, q) for p in topo.nodes for q in topo.nodes
+        )
+        assert observed == topo.diameter
+
+    @given(small_topologies)
+    def test_longest_path_at_least_diameter(self, topo: Topology):
+        assert topo.longest_simple_path() >= topo.diameter
+
+    @given(small_topologies)
+    def test_longest_path_bounded_by_n(self, topo: Topology):
+        assert topo.longest_simple_path() <= len(topo) - 1
+
+
+class TestBallProperties:
+    @given(topologies, st.integers(0, 5))
+    def test_ball_monotone_in_radius(self, topo: Topology, radius: int):
+        center = topo.nodes[0]
+        assert topo.ball(center, radius) <= topo.ball(center, radius + 1)
+
+    @given(topologies)
+    def test_ball_diameter_covers_graph(self, topo: Topology):
+        center = topo.nodes[0]
+        assert topo.ball(center, topo.diameter) == frozenset(topo.nodes)
+
+    @given(topologies, st.integers(0, 4))
+    def test_outside_ball_complements_ball(self, topo: Topology, radius: int):
+        center = topo.nodes[0]
+        inside = topo.ball(center, radius)
+        outside = topo.outside_ball([center], radius)
+        assert inside | outside == frozenset(topo.nodes)
+        assert not inside & outside

@@ -1,0 +1,146 @@
+"""Unit tests for immutable configurations."""
+
+import pytest
+
+from repro.core import NADiners
+from repro.sim import (
+    Configuration,
+    NotNeighborsError,
+    System,
+    UnknownProcessError,
+    UnknownVariableError,
+    line,
+    edge,
+)
+
+
+def fresh_config():
+    return System(line(3), NADiners()).snapshot()
+
+
+class TestAccessors:
+    def test_local_read(self):
+        c = fresh_config()
+        assert c.local(0, "state") == "T"
+
+    def test_unknown_process(self):
+        with pytest.raises(UnknownProcessError):
+            fresh_config().local(99, "state")
+
+    def test_unknown_variable(self):
+        with pytest.raises(UnknownVariableError):
+            fresh_config().local(0, "nope")
+
+    def test_locals_of_is_copy(self):
+        c = fresh_config()
+        values = c.locals_of(0)
+        values["state"] = "E"
+        assert c.local(0, "state") == "T"
+
+    def test_edge_value_symmetric_args(self):
+        c = fresh_config()
+        assert c.edge_value(0, 1) == c.edge_value(1, 0)
+
+    def test_edge_value_non_neighbors(self):
+        with pytest.raises(NotNeighborsError):
+            fresh_config().edge_value(0, 2)
+
+    def test_live_and_dead(self):
+        system = System(line(3), NADiners(), initially_dead=[1])
+        c = system.snapshot()
+        assert c.dead == frozenset({1})
+        assert c.live == (0, 2)
+        assert c.is_dead(1)
+        assert not c.is_dead(0)
+
+    def test_faulty_includes_malicious(self):
+        system = System(line(3), NADiners())
+        system.mark_malicious(2)
+        c = system.snapshot()
+        assert c.malicious == frozenset({2})
+        assert c.faulty == frozenset({2})
+        assert 2 not in c.live
+
+
+class TestEqualityAndHashing:
+    def test_snapshots_of_same_state_equal(self):
+        system = System(line(3), NADiners())
+        assert system.snapshot() == system.snapshot()
+
+    def test_hash_consistent(self):
+        system = System(line(3), NADiners())
+        assert hash(system.snapshot()) == hash(system.snapshot())
+
+    def test_differs_after_write(self):
+        system = System(line(3), NADiners())
+        before = system.snapshot()
+        system.write_local(0, "state", "H")
+        assert system.snapshot() != before
+
+    def test_differs_after_edge_write(self):
+        system = System(line(3), NADiners())
+        before = system.snapshot()
+        system.write_edge(edge(0, 1), 1)
+        assert system.snapshot() != before
+
+    def test_differs_by_death(self):
+        a = System(line(3), NADiners()).snapshot()
+        b = System(line(3), NADiners(), initially_dead=[0]).snapshot()
+        assert a != b
+
+    def test_usable_in_sets(self):
+        system = System(line(3), NADiners())
+        seen = {system.snapshot()}
+        assert system.snapshot() in seen
+        system.write_local(1, "depth", 2)
+        assert system.snapshot() not in seen
+
+
+class TestReplace:
+    def test_local_update(self):
+        c = fresh_config()
+        c2 = c.replace(local_updates={0: {"state": "H"}})
+        assert c2.local(0, "state") == "H"
+        assert c.local(0, "state") == "T"  # original untouched
+
+    def test_edge_update(self):
+        c = fresh_config()
+        c2 = c.replace(edge_updates={edge(0, 1): 1})
+        assert c2.edge_value(0, 1) == 1
+
+    def test_dead_update(self):
+        c = fresh_config()
+        c2 = c.replace(dead=[2])
+        assert c2.is_dead(2)
+        assert not c.is_dead(2)
+
+    def test_unknown_process_in_update(self):
+        with pytest.raises(UnknownProcessError):
+            fresh_config().replace(local_updates={42: {"state": "H"}})
+
+    def test_unknown_edge_in_update(self):
+        with pytest.raises(NotNeighborsError):
+            fresh_config().replace(edge_updates={edge(0, 2): 0})
+
+
+class TestValidation:
+    def test_missing_process_rejected(self):
+        topo = line(2)
+        with pytest.raises(UnknownProcessError):
+            Configuration(topo, {0: {"state": "T"}}, {edge(0, 1): 0})
+
+    def test_missing_edge_rejected(self):
+        topo = line(2)
+        with pytest.raises(NotNeighborsError):
+            Configuration(topo, {0: {}, 1: {}}, {})
+
+
+class TestDescribe:
+    def test_describe_mentions_every_process(self):
+        text = fresh_config().describe()
+        for pid in (0, 1, 2):
+            assert repr(pid) in text
+
+    def test_describe_marks_dead(self):
+        c = System(line(3), NADiners(), initially_dead=[1]).snapshot()
+        assert "DEAD" in c.describe()

@@ -1,0 +1,122 @@
+"""Unit tests for variable domains."""
+
+import random
+
+import pytest
+
+from repro.sim import BoolDomain, DomainError, FiniteDomain, IntRange, SaturatingInt
+
+
+class TestFiniteDomain:
+    def test_contains_member(self):
+        d = FiniteDomain(("T", "H", "E"))
+        assert d.contains("H")
+
+    def test_rejects_non_member(self):
+        d = FiniteDomain(("T", "H", "E"))
+        assert not d.contains("X")
+
+    def test_values_in_declaration_order(self):
+        d = FiniteDomain((3, 1, 2))
+        assert list(d.values()) == [3, 1, 2]
+
+    def test_len(self):
+        assert len(FiniteDomain((1, 2, 3))) == 3
+
+    def test_sample_is_member_and_deterministic(self):
+        d = FiniteDomain(("a", "b", "c"))
+        a = d.sample(random.Random(7))
+        b = d.sample(random.Random(7))
+        assert a == b
+        assert d.contains(a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDomain(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDomain((1, 1))
+
+    def test_validate_raises_domain_error_with_name(self):
+        d = FiniteDomain((1, 2))
+        with pytest.raises(DomainError) as exc:
+            d.validate("state", 99)
+        assert exc.value.name == "state"
+        assert exc.value.value == 99
+
+    def test_validate_returns_value(self):
+        assert FiniteDomain((1, 2)).validate("x", 2) == 2
+
+
+class TestIntRange:
+    def test_bounds_inclusive(self):
+        d = IntRange(0, 3)
+        assert d.contains(0)
+        assert d.contains(3)
+
+    def test_out_of_range(self):
+        d = IntRange(0, 3)
+        assert not d.contains(-1)
+        assert not d.contains(4)
+
+    def test_rejects_bool(self):
+        # bool is an int subtype; a counter domain must not accept True.
+        assert not IntRange(0, 3).contains(True)
+
+    def test_rejects_non_int(self):
+        assert not IntRange(0, 3).contains(1.5)
+
+    def test_values(self):
+        assert list(IntRange(2, 5).values()) == [2, 3, 4, 5]
+
+    def test_len(self):
+        assert len(IntRange(0, 4)) == 5
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntRange(5, 4)
+
+    def test_sample_within(self):
+        d = IntRange(10, 20)
+        rng = random.Random(1)
+        assert all(10 <= d.sample(rng) <= 20 for _ in range(50))
+
+
+class TestSaturatingInt:
+    def test_accepts_beyond_cap(self):
+        # Writes are unbounded; only sampling/enumeration saturate.
+        d = SaturatingInt(cap=5)
+        assert d.contains(1_000_000)
+
+    def test_rejects_negative(self):
+        assert not SaturatingInt(5).contains(-1)
+
+    def test_rejects_bool(self):
+        assert not SaturatingInt(5).contains(False)
+
+    def test_values_capped(self):
+        assert list(SaturatingInt(3).values()) == [0, 1, 2, 3]
+
+    def test_sample_capped(self):
+        d = SaturatingInt(4)
+        rng = random.Random(2)
+        assert all(0 <= d.sample(rng) <= 4 for _ in range(50))
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingInt(-1)
+
+
+class TestBoolDomain:
+    def test_members(self):
+        d = BoolDomain()
+        assert d.contains(True)
+        assert d.contains(False)
+        assert not d.contains("yes")
+
+    def test_values(self):
+        assert set(BoolDomain().values()) == {False, True}
+
+    def test_len(self):
+        assert len(BoolDomain()) == 2

@@ -1,0 +1,239 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.core import NADiners
+from repro.sim import (
+    AlwaysHungry,
+    BenignCrash,
+    Engine,
+    EventKind,
+    FaultPlan,
+    MaliciousCrash,
+    NeverHungry,
+    ProcessStatus,
+    System,
+    TraceRecorder,
+    TransientFault,
+    line,
+    ring,
+)
+
+
+class TestBasicStepping:
+    def test_quiescent_without_hunger(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=NeverHungry(), seed=0)
+        result = e.run(100)
+        assert result.quiescent
+        assert result.steps == 0
+
+    def test_progress_with_hunger(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        result = e.run(500)
+        assert result.exhausted
+        assert e.total_eats() > 0
+
+    def test_determinism(self):
+        def run():
+            s = System(ring(5), NADiners())
+            e = Engine(s, hunger=AlwaysHungry(), seed=42)
+            e.run(1000)
+            return s.snapshot(), dict(e.action_counts)
+
+        assert run() == run()
+
+    def test_different_seeds_diverge(self):
+        def run(seed):
+            s = System(ring(5), NADiners())
+            e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+            e.run(1000)
+            return dict(e.action_counts)
+
+        assert run(1) != run(2)
+
+    def test_step_count_advances(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        e.run(10)
+        assert e.step_count == 10
+
+    def test_negative_max_steps(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, seed=0)
+        with pytest.raises(ValueError):
+            e.run(-1)
+
+    def test_bad_check_every(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, seed=0)
+        with pytest.raises(ValueError):
+            e.run(10, stop_when=lambda c: False, check_every=0)
+
+
+class TestStopWhen:
+    def test_stops_at_predicate(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        result = e.run(
+            10_000, stop_when=lambda c: any(c.local(p, "state") == "E" for p in (0, 1, 2))
+        )
+        assert result.stopped
+        assert any(s.read_local(p, "state") == "E" for p in s.pids)
+
+    def test_checks_initial_state(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, seed=0)
+        result = e.run(100, stop_when=lambda c: True)
+        assert result.stopped
+        assert result.steps == 0
+
+
+class TestRunResultFlags:
+    def test_exactly_one_flag(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        r = e.run(5)
+        assert sum([r.quiescent, r.stopped, r.exhausted]) == 1
+
+
+class TestHungerIntegration:
+    def test_hunger_writes_needs(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        e.step()
+        assert all(s.read_local(p, "needs") for p in s.pids)
+
+    def test_no_hunger_policy_leaves_needs(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=None, seed=0)
+        e.run(50)
+        assert all(not s.read_local(p, "needs") for p in s.pids)
+
+    def test_dead_process_needs_frozen(self):
+        s = System(line(3), NADiners(), initially_dead=[1])
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        e.run(20)
+        assert s.read_local(1, "needs") is False
+
+
+class TestFaultIntegration:
+    def test_scheduled_benign_crash(self):
+        s = System(line(3), NADiners())
+        plan = FaultPlan([BenignCrash(1, at_step=10)])
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=0)
+        e.run(50)
+        assert s.status(1) is ProcessStatus.DEAD
+
+    def test_malicious_phase_then_death(self):
+        s = System(line(3), NADiners())
+        plan = FaultPlan([MaliciousCrash(0, at_step=0, malicious_steps=5)])
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, seed=0)
+        e.run(3)
+        assert s.status(0) is ProcessStatus.MALICIOUS
+        e.run(10)
+        assert s.status(0) is ProcessStatus.DEAD
+
+    def test_transient_fault_applies(self):
+        s = System(ring(6), NADiners())
+        plan = FaultPlan([TransientFault(at_step=5)])
+        recorder = TraceRecorder()
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, recorder=recorder, seed=1)
+        e.run(20)
+        assert recorder.events_of_kind(EventKind.TRANSIENT)
+
+    def test_idle_steps_while_waiting_for_fault(self):
+        # Nothing enabled (nobody hungry), but a fault is scheduled later:
+        # the engine must advance time to reach it, not stop.
+        s = System(line(3), NADiners())
+        plan = FaultPlan([BenignCrash(0, at_step=7)])
+        e = Engine(s, hunger=NeverHungry(), faults=plan, seed=0)
+        result = e.run(50)
+        assert s.status(0) is ProcessStatus.DEAD
+        assert result.quiescent
+
+    def test_inject_immediate(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        e.run(5)
+        e.inject(BenignCrash(2))
+        assert s.status(2) is ProcessStatus.DEAD
+
+    def test_inject_malicious_then_retire(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        e.inject(MaliciousCrash(0, malicious_steps=3))
+        assert s.status(0) is ProcessStatus.MALICIOUS
+        e.run(10)
+        assert s.status(0) is ProcessStatus.DEAD
+
+
+class TestCounters:
+    def test_action_counts_accumulate(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        e.run(300)
+        assert sum(e.action_counts.values()) == 300
+
+    def test_eats_of_matches_enter_count(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=AlwaysHungry(), seed=0)
+        e.run(500)
+        assert e.eats_of(0) == e.action_counts[(0, "enter")]
+        assert e.total_eats() == sum(e.eats_of(p) for p in s.pids)
+
+
+class TestRecorderIntegration:
+    def test_events_recorded(self):
+        s = System(line(3), NADiners())
+        rec = TraceRecorder()
+        e = Engine(s, hunger=AlwaysHungry(), recorder=rec, seed=0)
+        e.run(100)
+        actions = rec.events_of_kind(EventKind.ACTION)
+        assert len(actions) == 100
+
+    def test_snapshot_cadence(self):
+        s = System(line(3), NADiners())
+        rec = TraceRecorder(snapshot_every=10)
+        e = Engine(s, hunger=AlwaysHungry(), recorder=rec, seed=0)
+        e.run(35)
+        steps = [step for step, _ in rec.snapshots]
+        assert steps == [0, 10, 20, 30, 35]
+
+    def test_malice_events_recorded(self):
+        s = System(line(3), NADiners())
+        plan = FaultPlan([MaliciousCrash(0, at_step=0, malicious_steps=2)])
+        rec = TraceRecorder()
+        e = Engine(s, hunger=AlwaysHungry(), faults=plan, recorder=rec, seed=0)
+        e.run(10)
+        assert rec.events_of_kind(EventKind.MALICE_BEGIN)
+        assert len(rec.events_of_kind(EventKind.HAVOC)) == 2
+        assert rec.events_of_kind(EventKind.CRASH)
+
+
+class TestIdleAndQuiescence:
+    def test_idle_event_recorded_while_waiting(self):
+        s = System(line(3), NADiners())
+        plan = FaultPlan([BenignCrash(0, at_step=5)])
+        rec = TraceRecorder()
+        e = Engine(s, hunger=NeverHungry(), faults=plan, recorder=rec, seed=0)
+        e.run(20)
+        assert rec.events_of_kind(EventKind.IDLE)
+
+    def test_no_step_after_terminal(self):
+        s = System(line(3), NADiners())
+        e = Engine(s, hunger=NeverHungry(), seed=0)
+        assert not e.step()
+        assert not e.step()  # stays terminal, no state change
+        assert e.step_count == 0
+
+    def test_malicious_process_keeps_engine_alive(self):
+        # No algorithm action enabled, but a malicious process still has
+        # havoc steps to take: the engine must keep ticking.
+        s = System(line(3), NADiners())
+        plan = FaultPlan([MaliciousCrash(1, at_step=0, malicious_steps=4)])
+        e = Engine(s, hunger=NeverHungry(), faults=plan, seed=1)
+        result = e.run(50)
+        assert s.status(1) is ProcessStatus.DEAD
+        assert result.quiescent

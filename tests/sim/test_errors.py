@@ -1,0 +1,73 @@
+"""Tests for the error hierarchy: types, messages, and payloads."""
+
+import pytest
+
+from repro.sim import (
+    DeadProcessError,
+    DomainError,
+    FaultPlanError,
+    NotNeighborsError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+    UnknownProcessError,
+    UnknownVariableError,
+)
+
+
+ALL_ERRORS = [
+    TopologyError,
+    UnknownProcessError,
+    UnknownVariableError,
+    NotNeighborsError,
+    DomainError,
+    DeadProcessError,
+    SchedulingError,
+    FaultPlanError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_simulation_error(self, error_type):
+        assert issubclass(error_type, SimulationError)
+
+    def test_single_except_catches_everything(self):
+        caught = 0
+        for exc in (
+            UnknownProcessError(3),
+            DomainError("state", "Z"),
+            NotNeighborsError(0, 5),
+        ):
+            try:
+                raise exc
+            except SimulationError:
+                caught += 1
+        assert caught == 3
+
+
+class TestPayloads:
+    def test_unknown_process_carries_pid(self):
+        exc = UnknownProcessError(42)
+        assert exc.pid == 42
+        assert "42" in str(exc)
+
+    def test_unknown_variable_carries_name(self):
+        exc = UnknownVariableError("depht")
+        assert exc.name == "depht"
+        assert "depht" in str(exc)
+
+    def test_not_neighbors_carries_both(self):
+        exc = NotNeighborsError("a", "z")
+        assert (exc.pid, exc.other) == ("a", "z")
+        assert "'a'" in str(exc) and "'z'" in str(exc)
+
+    def test_domain_error_carries_value(self):
+        exc = DomainError("state", "X")
+        assert exc.name == "state" and exc.value == "X"
+        assert "state" in str(exc) and "X" in str(exc)
+
+    def test_dead_process_carries_pid(self):
+        exc = DeadProcessError(7)
+        assert exc.pid == 7
+        assert "dead" in str(exc)

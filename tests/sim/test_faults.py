@@ -1,0 +1,101 @@
+"""Unit tests for fault events and fault plans."""
+
+import random
+
+import pytest
+
+from repro.core import NADiners
+from repro.sim import (
+    BenignCrash,
+    FaultPlan,
+    FaultPlanError,
+    MaliciousCrash,
+    ProcessStatus,
+    System,
+    TransientFault,
+    line,
+)
+
+
+class TestEvents:
+    def test_benign_crash_kills(self):
+        s = System(line(3), NADiners())
+        BenignCrash(1).apply(s, random.Random(0))
+        assert s.status(1) is ProcessStatus.DEAD
+
+    def test_malicious_crash_marks(self):
+        s = System(line(3), NADiners())
+        MaliciousCrash(1, malicious_steps=3).apply(s, random.Random(0))
+        assert s.status(1) is ProcessStatus.MALICIOUS
+
+    def test_malicious_zero_steps_is_benign(self):
+        s = System(line(3), NADiners())
+        MaliciousCrash(1, malicious_steps=0).apply(s, random.Random(0))
+        assert s.status(1) is ProcessStatus.DEAD
+
+    def test_malicious_negative_steps_rejected(self):
+        with pytest.raises(FaultPlanError):
+            MaliciousCrash(1, malicious_steps=-1)
+
+    def test_transient_global(self):
+        s = System(line(3), NADiners())
+        TransientFault().apply(s, random.Random(1))
+        for p in s.pids:  # everything remains in-domain
+            assert s.read_local(p, "state") in ("T", "H", "E")
+
+    def test_transient_scoped(self):
+        s = System(line(5), NADiners())
+        before = s.snapshot()
+        TransientFault(pids=(0,)).apply(s, random.Random(1))
+        after = s.snapshot()
+        assert before.locals_of(4) == after.locals_of(4)
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_step(self):
+        plan = FaultPlan([BenignCrash(0, at_step=10), BenignCrash(1, at_step=5)])
+        assert [e.at_step for e in plan.events] == [5, 10]
+
+    def test_due_pops_in_order(self):
+        plan = FaultPlan([BenignCrash(0, at_step=2), BenignCrash(1, at_step=5)])
+        assert plan.due(1) == []
+        assert [e.pid for e in plan.due(2)] == [0]
+        assert [e.pid for e in plan.due(10)] == [1]
+        assert plan.exhausted()
+
+    def test_due_catches_up_past_events(self):
+        plan = FaultPlan([BenignCrash(0, at_step=1), BenignCrash(1, at_step=2)])
+        assert len(plan.due(100)) == 2
+
+    def test_reset(self):
+        plan = FaultPlan([BenignCrash(0, at_step=0)])
+        plan.due(0)
+        assert plan.exhausted()
+        plan.reset()
+        assert not plan.exhausted()
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan([BenignCrash(0), MaliciousCrash(0, at_step=5)])
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan([BenignCrash(0, at_step=-1)])
+
+    def test_crash_sites(self):
+        plan = FaultPlan(
+            [BenignCrash(0), MaliciousCrash(2, at_step=3), TransientFault(at_step=1)]
+        )
+        assert set(plan.crash_sites) == {0, 2}
+
+    def test_malicious_budget(self):
+        plan = FaultPlan([MaliciousCrash(1, malicious_steps=7)])
+        assert plan.malicious_budget() == {1: 7}
+
+    def test_len(self):
+        assert len(FaultPlan([BenignCrash(0), TransientFault()])) == 2
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.exhausted()
+        assert plan.due(0) == []

@@ -1,0 +1,78 @@
+"""Unit tests for hunger policies."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    AlwaysHungry,
+    NeverHungry,
+    ProbabilisticHunger,
+    ScriptedHunger,
+    SelectiveHunger,
+)
+
+
+RNG = random.Random(123)
+
+
+class TestAlwaysNever:
+    def test_always(self):
+        assert all(AlwaysHungry().wants(p, s, RNG) for p in range(3) for s in range(5))
+
+    def test_never(self):
+        assert not any(NeverHungry().wants(p, s, RNG) for p in range(3) for s in range(5))
+
+
+class TestProbabilistic:
+    def test_extremes(self):
+        assert ProbabilisticHunger(1.0).wants(0, 0, random.Random(0))
+        assert not ProbabilisticHunger(0.0).wants(0, 0, random.Random(0))
+
+    def test_rate_roughly_matches(self):
+        policy = ProbabilisticHunger(0.3)
+        rng = random.Random(9)
+        hits = sum(policy.wants(0, s, rng) for s in range(10_000))
+        assert 2700 < hits < 3300
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ProbabilisticHunger(1.5)
+        with pytest.raises(ValueError):
+            ProbabilisticHunger(-0.1)
+
+
+class TestSelective:
+    def test_only_listed(self):
+        policy = SelectiveHunger([1, 3])
+        assert policy.wants(1, 0, RNG)
+        assert policy.wants(3, 99, RNG)
+        assert not policy.wants(2, 0, RNG)
+
+
+class TestScripted:
+    def test_switch_points(self):
+        policy = ScriptedHunger({0: [(0, True), (10, False), (20, True)]})
+        assert policy.wants(0, 0, RNG)
+        assert policy.wants(0, 9, RNG)
+        assert not policy.wants(0, 10, RNG)
+        assert not policy.wants(0, 19, RNG)
+        assert policy.wants(0, 25, RNG)
+
+    def test_before_first_switch_uses_default(self):
+        policy = ScriptedHunger({0: [(5, True)]}, default=False)
+        assert not policy.wants(0, 4, RNG)
+        assert policy.wants(0, 5, RNG)
+
+    def test_unscripted_process_uses_default(self):
+        policy = ScriptedHunger({0: [(0, True)]}, default=True)
+        assert policy.wants(7, 0, RNG)
+
+    def test_unsorted_input_accepted(self):
+        policy = ScriptedHunger({0: [(10, False), (0, True)]})
+        assert policy.wants(0, 5, RNG)
+        assert not policy.wants(0, 15, RNG)
+
+    def test_duplicate_switch_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedHunger({0: [(3, True), (3, False)]})

@@ -1,0 +1,216 @@
+"""Unit tests for the mutable System."""
+
+import random
+
+import pytest
+
+from repro.core import NADiners
+from repro.sim import (
+    DeadProcessError,
+    DomainError,
+    NotNeighborsError,
+    ProcessStatus,
+    System,
+    UnknownProcessError,
+    UnknownVariableError,
+    edge,
+    line,
+    ring,
+)
+
+
+class TestConstruction:
+    def test_initial_state_is_legitimate(self):
+        s = System(line(4), NADiners())
+        assert all(s.read_local(p, "state") == "T" for p in s.pids)
+        # depth holds the exact distance to the farthest descendant in the
+        # initial (node-order) priority chain 0 -> 1 -> 2 -> 3.
+        assert [s.read_local(p, "depth") for p in s.pids] == [3, 2, 1, 0]
+
+    def test_initial_state_is_quiescent(self):
+        assert System(line(4), NADiners()).is_quiescent()
+
+    def test_initial_priorities_by_node_order(self):
+        s = System(line(3), NADiners())
+        assert s.read_edge(edge(0, 1)) == 0
+        assert s.read_edge(edge(1, 2)) == 1
+
+    def test_initially_dead(self):
+        s = System(line(3), NADiners(), initially_dead=[2])
+        assert s.status(2) is ProcessStatus.DEAD
+        assert not s.is_live(2)
+
+    def test_initially_dead_unknown(self):
+        with pytest.raises(UnknownProcessError):
+            System(line(3), NADiners(), initially_dead=[42])
+
+    def test_live_pids(self):
+        s = System(line(3), NADiners(), initially_dead=[1])
+        assert s.live_pids() == (0, 2)
+
+
+class TestVariableAccess:
+    def test_write_then_read(self):
+        s = System(line(3), NADiners())
+        s.write_local(1, "state", "H")
+        assert s.read_local(1, "state") == "H"
+
+    def test_write_out_of_domain(self):
+        s = System(line(3), NADiners())
+        with pytest.raises(DomainError):
+            s.write_local(0, "state", "Z")
+
+    def test_write_unknown_variable(self):
+        s = System(line(3), NADiners())
+        with pytest.raises(UnknownVariableError):
+            s.write_local(0, "bogus", 1)
+
+    def test_read_unknown_process(self):
+        s = System(line(3), NADiners())
+        with pytest.raises(UnknownProcessError):
+            s.read_local(9, "state")
+
+    def test_edge_write_validates_domain(self):
+        s = System(line(3), NADiners())
+        with pytest.raises(DomainError):
+            s.write_edge(edge(0, 1), 2)  # 2 is not an endpoint
+
+    def test_edge_unknown(self):
+        s = System(line(3), NADiners())
+        with pytest.raises(NotNeighborsError):
+            s.read_edge(edge(0, 2))
+
+    def test_local_variable_names(self):
+        s = System(line(3), NADiners())
+        assert set(s.local_variable_names()) == {"state", "needs", "depth"}
+
+
+class TestStatusTransitions:
+    def test_kill(self):
+        s = System(line(3), NADiners())
+        s.kill(0)
+        assert s.status(0) is ProcessStatus.DEAD
+
+    def test_malicious_then_kill(self):
+        s = System(line(3), NADiners())
+        s.mark_malicious(1)
+        assert s.status(1) is ProcessStatus.MALICIOUS
+        s.kill(1)
+        assert s.status(1) is ProcessStatus.DEAD
+
+    def test_mark_malicious_on_dead_rejected(self):
+        s = System(line(3), NADiners())
+        s.kill(1)
+        with pytest.raises(DeadProcessError):
+            s.mark_malicious(1)
+
+    def test_dead_has_no_enabled_actions(self):
+        s = System(line(3), NADiners())
+        s.write_local(0, "needs", True)
+        assert s.enabled_actions(0)  # join enabled while alive
+        s.kill(0)
+        assert s.enabled_actions(0) == []
+
+    def test_malicious_has_no_enabled_actions(self):
+        s = System(line(3), NADiners())
+        s.write_local(0, "needs", True)
+        s.mark_malicious(0)
+        assert s.enabled_actions(0) == []
+
+    def test_execute_on_dead_rejected(self):
+        s = System(line(3), NADiners())
+        action = NADiners().action_named("join")
+        s.kill(0)
+        with pytest.raises(DeadProcessError):
+            s.execute(0, action)
+
+
+class TestEnabledActions:
+    def test_quiescent_when_nobody_needs(self):
+        s = System(line(4), NADiners())
+        assert s.is_quiescent()
+
+    def test_join_enabled_when_needing(self):
+        s = System(line(3), NADiners())
+        s.write_local(2, "needs", True)
+        names = [a.name for a in s.enabled_actions(2)]
+        assert names == ["join"]
+
+    def test_all_enabled_deterministic_order(self):
+        s = System(line(3), NADiners())
+        for p in s.pids:
+            s.write_local(p, "needs", True)
+        first = [(p, a.name) for p, a in s.all_enabled()]
+        second = [(p, a.name) for p, a in s.all_enabled()]
+        assert first == second
+
+
+class TestFaultPrimitives:
+    def test_havoc_touches_only_own_scope(self):
+        s = System(line(5), NADiners())
+        before = s.snapshot()
+        s.havoc_process(2, random.Random(5))
+        after = s.snapshot()
+        for p in (0, 4):  # processes not adjacent to 2
+            assert before.locals_of(p) == after.locals_of(p)
+        assert before.edge_value(0, 1) == after.edge_value(0, 1)
+        assert before.edge_value(3, 4) == after.edge_value(3, 4)
+
+    def test_havoc_stays_in_domain(self):
+        s = System(line(3), NADiners())
+        for seed in range(20):
+            s.havoc_process(1, random.Random(seed))
+            assert s.read_local(1, "state") in ("T", "H", "E")
+            assert s.read_local(1, "depth") >= 0
+
+    def test_havoc_on_dead_rejected(self):
+        s = System(line(3), NADiners())
+        s.kill(1)
+        with pytest.raises(DeadProcessError):
+            s.havoc_process(1, random.Random(0))
+
+    def test_randomize_all(self):
+        s = System(ring(6), NADiners())
+        snapshots = {s.snapshot()}
+        s.randomize(random.Random(9))
+        # Overwhelmingly likely to differ; every value still in-domain.
+        assert s.snapshot() not in snapshots or True
+        for p in s.pids:
+            assert s.read_local(p, "state") in ("T", "H", "E")
+
+    def test_randomize_subset_scopes_edges(self):
+        s = System(line(5), NADiners())
+        before = s.snapshot()
+        s.randomize(random.Random(1), pids=[0])
+        after = s.snapshot()
+        assert before.locals_of(3) == after.locals_of(3)
+        assert before.edge_value(2, 3) == after.edge_value(2, 3)
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        s = System(ring(5), NADiners())
+        s.randomize(random.Random(11))
+        snap = s.snapshot()
+        other = System(ring(5), NADiners())
+        other.restore(snap)
+        assert other.snapshot() == snap
+
+    def test_from_configuration(self):
+        s = System(line(4), NADiners())
+        s.write_local(0, "state", "H")
+        s.kill(3)
+        clone = System.from_configuration(NADiners(), s.snapshot())
+        assert clone.read_local(0, "state") == "H"
+        assert clone.status(3) is ProcessStatus.DEAD
+
+    def test_restore_restores_statuses(self):
+        s = System(line(3), NADiners())
+        s.kill(0)
+        snap = s.snapshot()
+        s2 = System(line(3), NADiners())
+        s2.restore(snap)
+        assert s2.status(0) is ProcessStatus.DEAD
+        # restoring a fully-alive snapshot resurrects (used by the checker)
+        s2.restore(System(line(3), NADiners()).snapshot())
+        assert s2.status(0) is ProcessStatus.ALIVE

@@ -1,0 +1,84 @@
+"""Unit tests for ProcessView: the model's access restrictions."""
+
+import pytest
+
+from repro.core import NADiners
+from repro.sim import NotNeighborsError, System, line, star
+
+
+@pytest.fixture
+def system():
+    return System(line(4), NADiners())
+
+
+class TestOwnState:
+    def test_get_set(self, system):
+        view = system.view(1)
+        view.set("state", "H")
+        assert view.get("state") == "H"
+        assert system.read_local(1, "state") == "H"
+
+    def test_pid_and_neighbors(self, system):
+        view = system.view(1)
+        assert view.pid == 1
+        assert set(view.neighbors) == {0, 2}
+
+    def test_diameter_matches_topology(self, system):
+        assert system.view(0).diameter == system.topology.diameter
+
+
+class TestNeighborReads:
+    def test_peek_neighbor(self, system):
+        system.write_local(2, "state", "E")
+        assert system.view(1).peek(2, "state") == "E"
+
+    def test_peek_self_allowed(self, system):
+        assert system.view(1).peek(1, "state") == "T"
+
+    def test_peek_non_neighbor_rejected(self, system):
+        # 0 and 2 are two hops apart: reading would break the model.
+        with pytest.raises(NotNeighborsError):
+            system.view(0).peek(2, "state")
+
+    def test_peek_distant_rejected(self, system):
+        with pytest.raises(NotNeighborsError):
+            system.view(0).peek(3, "state")
+
+
+class TestEdgeAccess:
+    def test_edge_value(self, system):
+        assert system.view(1).edge_value(0) == 0  # node-order ancestor
+
+    def test_set_edge(self, system):
+        view = system.view(1)
+        view.set_edge(0, 1)
+        assert view.edge_value(0) == 1
+
+    def test_edge_shared_between_endpoints(self, system):
+        system.view(1).set_edge(2, 2)
+        assert system.view(2).edge_value(1) == 2
+
+    def test_edge_non_neighbor_rejected(self, system):
+        with pytest.raises(NotNeighborsError):
+            system.view(0).edge_value(2)
+        with pytest.raises(NotNeighborsError):
+            system.view(0).set_edge(2, 0)
+
+
+class TestCrashOpacity:
+    def test_view_exposes_no_liveness(self, system):
+        """Crashes are undetectable: the view API must not leak them."""
+        view = system.view(1)
+        system.kill(2)
+        # no attribute of the view mentions liveness, and reads of the dead
+        # neighbour's frozen state still work exactly as before.
+        assert not any("dead" in name or "live" in name for name in dir(view))
+        assert view.peek(2, "state") == "T"
+        assert view.edge_value(2) == 1
+
+
+class TestHubView:
+    def test_star_hub_sees_all_leaves(self):
+        system = System(star(4), NADiners())
+        view = system.view(0)
+        assert set(view.neighbors) == {1, 2, 3, 4}

@@ -1,0 +1,128 @@
+"""Tests for configuration serialization and diffing."""
+
+import random
+
+import pytest
+
+from repro.core import NADiners, invariant_holds
+from repro.sim import (
+    SimulationError,
+    System,
+    diff_configurations,
+    from_json,
+    line,
+    ring,
+    to_json,
+)
+from repro.core import figure2_configuration
+
+
+class TestRoundTrip:
+    def test_pristine(self):
+        c = System(line(4), NADiners()).snapshot()
+        assert from_json(to_json(c)) == c
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized(self, seed):
+        s = System(ring(6), NADiners())
+        s.randomize(random.Random(seed))
+        c = s.snapshot()
+        assert from_json(to_json(c)) == c
+
+    def test_statuses_preserved(self):
+        s = System(line(4), NADiners())
+        s.kill(0)
+        s.mark_malicious(2)
+        c2 = from_json(to_json(s.snapshot()))
+        assert c2.dead == frozenset({0})
+        assert c2.malicious == frozenset({2})
+
+    def test_string_pids(self):
+        c = figure2_configuration()
+        c2 = from_json(to_json(c))
+        assert c2 == c
+        assert c2.topology.diameter == 3
+
+    def test_predicates_work_on_loaded(self):
+        c = System(line(4), NADiners()).snapshot()
+        assert invariant_holds(from_json(to_json(c)))
+
+    def test_compact_mode(self):
+        c = System(line(3), NADiners()).snapshot()
+        assert "\n" not in to_json(c, indent=None)
+
+
+class TestRejection:
+    def test_not_json(self):
+        with pytest.raises(SimulationError):
+            from_json("{nope")
+
+    def test_wrong_format_version(self):
+        import json
+
+        c = System(line(3), NADiners()).snapshot()
+        payload = json.loads(to_json(c))
+        payload["format"] = 99
+        with pytest.raises(SimulationError):
+            from_json(json.dumps(payload))
+
+    def test_non_literal_value_rejected_at_save(self):
+        from repro.sim.serialize import _encode
+
+        with pytest.raises(SimulationError):
+            _encode(object())
+
+
+class TestDiff:
+    def test_empty_diff(self):
+        c = System(line(3), NADiners()).snapshot()
+        d = diff_configurations(c, c)
+        assert d.empty
+        assert d.render() == "(no differences)"
+
+    def test_local_change(self):
+        s = System(line(3), NADiners())
+        before = s.snapshot()
+        s.write_local(1, "state", "E")
+        d = diff_configurations(before, s.snapshot())
+        assert d.locals_changed == ((1, "state", "T", "E"),)
+
+    def test_edge_change(self):
+        from repro.sim import edge
+
+        s = System(line(3), NADiners())
+        before = s.snapshot()
+        s.write_edge(edge(0, 1), 1)
+        d = diff_configurations(before, s.snapshot())
+        assert d.edges_changed == ((0, 1, 0, 1),)
+
+    def test_status_change(self):
+        s = System(line(3), NADiners())
+        before = s.snapshot()
+        s.kill(2)
+        d = diff_configurations(before, s.snapshot())
+        assert d.status_changed == ((2, "alive", "dead"),)
+
+    def test_render_mentions_changes(self):
+        s = System(line(3), NADiners())
+        before = s.snapshot()
+        s.write_local(0, "depth", 7)
+        text = diff_configurations(before, s.snapshot()).render()
+        assert "depth" in text and "7" in text
+
+    def test_topology_mismatch(self):
+        a = System(line(3), NADiners()).snapshot()
+        b = System(ring(3), NADiners()).snapshot()
+        with pytest.raises(SimulationError):
+            diff_configurations(a, b)
+
+    def test_transition_explained_by_diff(self):
+        """A single engine step's diff names exactly the variables that
+        action writes — transition forensics in one call."""
+        s = System(line(3), NADiners())
+        s.write_local(0, "needs", True)
+        before = s.snapshot()
+        s.execute(0, NADiners().action_named("join"))
+        d = diff_configurations(before, s.snapshot())
+        assert [(c[0], c[1]) for c in d.locals_changed] == [(0, "state")]
+        assert not d.edges_changed

@@ -1,0 +1,279 @@
+"""Unit tests for topologies and generators."""
+
+import pytest
+
+from repro.sim import (
+    Topology,
+    TopologyError,
+    UnknownProcessError,
+    binary_tree,
+    complete,
+    edge,
+    figure2,
+    from_mapping,
+    grid,
+    line,
+    random_connected,
+    ring,
+    star,
+)
+
+
+class TestTopologyBasics:
+    def test_nodes_preserve_order(self):
+        t = Topology(["c", "a", "b"], [("c", "a"), ("a", "b")])
+        assert t.nodes == ("c", "a", "b")
+
+    def test_neighbors_symmetric(self):
+        t = line(3)
+        assert 1 in t.neighbors(0)
+        assert 0 in t.neighbors(1)
+
+    def test_neighbors_excludes_self(self):
+        t = ring(4)
+        assert 0 not in t.neighbors(0)
+
+    def test_degree(self):
+        t = star(4)
+        assert t.degree(0) == 4
+        assert t.degree(1) == 1
+
+    def test_are_neighbors(self):
+        t = line(3)
+        assert t.are_neighbors(0, 1)
+        assert not t.are_neighbors(0, 2)
+
+    def test_contains(self):
+        t = line(3)
+        assert 2 in t
+        assert 99 not in t
+
+    def test_len(self):
+        assert len(grid(3, 4)) == 12
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([0, 1], [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([0, 1], [(0, 1), (1, 0)])
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([0, 0], [])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(UnknownProcessError):
+            Topology([0, 1], [(0, 7)])
+
+    def test_disconnected_rejected_by_default(self):
+        with pytest.raises(TopologyError):
+            Topology([0, 1, 2], [(0, 1)])
+
+    def test_disconnected_opt_in(self):
+        t = Topology([0, 1, 2], [(0, 1)], allow_disconnected=True)
+        with pytest.raises(TopologyError):
+            t.distance(0, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([], [])
+
+    def test_unknown_pid_in_neighbors(self):
+        with pytest.raises(UnknownProcessError):
+            line(3).neighbors(42)
+
+
+class TestDistances:
+    def test_self_distance_zero(self):
+        assert ring(5).distance(2, 2) == 0
+
+    def test_line_distance(self):
+        assert line(6).distance(0, 5) == 5
+
+    def test_ring_wraps(self):
+        assert ring(6).distance(0, 5) == 1
+
+    def test_grid_manhattan(self):
+        t = grid(3, 3)  # nodes y*3+x
+        assert t.distance(0, 8) == 4
+
+    def test_diameter_line(self):
+        assert line(7).diameter == 6
+
+    def test_diameter_ring_even(self):
+        assert ring(8).diameter == 4
+
+    def test_diameter_ring_odd(self):
+        assert ring(7).diameter == 3
+
+    def test_diameter_complete(self):
+        assert complete(5).diameter == 1
+
+    def test_diameter_star(self):
+        assert star(5).diameter == 2
+
+    def test_single_node_diameter(self):
+        assert line(1).diameter == 0
+
+    def test_ball(self):
+        t = line(7)
+        assert t.ball(3, 1) == frozenset({2, 3, 4})
+
+    def test_ball_radius_zero(self):
+        assert line(5).ball(2, 0) == frozenset({2})
+
+    def test_outside_ball(self):
+        t = line(7)
+        assert t.outside_ball([0], 2) == frozenset({3, 4, 5, 6})
+
+    def test_outside_ball_multiple_centers(self):
+        t = line(7)
+        assert t.outside_ball([0, 6], 2) == frozenset({3})
+
+
+class TestLongestSimplePath:
+    def test_line(self):
+        assert line(5).longest_simple_path() == 4
+
+    def test_triangle_exceeds_diameter(self):
+        t = ring(3)
+        assert t.diameter == 1
+        assert t.longest_simple_path() == 2
+
+    def test_ring(self):
+        assert ring(6).longest_simple_path() == 5
+
+    def test_star_equals_diameter(self):
+        t = star(4)
+        assert t.longest_simple_path() == t.diameter == 2
+
+    def test_cached(self):
+        t = ring(5)
+        assert t.longest_simple_path() == t.longest_simple_path()
+
+
+class TestGenerators:
+    def test_ring_minimum(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_ring_structure(self):
+        t = ring(5)
+        assert all(t.degree(p) == 2 for p in t.nodes)
+
+    def test_line_single(self):
+        assert len(line(1)) == 1
+
+    def test_complete_edges(self):
+        assert len(complete(5).edges) == 10
+
+    def test_grid_edges(self):
+        assert len(grid(3, 2).edges) == 7
+
+    def test_binary_tree_size(self):
+        assert len(binary_tree(3)) == 15
+
+    def test_binary_tree_is_tree(self):
+        t = binary_tree(2)
+        assert len(t.edges) == len(t) - 1
+
+    def test_random_connected_is_connected(self):
+        t = random_connected(20, 0.05, seed=3)
+        # Construction would raise if disconnected.
+        assert len(t) == 20
+
+    def test_random_connected_deterministic(self):
+        a = random_connected(12, 0.2, seed=9)
+        b = random_connected(12, 0.2, seed=9)
+        assert a.edges == b.edges
+
+    def test_random_connected_zero_probability_is_tree(self):
+        t = random_connected(10, 0.0, seed=4)
+        assert len(t.edges) == 9
+
+    def test_random_connected_full_probability_is_complete(self):
+        t = random_connected(6, 1.0, seed=4)
+        assert len(t.edges) == 15
+
+    def test_from_mapping(self):
+        t = from_mapping({"a": ["b"], "b": ["a", "c"], "c": ["b"]})
+        assert t.are_neighbors("a", "b")
+        assert not t.are_neighbors("a", "c")
+
+    def test_edge_is_unordered(self):
+        assert edge(1, 2) == edge(2, 1)
+
+
+class TestFigure2Topology:
+    def test_has_seven_processes(self):
+        assert len(figure2()) == 7
+
+    def test_diameter_is_three(self):
+        assert figure2().diameter == 3
+
+    def test_crash_site_adjacency(self):
+        t = figure2()
+        assert set(t.neighbors("a")) == {"b", "c"}
+
+    def test_d_is_two_hops_from_a(self):
+        assert figure2().distance("a", "d") == 2
+
+    def test_triangle_efg(self):
+        t = figure2()
+        assert t.are_neighbors("e", "f")
+        assert t.are_neighbors("f", "g")
+        assert t.are_neighbors("e", "g")
+
+    def test_efg_three_hops_from_crash(self):
+        t = figure2()
+        assert all(t.distance("a", p) == 3 for p in "efg")
+
+
+class TestTorusAndHypercube:
+    def test_torus_degree(self):
+        from repro.sim import torus
+
+        t = torus(4, 3)
+        assert all(t.degree(p) == 4 for p in t.nodes)
+
+    def test_torus_size_and_edges(self):
+        from repro.sim import torus
+
+        t = torus(3, 3)
+        assert len(t) == 9
+        assert len(t.edges) == 18  # 2 edges per node
+
+    def test_torus_minimum_dimension(self):
+        from repro.sim import torus
+
+        with pytest.raises(TopologyError):
+            torus(2, 3)
+
+    def test_torus_diameter(self):
+        from repro.sim import torus
+
+        assert torus(4, 4).diameter == 4  # 2 + 2 wraparound hops
+
+    def test_hypercube_structure(self):
+        from repro.sim import hypercube
+
+        h = hypercube(3)
+        assert len(h) == 8
+        assert all(h.degree(p) == 3 for p in h.nodes)
+        assert h.diameter == 3
+
+    def test_hypercube_neighbors_differ_by_one_bit(self):
+        from repro.sim import hypercube
+
+        h = hypercube(4)
+        for p in h.nodes:
+            for q in h.neighbors(p):
+                assert bin(p ^ q).count("1") == 1
+
+    def test_hypercube_dimension_validation(self):
+        from repro.sim import hypercube
+
+        with pytest.raises(TopologyError):
+            hypercube(0)

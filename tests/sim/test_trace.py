@@ -1,0 +1,98 @@
+"""Unit tests for trace recording."""
+
+import pytest
+
+from repro.core import NADiners
+from repro.sim import EventKind, System, TraceEvent, TraceRecorder, line
+
+
+def event(step, kind=EventKind.ACTION, pid=0, detail="join"):
+    return TraceEvent(step, kind, pid, detail)
+
+
+class TestRecorder:
+    def test_records_events(self):
+        rec = TraceRecorder()
+        rec.record_event(event(0))
+        rec.record_event(event(1, detail="enter"))
+        assert len(rec) == 2
+
+    def test_keep_events_false(self):
+        rec = TraceRecorder(keep_events=False)
+        rec.record_event(event(0))
+        assert len(rec) == 0
+
+    def test_events_of_kind(self):
+        rec = TraceRecorder()
+        rec.record_event(event(0, EventKind.ACTION))
+        rec.record_event(event(1, EventKind.CRASH, detail=None))
+        assert len(rec.events_of_kind(EventKind.CRASH)) == 1
+
+    def test_actions_of(self):
+        rec = TraceRecorder()
+        rec.record_event(event(0, pid=0))
+        rec.record_event(event(1, pid=1))
+        rec.record_event(event(2, pid=0, detail="enter"))
+        assert [e.detail for e in rec.actions_of(0)] == ["join", "enter"]
+
+    def test_first_action(self):
+        rec = TraceRecorder()
+        rec.record_event(event(3, pid=2, detail="enter"))
+        rec.record_event(event(9, pid=2, detail="enter"))
+        found = rec.first_action(2, "enter")
+        assert found is not None and found.step == 3
+
+    def test_first_action_missing(self):
+        assert TraceRecorder().first_action(0, "enter") is None
+
+    def test_clear(self):
+        rec = TraceRecorder(snapshot_every=1)
+        rec.record_event(event(0))
+        rec.force_snapshot(0, System(line(2), NADiners()).snapshot())
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.snapshots == ()
+
+    def test_negative_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(snapshot_every=-1)
+
+
+class TestSnapshots:
+    def test_disabled_by_default(self):
+        rec = TraceRecorder()
+        rec.maybe_snapshot(10, System(line(2), NADiners()).snapshot())
+        rec.force_snapshot(10, System(line(2), NADiners()).snapshot())
+        assert rec.snapshots == ()
+
+    def test_cadence(self):
+        rec = TraceRecorder(snapshot_every=5)
+        snap = System(line(2), NADiners()).snapshot()
+        for step in range(1, 12):
+            rec.maybe_snapshot(step, snap)
+        assert [s for s, _ in rec.snapshots] == [5, 10]
+
+    def test_force_snapshot_dedupes_step(self):
+        rec = TraceRecorder(snapshot_every=5)
+        snap = System(line(2), NADiners()).snapshot()
+        rec.force_snapshot(0, snap)
+        rec.force_snapshot(0, snap)
+        assert len(rec.snapshots) == 1
+
+
+class TestRendering:
+    def test_event_str(self):
+        text = str(event(7, EventKind.ACTION, 1, "enter"))
+        assert "7" in text and "action" in text and "enter" in text
+
+    def test_render_limit(self):
+        rec = TraceRecorder()
+        for i in range(10):
+            rec.record_event(event(i))
+        text = rec.render(limit=3)
+        assert "7 more events" in text
+
+    def test_render_all(self):
+        rec = TraceRecorder()
+        rec.record_event(event(0))
+        assert "more events" not in rec.render()

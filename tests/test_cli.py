@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, main, parse_topology
+
+
+class TestParseTopology:
+    def test_ring(self):
+        assert len(parse_topology("ring:6")) == 6
+
+    def test_grid(self):
+        assert len(parse_topology("grid:4:3")) == 12
+
+    def test_tree(self):
+        assert len(parse_topology("tree:2")) == 7
+
+    def test_random_with_seed(self):
+        t1 = parse_topology("random:8:3")
+        t2 = parse_topology("random:8:3")
+        assert t1.edges == t2.edges
+
+    def test_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            parse_topology("torus:3")
+
+    def test_bad_arity(self):
+        with pytest.raises(SystemExit):
+            parse_topology("grid:4")
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--topology", "line:4", "--steps", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "meals" in out and "invariant" in out
+
+    def test_run_each_algorithm(self, capsys):
+        for name in ALGORITHMS:
+            assert main(
+                ["run", "--topology", "ring:5", "--algorithm", name, "--steps", "1500"]
+            ) == 0
+
+    def test_locality(self, capsys):
+        code = main(
+            [
+                "locality",
+                "--topology",
+                "line:7",
+                "--victim",
+                "0",
+                "--steps",
+                "15000",
+            ]
+        )
+        assert code == 0
+        assert "starvation radius" in capsys.readouterr().out
+
+    def test_stabilize(self, capsys):
+        code = main(
+            ["stabilize", "--topology", "line:5", "--seed", "3", "--max-steps", "200000"]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_stabilize_plant_cycle_nc_only(self, capsys):
+        code = main(
+            [
+                "stabilize",
+                "--topology",
+                "ring:5",
+                "--plant-cycle",
+                "--nc-only",
+                "--max-steps",
+                "200000",
+            ]
+        )
+        assert code == 0
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "panel 4" in out and "leave" in out
+
+    def test_check(self, capsys):
+        assert main(["check", "--topology", "line:3"]) == 0
+        out = capsys.readouterr().out
+        assert "converges: True" in out
+
+    def test_check_corrected_threshold(self, capsys):
+        assert main(["check", "--topology", "ring:3", "--corrected-threshold"]) == 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "nope"])
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys, monkeypatch):
+        # Stub the (slow) suite: this tests the CLI plumbing only.
+        from repro.analysis import Section, SuiteResult
+        import repro.analysis as analysis
+
+        def fake_suite(config):
+            result = SuiteResult(config=config)
+            result.sections.append(
+                Section(title="Stub", header=("a", "b"), rows=[(1, 2)])
+            )
+            return result
+
+        monkeypatch.setattr(analysis, "run_suite", fake_suite)
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# repro experiment suite" in out
+        assert "## Stub" in out
+
+    def test_report_to_file(self, tmp_path, monkeypatch):
+        from repro.analysis import SuiteResult
+        import repro.analysis as analysis
+
+        monkeypatch.setattr(
+            analysis, "run_suite", lambda config: SuiteResult(config=config)
+        )
+        target = tmp_path / "r.md"
+        assert main(["report", "--output", str(target)]) == 0
+        assert target.read_text().startswith("# repro experiment suite")
+
+

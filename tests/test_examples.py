@@ -1,0 +1,63 @@
+"""Smoke tests keeping the example scripts working.
+
+Fast examples run end to end in-process; slow ones are at least compiled
+and import-checked so a refactor cannot silently break them.
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    saved = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "OK: every process ate" in out
+
+    def test_figure2_walkthrough(self, capsys):
+        run_example("figure2_walkthrough.py")
+        out = capsys.readouterr().out
+        assert "failure locality 2" in out
+        assert "state 4" in out
+
+    def test_crash_timeline(self, capsys):
+        run_example("crash_timeline.py")
+        out = capsys.readouterr().out
+        assert "CRASH" in out
+        assert "still dining" in out
+
+
+class TestSlowExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "failure_locality_demo.py",
+            "stabilization_demo.py",
+            "message_passing_demo.py",
+            "generate_report.py",
+        ],
+    )
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+class TestMediumExamples:
+    def test_message_passing_demo(self, capsys):
+        run_example("message_passing_demo.py")
+        out = capsys.readouterr().out
+        assert "safe and live over message passing" in out

@@ -1,0 +1,134 @@
+"""Tests for the low-atomicity adapter."""
+
+import pytest
+
+from repro.analysis import live_eating_pairs_count
+from repro.core import NADiners
+from repro.lowatom import LowAtomicityAdapter, cache_var, edge_cache_var
+from repro.sim import AlwaysHungry, Engine, System, edge, line, ring
+
+
+@pytest.fixture
+def adapted():
+    return LowAtomicityAdapter(NADiners())
+
+
+class TestDeclarations:
+    def test_name_and_hunger(self, adapted):
+        assert adapted.name == "na-diners/low-atomicity"
+        assert adapted.hunger_variable == "needs"
+
+    def test_cache_slots_declared(self, adapted):
+        domains = adapted.local_domains(line(3))
+        assert cache_var(1, "state") in domains
+        assert edge_cache_var(1) in domains
+
+    def test_actions_are_base_plus_refresh(self, adapted):
+        names = [a.name for a in adapted.actions()]
+        assert names == ["join", "leave", "enter", "exit", "fixdepth", "refresh"]
+
+    def test_initial_caches_accurate(self, adapted):
+        s = System(line(3), adapted)
+        # 1's cache of 0's state matches reality initially
+        assert s.read_local(1, cache_var(0, "state")) == s.read_local(0, "state")
+        assert s.read_local(1, edge_cache_var(0)) == s.read_edge(edge(0, 1))
+
+    def test_initial_state_quiescent(self, adapted):
+        # accurate caches + quiescent base => nothing enabled
+        assert System(line(3), adapted).is_quiescent()
+
+
+class TestRefresh:
+    def test_refresh_enabled_when_stale(self, adapted):
+        s = System(line(3), adapted)
+        s.write_local(0, "state", "H")  # 1's cache of 0 is now stale
+        assert "refresh" in [a.name for a in s.enabled_actions(1)]
+
+    def test_refresh_copies_neighbor(self, adapted):
+        s = System(line(3), adapted)
+        s.write_local(0, "state", "H")
+        s.execute(1, adapted.action_named("refresh"))
+        assert s.read_local(1, cache_var(0, "state")) == "H"
+
+    def test_refresh_disabled_when_accurate(self, adapted):
+        s = System(line(3), adapted)
+        assert "refresh" not in [a.name for a in s.enabled_actions(1)]
+
+    def test_register_mode_copies_one_slot(self):
+        adapted = LowAtomicityAdapter(NADiners(), refresh_whole_neighbor=False)
+        s = System(line(3), adapted)
+        s.write_local(0, "state", "H")
+        s.write_local(0, "depth", 5)  # initial depth of 0 on line(3) is 2
+        s.execute(1, adapted.action_named("refresh"))
+        state_fresh = s.read_local(1, cache_var(0, "state")) == "H"
+        depth_fresh = s.read_local(1, cache_var(0, "depth")) == 5
+        assert state_fresh != depth_fresh  # exactly one slot refreshed
+
+
+class TestGuardsUseCaches:
+    def test_stale_cache_fools_guard(self, adapted):
+        s = System(line(3), adapted)
+        s.write_local(1, "needs", True)
+        s.write_local(0, "state", "H")  # real ancestor hungry...
+        # ...but 1's cache still says T, so join (which must wait for
+        # thinking ancestors) is enabled on the stale view.
+        assert "join" in [a.name for a in s.enabled_actions(1)]
+
+    def test_fresh_cache_blocks_guard(self, adapted):
+        s = System(line(3), adapted)
+        s.write_local(1, "needs", True)
+        s.write_local(0, "state", "H")
+        s.execute(1, adapted.action_named("refresh"))
+        assert "join" not in [a.name for a in s.enabled_actions(1)]
+
+    def test_exit_writes_through_edge_and_cache(self, adapted):
+        s = System(line(3), adapted)
+        s.write_local(1, "state", "E")
+        s.execute(1, adapted.action_named("exit"))
+        assert s.read_edge(edge(0, 1)) == 0
+        assert s.read_local(1, edge_cache_var(0)) == 0
+
+
+class TestBehaviour:
+    def test_still_live(self, adapted):
+        s = System(ring(5), adapted)
+        e = Engine(s, hunger=AlwaysHungry(), seed=2)
+        e.run(20_000)
+        assert all(e.eats_of(p) > 0 for p in s.pids)
+
+    def test_safety_violated_under_low_atomicity(self):
+        """The gap [15] exists to close: stale caches let neighbours eat
+        together, which composite atomicity never does (same seed)."""
+        def violations(algorithm, seed=1, steps=20_000):
+            s = System(ring(6), algorithm)
+            e = Engine(s, hunger=AlwaysHungry(), seed=seed)
+            count = 0
+            for _ in range(steps):
+                if not e.step():
+                    break
+                if live_eating_pairs_count(s.snapshot()):
+                    count += 1
+            return count
+
+        assert violations(LowAtomicityAdapter(NADiners())) > 0
+        assert violations(NADiners()) == 0
+
+    def test_violations_are_transient(self):
+        s = System(ring(6), LowAtomicityAdapter(NADiners()))
+        e = Engine(s, hunger=AlwaysHungry(), seed=3)
+        e.run(20_000)
+        # stop the hunger: system must drain to a safe state
+        from repro.sim import NeverHungry
+
+        e2 = Engine(s, hunger=NeverHungry(), seed=4)
+        e2.run(5_000)
+        assert live_eating_pairs_count(s.snapshot()) == 0
+
+    def test_works_with_fault_machinery(self, adapted):
+        import random
+
+        s = System(line(4), adapted)
+        s.randomize(random.Random(7))  # corrupts caches too
+        e = Engine(s, hunger=AlwaysHungry(), seed=7)
+        e.run(10_000)
+        assert e.total_eats() > 0
