@@ -8,23 +8,31 @@ program and the baselines, and returns a structured result that
 counterpart of the ``benchmarks/`` suite for users who want numbers inside
 their own pipelines.
 
+Since the campaign refactor every section is a *campaign spec*: a list of
+self-describing shards (see :mod:`repro.campaign.shard`) plus a pure
+aggregator that folds the shard records into the section's table rows.  All
+sections' shards run through one :func:`repro.campaign.runner.run_shards`
+call, so ``jobs>1`` parallelises the whole suite across a worker pool and
+``records_path`` gives it checkpoint/resume; ``jobs=1`` (the default) is the
+sequential in-process fallback with bit-identical numbers.
+
 >>> from repro.analysis.suite import SuiteConfig, run_suite, to_markdown
->>> result = run_suite(SuiteConfig(quick=True))     # doctest: +SKIP
->>> print(to_markdown(result))                      # doctest: +SKIP
+>>> result = run_suite(SuiteConfig(quick=True), jobs=4)  # doctest: +SKIP
+>>> print(to_markdown(result))                           # doctest: +SKIP
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
-from ..baselines import ChoySinghDiners, ForkOrderingDiners, HygienicDiners
-from ..core import NADiners, invariant_holds
-from ..sim import AlwaysHungry, Engine, MaliciousCrash, System, line, ring
-from .locality import measure_failure_locality
-from .masking import masking_probe
-from .metrics import throughput_report
-from .stabilization import convergence_study
+from ..campaign.shard import Shard
+
+#: Algorithms contrasted by the locality section.
+_LOCALITY_ALGORITHMS = ("na-diners", "choy-singh", "hygienic")
+#: Algorithms contrasted by the throughput section.
+_THROUGHPUT_ALGORITHMS = ("na-diners", "choy-singh", "hygienic", "fork-ordering")
 
 
 @dataclass(frozen=True)
@@ -32,24 +40,26 @@ class SuiteConfig:
     """Knobs for :func:`run_suite`.
 
     ``quick`` trades precision for wall-clock: smaller systems, shorter
-    windows, fewer seeds.  Either mode asserts nothing — the suite reports;
-    the benchmark targets enforce.
+    windows, fewer seeds.  The size knobs (``line_n``, ``window``,
+    ``trials``) default from ``quick`` but can be pinned explicitly — the
+    determinism and resume tests run tiny pinned configurations.  Either
+    mode asserts nothing — the suite reports; the benchmark targets enforce.
     """
 
     quick: bool = True
     seed: int = 0
+    line_n: Optional[int] = None
+    window: Optional[int] = None
+    trials: Optional[int] = None
+    max_steps: int = 500_000
 
-    @property
-    def line_n(self) -> int:
-        return 8 if self.quick else 14
-
-    @property
-    def window(self) -> int:
-        return 20_000 if self.quick else 60_000
-
-    @property
-    def trials(self) -> int:
-        return 5 if self.quick else 15
+    def __post_init__(self) -> None:
+        if self.line_n is None:
+            object.__setattr__(self, "line_n", 8 if self.quick else 14)
+        if self.window is None:
+            object.__setattr__(self, "window", 20_000 if self.quick else 60_000)
+        if self.trials is None:
+            object.__setattr__(self, "trials", 5 if self.quick else 15)
 
 
 @dataclass
@@ -68,9 +78,69 @@ class SuiteResult:
     sections: List[Section] = field(default_factory=list)
 
 
-def _locality_section(config: SuiteConfig) -> Section:
-    topology = line(config.line_n)
-    section = Section(
+RowBuilder = Callable[[Sequence[Mapping]], List[Tuple]]
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """A section as a campaign: its shards and its record aggregator.
+
+    ``build_rows`` receives the shards' result dicts *in shard order* (the
+    runner may complete them in any interleaving; the spec realigns by key),
+    so aggregation is deterministic however the campaign executed.
+    """
+
+    title: str
+    header: Tuple[str, ...]
+    commentary: str
+    shards: Tuple[Shard, ...]
+    build_rows: RowBuilder
+
+    def section(self, results: Sequence[Mapping]) -> Section:
+        return Section(
+            title=self.title,
+            header=self.header,
+            rows=self.build_rows(results),
+            commentary=self.commentary,
+        )
+
+
+# ------------------------------------------------------------ section specs
+
+
+def _locality_spec(config: SuiteConfig) -> SectionSpec:
+    topology = f"line:{config.line_n}"
+    shards = tuple(
+        Shard(
+            "locality",
+            {
+                "topology": topology,
+                "algorithm": algorithm,
+                "victims": [0],
+                "malicious_steps": None,
+                "warmup": 2 * config.window,
+                "settle": config.window // 2,
+                "window": config.window,
+            },
+            seed=config.seed,
+        )
+        for algorithm in _LOCALITY_ALGORITHMS
+    )
+
+    def build_rows(results: Sequence[Mapping]) -> List[Tuple]:
+        rows: List[Tuple] = []
+        for algorithm, result in zip(_LOCALITY_ALGORITHMS, results):
+            radius = result["radius"]
+            rows.append(
+                (
+                    algorithm,
+                    radius if radius is not None else 0,
+                    ",".join(str(p) for p in result["starving"]) or "-",
+                )
+            )
+        return rows
+
+    return SectionSpec(
         title="Failure locality (benign crash of an eating process)",
         header=("algorithm", "starvation radius", "starving processes"),
         commentary=(
@@ -78,64 +148,93 @@ def _locality_section(config: SuiteConfig) -> Section:
             "crash within distance 2; hygienic's blocked chain covers the "
             "whole line."
         ),
+        shards=shards,
+        build_rows=build_rows,
     )
-    for algorithm in (NADiners(), ChoySinghDiners(), HygienicDiners()):
-        report = measure_failure_locality(
-            algorithm,
-            topology,
-            [0],
-            warmup_steps=2 * config.window,
-            settle_steps=config.window // 2,
-            window=config.window,
-            seed=config.seed,
-        )
-        section.rows.append(
-            (
-                algorithm.name,
-                report.starvation_radius if report.starvation_radius is not None else 0,
-                ",".join(str(p) for p in sorted(report.starving)) or "-",
+
+
+def _stabilization_spec(config: SuiteConfig) -> SectionSpec:
+    points = (
+        (f"line:{config.line_n}", "invariant"),
+        # literal-threshold I may be unsatisfiable on rings (see DESIGN.md
+        # 4a); measure NC restoration instead.
+        (f"ring:{config.line_n}", "nc"),
+    )
+    shards: List[Shard] = []
+    for topology, predicate in points:
+        for trial in range(config.trials):
+            shards.append(
+                Shard(
+                    "stabilize",
+                    {
+                        "topology": topology,
+                        "algorithm": "na-diners",
+                        "predicate": predicate,
+                        "plant_cycle": False,
+                        "max_steps": config.max_steps,
+                        "check_every": 4,
+                        "trial": trial,
+                    },
+                    # Historical per-trial seed schedule of convergence_study.
+                    seed=config.seed * 10_007 + trial,
+                )
             )
-        )
-    return section
 
+    def build_rows(results: Sequence[Mapping]) -> List[Tuple]:
+        rows: List[Tuple] = []
+        for i, (topology, _) in enumerate(points):
+            chunk = results[i * config.trials : (i + 1) * config.trials]
+            converged = [r for r in chunk if r["converged"]]
+            steps = [r["steps"] for r in converged if r["steps"] is not None]
+            mean = sum(steps) / len(steps) if steps else math.nan
+            rows.append(
+                (
+                    topology.replace(":", "(") + ")",
+                    f"{len(converged)}/{config.trials}",
+                    f"{mean:.0f}",
+                    max(steps) if steps else 0,
+                )
+            )
+        return rows
 
-def _stabilization_section(config: SuiteConfig) -> Section:
-    section = Section(
+    return SectionSpec(
         title="Stabilization from random corruption",
         header=("topology", "converged", "mean steps", "max steps"),
         commentary=(
             "Theorem 1: every trial converges to the invariant I from a "
             "fully randomized state."
         ),
+        shards=tuple(shards),
+        build_rows=build_rows,
     )
-    for name, topology in (("line", line(config.line_n)), ("ring", ring(config.line_n))):
-        if name == "ring":
-            # literal-threshold I may be unsatisfiable on rings (see
-            # DESIGN.md 4a); measure NC restoration instead.
-            from ..core import nc_holds as predicate
-        else:
-            predicate = invariant_holds
-        summary = convergence_study(
-            NADiners,
-            topology,
-            trials=config.trials,
-            max_steps=500_000,
+
+
+def _throughput_spec(config: SuiteConfig) -> SectionSpec:
+    shards = tuple(
+        Shard(
+            "throughput",
+            {
+                "topology": f"ring:{config.line_n}",
+                "algorithm": algorithm,
+                "window": config.window,
+            },
             seed=config.seed,
-            predicate=predicate,
         )
-        section.rows.append(
+        for algorithm in _THROUGHPUT_ALGORITHMS
+    )
+
+    def build_rows(results: Sequence[Mapping]) -> List[Tuple]:
+        return [
             (
-                f"{name}({config.line_n})",
-                f"{summary.converged}/{summary.trials}",
-                f"{summary.mean_steps:.0f}",
-                summary.max_steps,
+                algorithm,
+                f"{result['per_1000']:.1f}",
+                f"{result['jain']:.3f}",
+                result["min_eats"],
             )
-        )
-    return section
+            for algorithm, result in zip(_THROUGHPUT_ALGORITHMS, results)
+        ]
 
-
-def _throughput_section(config: SuiteConfig) -> Section:
-    section = Section(
+    return SectionSpec(
         title="Fault-free throughput and fairness",
         header=("algorithm", "meals/1k steps", "jain index", "min meals"),
         commentary=(
@@ -143,53 +242,75 @@ def _throughput_section(config: SuiteConfig) -> Section:
             "program pays a measurable premium over hygienic for its two "
             "tolerances; static fork ordering is positionally unfair."
         ),
+        shards=shards,
+        build_rows=build_rows,
     )
-    for factory in (NADiners, ChoySinghDiners, HygienicDiners, ForkOrderingDiners):
-        system = System(ring(config.line_n), factory())
-        engine = Engine(system, hunger=AlwaysHungry(), seed=config.seed)
-        report = throughput_report(engine, config.window)
-        section.rows.append(
-            (
-                report.algorithm,
-                f"{report.per_1000_steps:.1f}",
-                f"{report.jain_index:.3f}",
-                report.min_eats,
-            )
+
+
+def _malicious_spec(config: SuiteConfig) -> SectionSpec:
+    malices = (5, 40)
+    shards = tuple(
+        Shard(
+            "malicious",
+            {
+                "topology": f"line:{config.line_n}",
+                "algorithm": "na-diners",
+                "malicious_steps": malice,
+                "warmup": 1000,
+                "recover_budget": config.max_steps,
+                "window": config.window,
+            },
+            seed=config.seed,
         )
-    return section
+        for malice in malices
+    )
 
+    def build_rows(results: Sequence[Mapping]) -> List[Tuple]:
+        return [
+            (
+                malice,
+                "yes" if result["recovered"] else "NO",
+                "yes" if result["far_ok"] else "NO",
+            )
+            for malice, result in zip(malices, results)
+        ]
 
-def _malicious_section(config: SuiteConfig) -> Section:
-    section = Section(
+    return SectionSpec(
         title="Malicious crash: recovery and containment",
         header=("malice steps", "recovered to I", "far processes eating"),
         commentary=(
             "The headline property: after the arbitrary phase, the "
             "invariant returns and everything beyond distance 2 eats."
         ),
+        shards=shards,
+        build_rows=build_rows,
     )
-    topology = line(config.line_n)
-    for malice in (5, 40):
-        system = System(topology, NADiners())
-        engine = Engine(system, hunger=AlwaysHungry(), seed=config.seed)
-        engine.run(1000)
-        engine.inject(MaliciousCrash(0, malicious_steps=malice))
-        engine.run(malice + 1)
-        result = engine.run(500_000, stop_when=invariant_holds, check_every=8)
-        recovered = result.stopped or invariant_holds(system.snapshot())
-        before = {p: engine.eats_of(p) for p in topology.nodes}
-        engine.run(config.window)
-        far_ok = all(
-            engine.eats_of(p) > before[p]
-            for p in topology.nodes
-            if system.is_live(p) and topology.distance(0, p) > 2
+
+
+def _masking_spec(config: SuiteConfig) -> SectionSpec:
+    seeds = range(3)
+    shards = tuple(
+        Shard(
+            "masking",
+            {
+                "topology": f"ring:{max(6, config.line_n // 2)}",
+                "algorithm": "na-diners",
+                "victim": 1,
+                "malicious_steps": 100,
+                "observe": config.window // 2,
+            },
+            seed=config.seed + offset,
         )
-        section.rows.append((malice, "yes" if recovered else "NO", "yes" if far_ok else "NO"))
-    return section
+        for offset in seeds
+    )
 
+    def build_rows(results: Sequence[Mapping]) -> List[Tuple]:
+        return [
+            (offset, result["faulty_involved"], result["clean_pair"])
+            for offset, result in zip(seeds, results)
+        ]
 
-def _masking_section(config: SuiteConfig) -> Section:
-    section = Section(
+    return SectionSpec(
         title="Masking census during the arbitrary phase",
         header=("seed", "faulty-involved violations", "clean-pair violations"),
         commentary=(
@@ -197,29 +318,46 @@ def _masking_section(config: SuiteConfig) -> Section:
             "process; two healthy neighbours never violate — the paper's "
             "future-work masking gap is confined to the crash's own edges."
         ),
+        shards=shards,
+        build_rows=build_rows,
     )
-    for seed in range(3):
-        report = masking_probe(
-            NADiners(),
-            ring(max(6, config.line_n // 2)),
-            1,
-            malicious_steps=100,
-            observe=config.window // 2,
-            seed=config.seed + seed,
-        )
-        section.rows.append((seed, report.faulty_involved, report.clean_pair))
-    return section
 
 
-def run_suite(config: SuiteConfig | None = None) -> SuiteResult:
-    """Run every section and collect the tables."""
+def suite_specs(config: SuiteConfig) -> List[SectionSpec]:
+    """Every section of the suite as a campaign spec, in report order."""
+    return [
+        _locality_spec(config),
+        _stabilization_spec(config),
+        _throughput_spec(config),
+        _malicious_spec(config),
+        _masking_spec(config),
+    ]
+
+
+def run_suite(
+    config: SuiteConfig | None = None,
+    *,
+    jobs: int = 1,
+    records_path=None,
+) -> SuiteResult:
+    """Run every section's campaign and collect the tables.
+
+    ``jobs`` fans the union of all sections' shards across a worker pool
+    (``1`` = sequential, in-process).  ``records_path`` streams the shard
+    records to a JSONL checkpoint file: a re-run against the same file
+    skips every shard already recorded.
+    """
+    from ..campaign.runner import run_shards
+
     config = config or SuiteConfig()
+    specs = suite_specs(config)
+    all_shards = [shard for spec in specs for shard in spec.shards]
+    campaign = run_shards(all_shards, jobs=jobs, out_path=records_path)
+
     result = SuiteResult(config=config)
-    result.sections.append(_locality_section(config))
-    result.sections.append(_stabilization_section(config))
-    result.sections.append(_throughput_section(config))
-    result.sections.append(_malicious_section(config))
-    result.sections.append(_masking_section(config))
+    for spec in specs:
+        results = [dict(campaign.records[shard.key].result) for shard in spec.shards]
+        result.sections.append(spec.section(results))
     return result
 
 

@@ -1,0 +1,76 @@
+"""Checkpoint/resume: recover completed shards from a campaign's JSONL file.
+
+The runner streams one record line per completed shard.  If the campaign is
+killed — OOM, ctrl-C, a truncated filesystem — the file ends with zero or
+one partial line.  Resuming is then purely subtractive: parse every complete
+line, keep the records whose keys belong to the campaign being (re)run, and
+execute only the shards with no record yet.
+
+Because shard keys are pure functions of ``(kind, params, seed)``, a resumed
+campaign is guaranteed to slot recovered records into exactly the work units
+that produced them; records from other campaigns (stale files, different
+seeds) are ignored and dropped at finalize time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .record import TrialRecord, read_records
+from .shard import Shard
+
+
+@dataclass(frozen=True)
+class ResumePlan:
+    """What a (re)run must do: recovered records and still-missing shards."""
+
+    done: Dict[str, TrialRecord]
+    todo: Tuple[Shard, ...]
+    #: Records found in the file that belong to no shard of this campaign.
+    foreign: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.todo
+
+
+def plan_resume(
+    shards: Iterable[Shard], path: Optional[Path | str]
+) -> ResumePlan:
+    """Split ``shards`` into already-recorded and still-to-run.
+
+    ``path=None`` (no checkpoint file) plans a full run.  Duplicate records
+    for one key keep the first occurrence; duplicate *shards* are an error —
+    they would make "one record per shard" ambiguous.
+    """
+    shards = list(shards)
+    by_key: Dict[str, Shard] = {}
+    for shard in shards:
+        if shard.key in by_key:
+            raise ValueError(
+                f"duplicate shard key {shard.key} "
+                f"({shard.kind}, seed={shard.seed}) — campaign is ambiguous"
+            )
+        by_key[shard.key] = shard
+
+    done: Dict[str, TrialRecord] = {}
+    foreign = 0
+    if path is not None:
+        for record in read_records(path):
+            if record.key not in by_key:
+                foreign += 1
+            elif record.key not in done:
+                done[record.key] = record
+    todo = tuple(s for s in shards if s.key not in done)
+    return ResumePlan(done=done, todo=todo, foreign=foreign)
+
+
+def truncate_lines(path: Path | str, keep: int) -> List[str]:
+    """Keep only the first ``keep`` lines of a JSONL file (test helper for
+    simulating a killed campaign); returns the dropped lines."""
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    path.write_text("".join(lines[:keep]), encoding="utf-8")
+    return [line.rstrip("\n") for line in lines[keep:]]

@@ -1,0 +1,165 @@
+"""Campaign trial records and their JSONL encoding.
+
+A campaign's unit of work is a *shard*; running a shard produces one
+:class:`TrialRecord`.  Records are streamed to disk as JSON Lines so a
+campaign that dies mid-flight loses at most the line being written — the
+checkpoint layer (:mod:`repro.campaign.checkpoint`) recovers every complete
+line and the runner re-executes only the missing shards.
+
+Determinism contract
+--------------------
+
+A record splits into two parts:
+
+* the **canonical part** — ``key``, ``kind``, ``params``, ``seed``,
+  ``result`` — a pure function of the shard definition.  Re-running the same
+  shard always reproduces it byte for byte (canonical JSON: sorted keys,
+  compact separators).
+* the **meta part** — worker pid, wall-clock duration, engine step counts —
+  useful for profiling a sweep but excluded from the determinism contract
+  and from every aggregate.
+
+``canonical_line`` strips the meta part; the determinism regression tests
+and the checkpoint digest both operate on canonical lines only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+FORMAT_VERSION = 1
+
+#: JSON encoding used for every canonical artefact: stable across runs,
+#: machines, and dict-construction orders.
+_CANONICAL = dict(sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text for ``payload`` (sorted keys, compact)."""
+    return json.dumps(payload, **_CANONICAL)
+
+
+def shard_key(kind: str, params: Mapping[str, Any], seed: int) -> str:
+    """Stable identity of one shard: sha1 over its canonical definition.
+
+    The key is what checkpoint/resume matches on, so it must not depend on
+    dict ordering, worker assignment, or anything else environmental.
+    """
+    digest = hashlib.sha1(
+        canonical_json({"kind": kind, "params": dict(params), "seed": seed}).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One completed shard: its definition, its result, and optional meta."""
+
+    key: str
+    kind: str
+    params: Mapping[str, Any]
+    seed: int
+    result: Mapping[str, Any]
+    meta: Optional[Mapping[str, Any]] = field(default=None, compare=False)
+
+    def canonical_payload(self) -> Dict[str, Any]:
+        """The deterministic part of the record, ready for JSON."""
+        return {
+            "format": FORMAT_VERSION,
+            "key": self.key,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "result": dict(self.result),
+        }
+
+    def to_line(self, *, include_meta: bool = True) -> str:
+        """One JSONL line (no trailing newline)."""
+        payload = self.canonical_payload()
+        if include_meta and self.meta is not None:
+            payload["meta"] = dict(self.meta)
+        return canonical_json(payload)
+
+    def canonical_line(self) -> str:
+        """The record's deterministic JSONL form (meta stripped)."""
+        return self.to_line(include_meta=False)
+
+
+def parse_line(line: str) -> Optional[TrialRecord]:
+    """Decode one JSONL line; None for blank, truncated, or foreign lines.
+
+    Tolerance here is what makes resume-after-kill work: a campaign killed
+    mid-write leaves a final partial line, which simply parses as None and
+    gets re-executed.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
+        return None
+    try:
+        return TrialRecord(
+            key=payload["key"],
+            kind=payload["kind"],
+            params=payload["params"],
+            seed=payload["seed"],
+            result=payload["result"],
+            meta=payload.get("meta"),
+        )
+    except KeyError:
+        return None
+
+
+def read_records(path: Path | str) -> List[TrialRecord]:
+    """Every complete record in ``path`` (missing file ⇒ empty list)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[TrialRecord] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            record = parse_line(line)
+            if record is not None:
+                records.append(record)
+    return records
+
+
+def iter_lines(
+    records: Mapping[str, TrialRecord] | List[TrialRecord],
+    *,
+    include_meta: bool = True,
+) -> Iterator[str]:
+    """Records as JSONL lines in canonical (key-sorted) order."""
+    if isinstance(records, Mapping):
+        ordered = [records[k] for k in sorted(records)]
+    else:
+        ordered = sorted(records, key=lambda r: r.key)
+    for record in ordered:
+        yield record.to_line(include_meta=include_meta)
+
+
+def write_records(
+    path: Path | str,
+    records: Mapping[str, TrialRecord] | List[TrialRecord],
+    *,
+    include_meta: bool = True,
+) -> None:
+    """Atomically (re)write ``path`` with records in canonical order.
+
+    Used by the runner's finalize step so a finished campaign file is a
+    deterministic function of its shard set, however execution interleaved.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        for line in iter_lines(records, include_meta=include_meta):
+            handle.write(line + "\n")
+    tmp.replace(path)

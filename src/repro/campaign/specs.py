@@ -1,0 +1,107 @@
+"""Campaign specifications: many-seed sweeps and their aggregates.
+
+A :class:`SweepSpec` names a randomized simulation campaign the way the
+statistical stabilization literature does (many independent seeds per
+configuration point, cf. Herescu & Palamidessi's randomized diners): the
+cross product of topologies × algorithms × trial indices, each trial a
+``sim`` shard with a seed derived deterministically from the sweep's base
+seed.  :func:`aggregate_sim` folds the resulting records into the sweep's
+headline numbers; aggregation reads only the records' deterministic part,
+so the numbers are identical whether a campaign ran fresh, resumed, with 1
+worker, or with 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .record import TrialRecord
+from .shard import Shard, derive_seed
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A many-seed simulation campaign over topology × algorithm points."""
+
+    topologies: Tuple[str, ...]
+    algorithms: Tuple[str, ...] = ("na-diners",)
+    trials: int = 8
+    steps: int = 5_000
+    seed: int = 0
+    #: Optional fault description applied to every trial
+    #: (see :func:`repro.campaign.shard._fault_plan`).
+    fault: Optional[Mapping[str, Any]] = None
+
+    def shards(self) -> List[Shard]:
+        """Expand the sweep into its shard list (deterministic order)."""
+        shards: List[Shard] = []
+        trial_index = 0
+        for topology in self.topologies:
+            for algorithm in self.algorithms:
+                for trial in range(self.trials):
+                    params: Dict[str, Any] = {
+                        "topology": topology,
+                        "algorithm": algorithm,
+                        "steps": self.steps,
+                        "trial": trial,
+                    }
+                    if self.fault is not None:
+                        params["fault"] = dict(self.fault)
+                    shards.append(
+                        Shard(
+                            "sim", params, derive_seed(self.seed, trial_index)
+                        )
+                    )
+                    trial_index += 1
+        return shards
+
+
+@dataclass(frozen=True)
+class SweepAggregate:
+    """Deterministic summary of a sim sweep (order-independent)."""
+
+    trials: int
+    total_eats: int
+    mean_per_1000: float
+    min_per_1000: float
+    max_per_1000: float
+    mean_jain: float
+    worst_min_eats: int
+    safety_ok: int  #: trials whose final state satisfies E (no neighbours eating)
+
+    def lines(self) -> List[str]:
+        """Human-readable report lines with stable formatting."""
+        return [
+            f"trials: {self.trials}",
+            f"total eats: {self.total_eats}",
+            f"meals/1k steps: mean={self.mean_per_1000:.4f} "
+            f"min={self.min_per_1000:.4f} max={self.max_per_1000:.4f}",
+            f"jain fairness: mean={self.mean_jain:.4f}",
+            f"worst per-process meals: {self.worst_min_eats}",
+            f"safety (E at end): {self.safety_ok}/{self.trials}",
+        ]
+
+
+def aggregate_sim(records: Mapping[str, TrialRecord]) -> SweepAggregate:
+    """Fold sim-trial records into a :class:`SweepAggregate`.
+
+    Records are visited in canonical key order, so every run of the same
+    campaign — fresh, resumed, or reparallelised — aggregates identically.
+    """
+    results = [records[key].result for key in sorted(records)]
+    results = [r for r in results if r]  # tolerate empty placeholder results
+    n = len(results)
+    if n == 0:
+        return SweepAggregate(0, 0, 0.0, 0.0, 0.0, 0.0, 0, 0)
+    per_1000 = [r["per_1000"] for r in results]
+    return SweepAggregate(
+        trials=n,
+        total_eats=sum(r["total_eats"] for r in results),
+        mean_per_1000=round(sum(per_1000) / n, 6),
+        min_per_1000=min(per_1000),
+        max_per_1000=max(per_1000),
+        mean_jain=round(sum(r["jain"] for r in results) / n, 6),
+        worst_min_eats=min(r["min_live_eats"] for r in results),
+        safety_ok=sum(1 for r in results if r["safety_ok"]),
+    )

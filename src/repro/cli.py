@@ -8,6 +8,8 @@ Subcommands
 ``stabilize``  corrupt the state (optionally plant a cycle); time recovery
 ``figure2``    replay the paper's Figure 2, panel by panel
 ``check``      model-check closure + convergence on a small instance
+``sweep``      many-seed randomized campaign across a worker pool
+``report``     run the experiment suite, emit markdown
 
 Examples
 --------
@@ -18,15 +20,16 @@ Examples
     python -m repro locality --topology line:12 --algorithm hygienic --victim 0
     python -m repro stabilize --topology ring:8 --plant-cycle
     python -m repro figure2
-    python -m repro check --topology line:3
+    python -m repro check --topology line:3 --jobs 4
+    python -m repro sweep --topology ring:8 --trials 32 --jobs 4 --out out.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
-from typing import Callable, Dict
 
 from .analysis import (
     find_live_cycles,
@@ -34,60 +37,29 @@ from .analysis import (
     plant_priority_cycle,
     steps_to_predicate,
 )
-from .baselines import ChoySinghDiners, ForkOrderingDiners, HygienicDiners
+from .campaign.shard import ALGORITHMS  # canonical registry, re-exported
 from .core import (
     NADiners,
-    NoDynamicThresholdDiners,
-    NoFixdepthDiners,
     invariant_report,
     invariant_with_threshold,
     nc_holds,
     red_set,
     run_figure2,
 )
-from .sim import (
-    AlwaysHungry,
-    Engine,
-    System,
-    Topology,
-    binary_tree,
-    complete,
-    grid,
-    line,
-    random_connected,
-    ring,
-    star,
-)
-
-ALGORITHMS: Dict[str, Callable[[], object]] = {
-    "na-diners": NADiners,
-    "choy-singh": ChoySinghDiners,
-    "hygienic": HygienicDiners,
-    "fork-ordering": ForkOrderingDiners,
-    "no-fixdepth": NoFixdepthDiners,
-    "no-threshold": NoDynamicThresholdDiners,
-}
+from .sim import AlwaysHungry, Engine, System, Topology, from_spec
+from .sim.errors import TopologyError
 
 
 def parse_topology(spec: str) -> Topology:
-    """Parse ``kind:arg[:arg]`` specs like ``ring:8`` or ``grid:4:3``."""
-    kind, _, rest = spec.partition(":")
-    args = [int(x) for x in rest.split(":") if x] if rest else []
-    builders: Dict[str, Callable[..., Topology]] = {
-        "ring": ring,
-        "line": line,
-        "star": star,
-        "complete": complete,
-        "grid": grid,
-        "tree": binary_tree,
-        "random": lambda n, seed=0: random_connected(n, 0.15, seed=seed),
-    }
-    if kind not in builders:
-        raise SystemExit(f"unknown topology kind {kind!r}; one of {sorted(builders)}")
+    """Parse ``kind:arg[:arg]`` specs like ``ring:8`` or ``grid:4:3``.
+
+    CLI-flavoured wrapper over :func:`repro.sim.topology.from_spec`: bad
+    specs exit with a message instead of raising.
+    """
     try:
-        return builders[kind](*args)
-    except TypeError as exc:
-        raise SystemExit(f"bad arguments for {kind}: {exc}") from None
+        return from_spec(spec)
+    except TopologyError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def make_algorithm(name: str):
@@ -194,6 +166,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         check_closure,
         check_convergence,
         enumerate_configurations,
+        space_size,
     )
 
     topology = parse_topology(args.topology)
@@ -204,11 +177,53 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
     algo = NADiners(depth_cap=threshold + 1, diameter_override=threshold)
     predicate = invariant_with_threshold(threshold)
+    ts = TransitionSystem(algo, topology)
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+
+    if jobs > 1:
+        # Sharded path: the enumeration splits into `jobs` deterministic
+        # slices; closure runs as campaign shards, convergence merges the
+        # per-shard reachability graphs before one SCC pass.
+        from .campaign import Shard, parallel_map, run_shards
+        from .campaign.shard import build_graph_shard
+
+        params = {"topology": args.topology, "threshold": threshold}
+        states = space_size(algo, topology, fixed_locals={"needs": True})
+        print(f"{topology}, threshold={threshold}: {states} states ({jobs} shards)")
+        closure_shards = [
+            Shard(
+                "check-closure",
+                {**params, "shard_index": i, "shard_count": jobs},
+                seed=0,
+            )
+            for i in range(jobs)
+        ]
+        campaign = run_shards(closure_shards, jobs=jobs)
+        results = [campaign.records[key].result for key in sorted(campaign.records)]
+        closure_holds = all(r["holds"] for r in results)
+        checked = sum(r["checked_states"] for r in results)
+        print(f"I closed: {closure_holds} ({checked} legit states)")
+        fragments = parallel_map(
+            build_graph_shard,
+            [(params, i, jobs) for i in range(jobs)],
+            jobs=jobs,
+        )
+        graph = {}
+        for fragment in fragments:
+            graph.update(fragment)
+        convergence = check_convergence(ts, predicate, (), graph=graph)
+        print(
+            f"converges: {convergence.converges} "
+            f"({convergence.scc_count} SCCs, {convergence.legit_states} legit states)"
+        )
+        return 0 if closure_holds and convergence.converges else 1
+
     configs = list(
         enumerate_configurations(algo, topology, fixed_locals={"needs": True})
     )
     print(f"{topology}, threshold={threshold}: {len(configs)} states")
-    ts = TransitionSystem(algo, topology)
     closure = check_closure(ts, predicate, configs)
     print(f"I closed: {closure.holds} ({closure.checked_states} legit states)")
     convergence = check_convergence(ts, predicate, configs)
@@ -219,11 +234,72 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if closure.holds and convergence.converges else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .campaign import SweepSpec, aggregate_sim, run_shards
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    topologies = tuple(args.topology or ["ring:8"])
+    for spec in topologies:
+        topology = parse_topology(spec)  # fail fast on bad specs, before forking
+        if args.crash_victim is not None and not 0 <= args.crash_victim < len(topology):
+            raise SystemExit(
+                f"--crash-victim {args.crash_victim} out of range for {spec} "
+                f"(has {len(topology)} processes)"
+            )
+    algorithms = tuple(args.algorithm or ["na-diners"])
+    for name in algorithms:
+        if name not in ALGORITHMS:
+            raise SystemExit(f"unknown algorithm {name!r}; one of {sorted(ALGORITHMS)}")
+    fault = None
+    if args.crash_victim is not None:
+        fault = {
+            "victim": args.crash_victim,
+            "at_step": args.crash_at,
+            "malicious_steps": args.malicious,
+        }
+    sweep = SweepSpec(
+        topologies=topologies,
+        algorithms=algorithms,
+        trials=args.trials,
+        steps=args.steps,
+        seed=args.seed,
+        fault=fault,
+    )
+
+    def progress(record, done, total):
+        if not args.quiet:
+            print(
+                f"[{done}/{total}] {record.kind} "
+                f"{record.params.get('topology')} "
+                f"{record.params.get('algorithm')} seed={record.seed}",
+                file=sys.stderr,
+            )
+
+    result = run_shards(
+        sweep.shards(),
+        jobs=args.jobs,
+        out_path=args.out,
+        resume=not args.fresh,
+        include_meta=not args.no_meta,
+        progress=progress,
+    )
+    print(
+        f"shards: {result.total} "
+        f"(executed {result.executed}, resumed {result.resumed})"
+    )
+    for line_ in aggregate_sim(result.records).lines():
+        print(line_)
+    if result.path is not None:
+        print(f"records: {result.path}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis import SuiteConfig, run_suite, to_markdown
 
     config = SuiteConfig(quick=not args.full, seed=args.seed)
-    result = run_suite(config)
+    result = run_suite(config, jobs=args.jobs, records_path=args.records)
     markdown = to_markdown(result)
     if args.output:
         with open(args.output, "w") as handle:
@@ -273,11 +349,48 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="model-check a small instance exhaustively")
     p.add_argument("--topology", default="line:3")
     p.add_argument("--corrected-threshold", action="store_true")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; >1 shards the state space")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "sweep",
+        help="many-seed randomized campaign with checkpoint/resume",
+        description="Shard (topology, algorithm, fault-plan, seed) trials "
+        "across a worker pool, stream JSONL records, and aggregate. "
+        "Re-running against an existing --out file skips recorded shards.",
+    )
+    p.add_argument("--topology", action="append", default=None,
+                   help="topology spec; repeatable (default ring:8)")
+    p.add_argument("--algorithm", action="append", default=None,
+                   choices=sorted(ALGORITHMS),
+                   help="algorithm; repeatable (default na-diners)")
+    p.add_argument("--trials", type=int, default=8,
+                   help="independent seeds per (topology, algorithm) point")
+    p.add_argument("--steps", type=int, default=5_000)
+    p.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument("--out", default=None,
+                   help="JSONL record/checkpoint file (enables resume)")
+    p.add_argument("--fresh", action="store_true",
+                   help="ignore existing records in --out and re-run everything")
+    p.add_argument("--no-meta", action="store_true",
+                   help="omit worker/timing metadata (byte-reproducible records)")
+    p.add_argument("--crash-victim", type=int, default=None, dest="crash_victim",
+                   help="node index to crash in every trial")
+    p.add_argument("--crash-at", type=int, default=0, dest="crash_at",
+                   help="engine step of the crash")
+    p.add_argument("--malicious", type=int, default=0,
+                   help="arbitrary steps before halting (0 = benign crash)")
+    p.add_argument("--quiet", action="store_true", help="no per-shard progress")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("report", help="run the experiment suite, emit markdown")
     p.add_argument("--full", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument("--records", default=None,
+                   help="JSONL checkpoint file for the suite's campaign")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")
     p.set_defaults(fn=cmd_report)
 
@@ -286,7 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly like other
+        # unix tools (redirect stdout so the interpreter's exit flush
+        # does not raise a second time)
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

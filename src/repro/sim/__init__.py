@@ -57,6 +57,7 @@ from .topology import (
     edge,
     figure2,
     from_mapping,
+    from_spec,
     grid,
     line,
     hypercube,
@@ -126,6 +127,7 @@ __all__ = [
     "edge",
     "figure2",
     "from_mapping",
+    "from_spec",
     "grid",
     "line",
     "hypercube",

@@ -77,6 +77,11 @@ class Engine:
     seed:
         Seed for the engine's private RNG; runs are deterministic given
         (system state, daemon state, seed).
+    rng:
+        An explicit ``random.Random`` instance to use instead of building
+        one from ``seed``.  Callers that thread one RNG through state
+        randomization *and* scheduling (campaign shards do) pass it here;
+        the engine never touches the global ``random`` module either way.
     """
 
     def __init__(
@@ -88,13 +93,14 @@ class Engine:
         faults: FaultPlan | None = None,
         recorder: TraceRecorder | None = None,
         seed: int = 0,
+        rng: random.Random | None = None,
     ) -> None:
         self.system = system
         self.daemon = daemon if daemon is not None else WeaklyFairDaemon()
         self.hunger = hunger
         self.faults = faults
         self.recorder = recorder
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         self.step_count = 0
         #: Executed algorithm actions, keyed by ``(pid, action_name)``.
         self.action_counts: Counter = Counter()

@@ -391,3 +391,35 @@ def from_mapping(adjacency: Mapping[Pid, Iterable[Pid]]) -> Topology:
         for q in neighbors:
             edges.add(edge(p, q))
     return Topology(nodes, [tuple(e) for e in edges])
+
+
+def from_spec(spec: str) -> Topology:
+    """Parse ``kind:arg[:arg]`` topology specs like ``ring:8`` or ``grid:4:3``.
+
+    The spec grammar is the portable, JSON-friendly way to name a topology —
+    campaign shards carry it across process boundaries and JSONL records
+    instead of a pickled graph.  Raises :class:`TopologyError` on unknown
+    kinds, non-integer arguments, or wrong arity.
+    """
+    kind, _, rest = spec.partition(":")
+    try:
+        args = [int(x) for x in rest.split(":") if x] if rest else []
+    except ValueError:
+        raise TopologyError(f"non-integer argument in topology spec {spec!r}") from None
+    builders = {
+        "ring": ring,
+        "line": line,
+        "star": star,
+        "complete": complete,
+        "grid": grid,
+        "tree": binary_tree,
+        "random": lambda n, seed=0: random_connected(n, 0.15, seed=seed),
+    }
+    if kind not in builders:
+        raise TopologyError(
+            f"unknown topology kind {kind!r}; one of {sorted(builders)}"
+        )
+    try:
+        return builders[kind](*args)
+    except TypeError as exc:
+        raise TopologyError(f"bad arguments for {kind}: {exc}") from None

@@ -21,6 +21,7 @@ from .explorer import (
     Transition,
     TransitionSystem,
     enumerate_configurations,
+    shard_configurations,
     space_size,
 )
 from .properties import (
@@ -42,6 +43,7 @@ __all__ = [
     "Transition",
     "TransitionSystem",
     "enumerate_configurations",
+    "shard_configurations",
     "space_size",
     "ClosureReport",
     "ConvergenceReport",

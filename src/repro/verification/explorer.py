@@ -91,6 +91,40 @@ def enumerate_configurations(
             )
 
 
+def shard_configurations(
+    algorithm: Algorithm,
+    topology: Topology,
+    *,
+    shard_index: int,
+    shard_count: int,
+    fixed_locals: Mapping[str, Any] | None = None,
+    dead: Iterable[Pid] = (),
+) -> Iterator[Configuration]:
+    """One deterministic slice of the enumeration: every ``shard_count``-th
+    configuration starting at offset ``shard_index``.
+
+    The enumeration order is itself deterministic (itertools.product over
+    canonically ordered domains), so shard *i* of *k* names the same
+    configurations on every machine and every run — the property the
+    campaign runner's checkpoint/resume relies on.  The ``shard_count``
+    slices partition the space exactly.
+    """
+    if shard_count < 1:
+        raise SimulationError("shard_count must be >= 1")
+    if not 0 <= shard_index < shard_count:
+        raise SimulationError(
+            f"shard_index {shard_index} outside [0, {shard_count})"
+        )
+    return itertools.islice(
+        enumerate_configurations(
+            algorithm, topology, fixed_locals=fixed_locals, dead=dead
+        ),
+        shard_index,
+        None,
+        shard_count,
+    )
+
+
 @dataclass(frozen=True)
 class Transition:
     """One labelled edge of the transition system."""

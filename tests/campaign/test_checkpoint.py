@@ -1,0 +1,77 @@
+"""Tests for checkpoint planning (resume after partial campaigns)."""
+
+import pytest
+
+from repro.campaign import (
+    Shard,
+    execute_shard,
+    plan_resume,
+    truncate_lines,
+    write_records,
+)
+
+
+def sim_shards(n=4, steps=60):
+    return [
+        Shard(
+            "sim",
+            {"topology": "ring:4", "algorithm": "na-diners", "steps": steps, "trial": t},
+            seed=100 + t,
+        )
+        for t in range(n)
+    ]
+
+
+class TestPlanResume:
+    def test_no_file_plans_everything(self):
+        shards = sim_shards()
+        plan = plan_resume(shards, None)
+        assert plan.done == {}
+        assert len(plan.todo) == len(shards)
+        assert not plan.complete
+
+    def test_missing_file_plans_everything(self, tmp_path):
+        plan = plan_resume(sim_shards(), tmp_path / "nope.jsonl")
+        assert len(plan.todo) == 4
+
+    def test_recorded_shards_are_skipped(self, tmp_path):
+        shards = sim_shards()
+        done = [execute_shard(s) for s in shards[:2]]
+        path = tmp_path / "c.jsonl"
+        write_records(path, done)
+        plan = plan_resume(shards, path)
+        assert set(plan.done) == {s.key for s in shards[:2]}
+        assert [s.key for s in plan.todo] == [s.key for s in shards[2:]]
+
+    def test_foreign_records_counted_not_adopted(self, tmp_path):
+        shards = sim_shards()
+        foreign = execute_shard(
+            Shard("sim", {"topology": "ring:5", "algorithm": "na-diners",
+                          "steps": 60, "trial": 0}, seed=1)
+        )
+        path = tmp_path / "c.jsonl"
+        write_records(path, [foreign])
+        plan = plan_resume(shards, path)
+        assert plan.foreign == 1
+        assert plan.done == {}
+        assert len(plan.todo) == 4
+
+    def test_duplicate_shards_rejected(self):
+        shard = sim_shards(1)[0]
+        with pytest.raises(ValueError, match="duplicate shard key"):
+            plan_resume([shard, shard], None)
+
+    def test_complete_plan(self, tmp_path):
+        shards = sim_shards(2)
+        path = tmp_path / "c.jsonl"
+        write_records(path, [execute_shard(s) for s in shards])
+        assert plan_resume(shards, path).complete
+
+
+class TestTruncateLines:
+    def test_keeps_prefix_returns_dropped(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text("a\nb\nc\n")
+        dropped = truncate_lines(path, 1)
+        assert path.read_text() == "a\n"
+        assert dropped == ["b", "c"]

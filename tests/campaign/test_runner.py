@@ -1,0 +1,122 @@
+"""Tests for the campaign runner: execution, streaming, resume, pools."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    Shard,
+    SweepSpec,
+    aggregate_sim,
+    parallel_map,
+    read_records,
+    run_shards,
+    truncate_lines,
+)
+
+
+def sweep(trials=4, steps=80, seed=7, topology="ring:4"):
+    return SweepSpec(topologies=(topology,), trials=trials, steps=steps, seed=seed)
+
+
+class TestRunShards:
+    def test_sequential_executes_everything(self):
+        shards = sweep().shards()
+        result = run_shards(shards, jobs=1)
+        assert result.executed == len(shards)
+        assert result.resumed == 0
+        assert set(result.records) == {s.key for s in shards}
+        for record in result.records.values():
+            assert record.result["steps"] == 80
+            assert record.meta is not None and "worker" in record.meta
+
+    def test_parallel_matches_sequential(self):
+        shards = sweep().shards()
+        seq = run_shards(shards, jobs=1)
+        par = run_shards(shards, jobs=3)
+        assert seq.results_by_key() == par.results_by_key()
+
+    def test_streams_jsonl(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        shards = sweep(trials=3).shards()
+        run_shards(shards, jobs=1, out_path=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        keys = [json.loads(line)["key"] for line in lines]
+        assert keys == sorted(keys)  # finalized in canonical order
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_shards([], jobs=0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown shard kind"):
+            run_shards([Shard("nonsense", {}, 0)], jobs=1)
+
+
+class TestResume:
+    def test_kill_then_resume_equals_fresh_run(self, tmp_path):
+        """The acceptance scenario: truncate the JSONL mid-campaign (even
+        mid-line) and re-run; the merged results equal an uninterrupted run."""
+        shards = sweep(trials=6, steps=100).shards()
+        fresh_path = tmp_path / "fresh.jsonl"
+        fresh = run_shards(shards, jobs=1, out_path=fresh_path)
+
+        killed_path = tmp_path / "killed.jsonl"
+        run_shards(shards, jobs=1, out_path=killed_path)
+        truncate_lines(killed_path, 3)
+        # simulate a kill mid-write: append half a record line
+        with killed_path.open("a") as handle:
+            handle.write(fresh_path.read_text().splitlines()[3][:40])
+
+        resumed = run_shards(shards, jobs=2, out_path=killed_path)
+        assert resumed.resumed == 3
+        assert resumed.executed == 3
+        assert resumed.results_by_key() == fresh.results_by_key()
+        assert aggregate_sim(resumed.records) == aggregate_sim(fresh.records)
+
+    def test_complete_file_executes_nothing(self, tmp_path):
+        shards = sweep(trials=3).shards()
+        path = tmp_path / "out.jsonl"
+        run_shards(shards, jobs=1, out_path=path)
+        again = run_shards(shards, jobs=1, out_path=path)
+        assert again.executed == 0
+        assert again.resumed == 3
+
+    def test_fresh_ignores_checkpoint(self, tmp_path):
+        shards = sweep(trials=3).shards()
+        path = tmp_path / "out.jsonl"
+        run_shards(shards, jobs=1, out_path=path)
+        again = run_shards(shards, jobs=1, out_path=path, resume=False)
+        assert again.executed == 3
+        assert again.resumed == 0
+
+    def test_finalize_drops_foreign_records(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        run_shards(sweep(trials=2, seed=1).shards(), jobs=1, out_path=path)
+        result = run_shards(sweep(trials=2, seed=2).shards(), jobs=1, out_path=path)
+        assert result.foreign == 2
+        keys = {r.key for r in read_records(path)}
+        assert keys == set(result.records)
+
+
+class TestParallelMap:
+    def test_sequential_and_parallel_agree(self):
+        from repro.campaign.shard import build_graph_shard
+
+        params = {"topology": "line:2", "threshold": 1}
+        args = [(params, i, 2) for i in range(2)]
+        seq = parallel_map(build_graph_shard, args, jobs=1)
+        par = parallel_map(build_graph_shard, args, jobs=2)
+        merged_seq = {}
+        for fragment in seq:
+            merged_seq.update(fragment)
+        merged_par = {}
+        for fragment in par:
+            merged_par.update(fragment)
+        assert merged_seq.keys() == merged_par.keys()
+        assert len(merged_seq) > 0
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            parallel_map(len, [], jobs=0)

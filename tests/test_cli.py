@@ -101,7 +101,7 @@ class TestReportCommand:
         from repro.analysis import Section, SuiteResult
         import repro.analysis as analysis
 
-        def fake_suite(config):
+        def fake_suite(config, **kwargs):
             result = SuiteResult(config=config)
             result.sections.append(
                 Section(title="Stub", header=("a", "b"), rows=[(1, 2)])
@@ -119,10 +119,73 @@ class TestReportCommand:
         import repro.analysis as analysis
 
         monkeypatch.setattr(
-            analysis, "run_suite", lambda config: SuiteResult(config=config)
+            analysis, "run_suite", lambda config, **kwargs: SuiteResult(config=config)
         )
         target = tmp_path / "r.md"
         assert main(["report", "--output", str(target)]) == 0
         assert target.read_text().startswith("# repro experiment suite")
 
 
+
+
+class TestSweepCommand:
+    def test_basic_sweep(self, capsys):
+        code = main(
+            ["sweep", "--topology", "ring:5", "--trials", "3",
+             "--steps", "300", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards: 3 (executed 3, resumed 0)" in out
+        assert "meals/1k steps:" in out
+        assert "safety (E at end): 3/3" in out
+
+    def test_sweep_writes_and_resumes_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "out.jsonl"
+        argv = ["sweep", "--topology", "ring:4", "--trials", "4",
+                "--steps", "200", "--jobs", "2", "--out", str(path), "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert path.exists() and len(path.read_text().splitlines()) == 4
+
+        # second run resumes everything and reports identical aggregates
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "executed 0, resumed 4" in second
+        agg = lambda text: [l for l in text.splitlines() if ":" in l and "shards" not in l and "records" not in l]
+        assert agg(first) == agg(second)
+
+    def test_sweep_multiple_axes(self, capsys):
+        code = main(
+            ["sweep", "--topology", "ring:4", "--topology", "line:4",
+             "--algorithm", "na-diners", "--algorithm", "choy-singh",
+             "--trials", "1", "--steps", "200", "--quiet"]
+        )
+        assert code == 0
+        assert "shards: 4" in capsys.readouterr().out
+
+    def test_sweep_with_crash(self, capsys):
+        code = main(
+            ["sweep", "--topology", "line:5", "--trials", "2", "--steps", "400",
+             "--crash-victim", "1", "--crash-at", "50", "--quiet"]
+        )
+        assert code == 0
+
+    def test_sweep_rejects_bad_topology_before_running(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--topology", "torus:3", "--quiet"])
+
+    def test_sweep_rejects_bad_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--algorithm", "nope", "--quiet"])
+
+
+class TestCheckJobs:
+    def test_parallel_check_matches_sequential(self, capsys):
+        assert main(["check", "--topology", "line:3"]) == 0
+        seq = capsys.readouterr().out
+        assert main(["check", "--topology", "line:3", "--jobs", "2"]) == 0
+        par = capsys.readouterr().out
+        pick = lambda text: [l for l in text.splitlines() if "legitimate" in l or "converges" in l or "closed" in l]
+        assert pick(seq) == pick(par)
+        assert "2 shards" in par

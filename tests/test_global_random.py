@@ -1,0 +1,91 @@
+"""Guard against use of the module-level ``random`` state.
+
+Every stochastic component takes an explicit ``random.Random(seed)`` so
+campaigns are reproducible regardless of what else runs in the process
+(pytest plugins, hypothesis, other tests).  Two layers of defence:
+
+* an AST scan of ``src/repro`` banning ``random.<fn>(...)`` calls on the
+  module (constructing ``random.Random`` is the one allowed use);
+* state snapshots asserting the global generator is untouched by the
+  engine, shard execution, the campaign runner, and topology builders.
+"""
+
+import ast
+import pathlib
+import random
+
+from repro.campaign import SweepSpec, execute_shard, run_shards
+from repro.core import NADiners
+from repro.sim import AlwaysHungry, Engine, System, random_connected, ring
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def module_level_random_calls(tree):
+    """All ``random.<fn>(...)`` calls except ``random.Random(...)``."""
+    bad = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr != "Random"
+        ):
+            bad.append((func.attr, node.lineno))
+    return bad
+
+
+class TestNoGlobalRandomInSource:
+    def test_ast_scan(self):
+        offenders = {}
+        for path in sorted(SRC.rglob("*.py")):
+            bad = module_level_random_calls(ast.parse(path.read_text()))
+            if bad:
+                offenders[str(path.relative_to(SRC))] = bad
+        assert offenders == {}, f"global random usage: {offenders}"
+
+
+def untouched(fn):
+    before = random.getstate()
+    fn()
+    return random.getstate() == before
+
+
+class TestGlobalStateUntouched:
+    def test_engine_run(self):
+        def run():
+            system = System(ring(5), NADiners())
+            Engine(system, hunger=AlwaysHungry(), seed=3).run(max_steps=200)
+
+        assert untouched(run)
+
+    def test_engine_accepts_explicit_rng(self):
+        def trace(**kwargs):
+            system = System(ring(5), NADiners())
+            engine = Engine(system, hunger=AlwaysHungry(), **kwargs)
+            engine.run(max_steps=200)
+            return system.snapshot()
+
+        assert trace(seed=9) == trace(rng=random.Random(9))
+
+    def test_execute_shard(self):
+        shard = SweepSpec(topologies=("ring:4",), trials=1, steps=50).shards()[0]
+        assert untouched(lambda: execute_shard(shard))
+
+    def test_campaign_runner(self):
+        shards = SweepSpec(topologies=("ring:4",), trials=2, steps=50).shards()
+        assert untouched(lambda: run_shards(shards, jobs=1))
+
+    def test_topology_builder(self):
+        assert untouched(lambda: random_connected(6, 0.2, seed=4))
+
+    def test_results_do_not_depend_on_global_state(self):
+        shard = SweepSpec(topologies=("ring:4",), trials=1, steps=80).shards()[0]
+        random.seed(1)
+        a = execute_shard(shard).result
+        random.seed(999)
+        b = execute_shard(shard).result
+        assert a == b
