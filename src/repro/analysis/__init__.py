@@ -35,7 +35,16 @@ from .priority_graph import (
     longest_live_chain,
     to_networkx,
 )
-from .suite import Section, SuiteConfig, SuiteResult, run_suite, to_markdown
+from .suite import (
+    Section,
+    SectionSpec,
+    SuiteConfig,
+    SuiteResult,
+    run_suite,
+    suite_metrics,
+    suite_specs,
+    to_markdown,
+)
 from .stabilization import (
     ConvergenceResult,
     ConvergenceSummary,
@@ -72,9 +81,12 @@ __all__ = [
     "longest_live_chain",
     "to_networkx",
     "Section",
+    "SectionSpec",
     "SuiteConfig",
     "SuiteResult",
     "run_suite",
+    "suite_metrics",
+    "suite_specs",
     "to_markdown",
     "ConvergenceResult",
     "ConvergenceSummary",

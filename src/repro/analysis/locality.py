@@ -35,6 +35,7 @@ from ..sim.network import System
 from ..sim.process import Algorithm
 from ..sim.scheduler import Daemon, WeaklyFairDaemon
 from ..sim.topology import Pid, Topology
+from ..sim.trace import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,7 @@ def measure_failure_locality(
     window: int = 40_000,
     seed: int = 0,
     daemon_factory: Callable[[], Daemon] | None = None,
+    recorder: "TraceRecorder | None" = None,
 ) -> LocalityReport:
     """Run the worst-case crash scenario and report who starves.
 
@@ -121,7 +123,9 @@ def measure_failure_locality(
     """
     system = System(topology, algorithm)
     daemon = daemon_factory() if daemon_factory is not None else WeaklyFairDaemon()
-    engine = Engine(system, daemon, hunger=AlwaysHungry(), seed=seed)
+    engine = Engine(
+        system, daemon, hunger=AlwaysHungry(), recorder=recorder, seed=seed
+    )
 
     for victim in victims:
         if crash_while_eating:
@@ -135,11 +139,12 @@ def measure_failure_locality(
     baseline = dict(engine.action_counts)
     engine.run(window)
 
+    enter = algorithm.enter_action
     eats: Dict[Pid, int] = {}
     for pid in topology.nodes:
         if not system.is_live(pid):
             continue
-        key = (pid, "enter")
+        key = (pid, enter)
         eats[pid] = engine.action_counts.get(key, 0) - baseline.get(key, 0)
 
     starving = frozenset(pid for pid, count in eats.items() if count == 0)

@@ -73,10 +73,11 @@ def throughput_report(engine: Engine, steps: int) -> ThroughputReport:
     """Run ``engine`` for ``steps`` and report the eats delta per process."""
     before = dict(engine.action_counts)
     result = engine.run(steps)
+    enter = engine.system.algorithm.enter_action
     eats: Dict[Pid, int] = {}
     for pid in engine.system.pids:
         if engine.system.is_live(pid):
-            key = (pid, "enter")
+            key = (pid, enter)
             eats[pid] = engine.action_counts.get(key, 0) - before.get(key, 0)
     return ThroughputReport(
         algorithm=engine.system.algorithm.name,

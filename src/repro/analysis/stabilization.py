@@ -30,6 +30,7 @@ from ..sim.network import System
 from ..sim.process import Algorithm
 from ..sim.scheduler import Daemon, WeaklyFairDaemon
 from ..sim.topology import Pid, Topology, edge
+from ..sim.trace import TraceRecorder
 
 Predicate = Callable[[Configuration], bool]
 
@@ -76,12 +77,14 @@ def steps_to_predicate(
     daemon: Daemon | None = None,
     hunger: HungerPolicy | None = None,
     check_every: int = 1,
+    recorder: "TraceRecorder | None" = None,
 ) -> ConvergenceResult:
     """Run ``system`` until ``predicate`` holds on a snapshot."""
     engine = Engine(
         system,
         daemon if daemon is not None else WeaklyFairDaemon(),
         hunger=hunger if hunger is not None else AlwaysHungry(),
+        recorder=recorder,
         seed=seed,
     )
     result = engine.run(max_steps, stop_when=predicate, check_every=check_every)

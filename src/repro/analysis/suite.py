@@ -24,8 +24,9 @@ sequential in-process fallback with bit-identical numbers.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..campaign.shard import Shard
 
@@ -64,12 +65,19 @@ class SuiteConfig:
 
 @dataclass
 class Section:
-    """One report section: a titled table plus a one-paragraph reading."""
+    """One report section: a titled table plus a one-paragraph reading.
+
+    ``metrics`` is the section's scalar snapshot — the handful of numbers a
+    dashboard would chart (max locality radius, converged fraction, …) —
+    keyed by short metric name.  Empty when the section's spec defines no
+    ``build_metrics`` hook.
+    """
 
     title: str
     header: Tuple[str, ...]
     rows: List[Tuple] = field(default_factory=list)
     commentary: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -79,6 +87,7 @@ class SuiteResult:
 
 
 RowBuilder = Callable[[Sequence[Mapping]], List[Tuple]]
+MetricsBuilder = Callable[[Sequence[Mapping]], Mapping[str, float]]
 
 
 @dataclass(frozen=True)
@@ -88,6 +97,8 @@ class SectionSpec:
     ``build_rows`` receives the shards' result dicts *in shard order* (the
     runner may complete them in any interleaving; the spec realigns by key),
     so aggregation is deterministic however the campaign executed.
+    ``build_metrics`` (optional) maps the same results to the section's
+    scalar metric snapshot; it feeds ``run_suite(metrics_out=...)``.
     """
 
     title: str
@@ -95,13 +106,21 @@ class SectionSpec:
     commentary: str
     shards: Tuple[Shard, ...]
     build_rows: RowBuilder
+    build_metrics: Optional[MetricsBuilder] = None
+
+    def slug(self) -> str:
+        """Metric-name-friendly identifier derived from the title."""
+        head = self.title.split("(")[0].split(":")[0].strip().lower()
+        return re.sub(r"[^a-z0-9]+", "-", head).strip("-")
 
     def section(self, results: Sequence[Mapping]) -> Section:
+        metrics = dict(self.build_metrics(results)) if self.build_metrics else {}
         return Section(
             title=self.title,
             header=self.header,
             rows=self.build_rows(results),
             commentary=self.commentary,
+            metrics=metrics,
         )
 
 
@@ -140,6 +159,17 @@ def _locality_spec(config: SuiteConfig) -> SectionSpec:
             )
         return rows
 
+    def build_metrics(results: Sequence[Mapping]) -> Mapping[str, float]:
+        radii = {
+            algorithm: (result["radius"] if result["radius"] is not None else 0)
+            for algorithm, result in zip(_LOCALITY_ALGORITHMS, results)
+        }
+        return {
+            "na_diners_radius": radii["na-diners"],
+            "max_radius": max(radii.values()),
+            "starving_total": sum(len(r["starving"]) for r in results),
+        }
+
     return SectionSpec(
         title="Failure locality (benign crash of an eating process)",
         header=("algorithm", "starvation radius", "starving processes"),
@@ -150,6 +180,7 @@ def _locality_spec(config: SuiteConfig) -> SectionSpec:
         ),
         shards=shards,
         build_rows=build_rows,
+        build_metrics=build_metrics,
     )
 
 
@@ -197,6 +228,15 @@ def _stabilization_spec(config: SuiteConfig) -> SectionSpec:
             )
         return rows
 
+    def build_metrics(results: Sequence[Mapping]) -> Mapping[str, float]:
+        converged = [r for r in results if r["converged"]]
+        steps = [r["steps"] for r in converged if r["steps"] is not None]
+        return {
+            "converged_fraction": len(converged) / len(results) if results else 0.0,
+            "mean_steps": sum(steps) / len(steps) if steps else 0.0,
+            "max_steps": max(steps) if steps else 0,
+        }
+
     return SectionSpec(
         title="Stabilization from random corruption",
         header=("topology", "converged", "mean steps", "max steps"),
@@ -206,6 +246,7 @@ def _stabilization_spec(config: SuiteConfig) -> SectionSpec:
         ),
         shards=tuple(shards),
         build_rows=build_rows,
+        build_metrics=build_metrics,
     )
 
 
@@ -234,6 +275,14 @@ def _throughput_spec(config: SuiteConfig) -> SectionSpec:
             for algorithm, result in zip(_THROUGHPUT_ALGORITHMS, results)
         ]
 
+    def build_metrics(results: Sequence[Mapping]) -> Mapping[str, float]:
+        by_algorithm = dict(zip(_THROUGHPUT_ALGORITHMS, results))
+        return {
+            "na_diners_per_1000": round(by_algorithm["na-diners"]["per_1000"], 6),
+            "min_jain": round(min(r["jain"] for r in results), 6),
+            "min_meals": min(r["min_eats"] for r in results),
+        }
+
     return SectionSpec(
         title="Fault-free throughput and fairness",
         header=("algorithm", "meals/1k steps", "jain index", "min meals"),
@@ -244,6 +293,7 @@ def _throughput_spec(config: SuiteConfig) -> SectionSpec:
         ),
         shards=shards,
         build_rows=build_rows,
+        build_metrics=build_metrics,
     )
 
 
@@ -275,6 +325,20 @@ def _malicious_spec(config: SuiteConfig) -> SectionSpec:
             for malice, result in zip(malices, results)
         ]
 
+    def build_metrics(results: Sequence[Mapping]) -> Mapping[str, float]:
+        return {
+            "recovered_fraction": (
+                sum(1 for r in results if r["recovered"]) / len(results)
+                if results
+                else 0.0
+            ),
+            "far_ok_fraction": (
+                sum(1 for r in results if r["far_ok"]) / len(results)
+                if results
+                else 0.0
+            ),
+        }
+
     return SectionSpec(
         title="Malicious crash: recovery and containment",
         header=("malice steps", "recovered to I", "far processes eating"),
@@ -284,6 +348,7 @@ def _malicious_spec(config: SuiteConfig) -> SectionSpec:
         ),
         shards=shards,
         build_rows=build_rows,
+        build_metrics=build_metrics,
     )
 
 
@@ -310,6 +375,12 @@ def _masking_spec(config: SuiteConfig) -> SectionSpec:
             for offset, result in zip(seeds, results)
         ]
 
+    def build_metrics(results: Sequence[Mapping]) -> Mapping[str, float]:
+        return {
+            "faulty_involved_total": sum(r["faulty_involved"] for r in results),
+            "clean_pair_total": sum(r["clean_pair"] for r in results),
+        }
+
     return SectionSpec(
         title="Masking census during the arbitrary phase",
         header=("seed", "faulty-involved violations", "clean-pair violations"),
@@ -320,6 +391,7 @@ def _masking_spec(config: SuiteConfig) -> SectionSpec:
         ),
         shards=shards,
         build_rows=build_rows,
+        build_metrics=build_metrics,
     )
 
 
@@ -334,20 +406,44 @@ def suite_specs(config: SuiteConfig) -> List[SectionSpec]:
     ]
 
 
+def suite_metrics(result: SuiteResult, specs: Optional[Sequence[SectionSpec]] = None):
+    """A metrics registry holding every section's scalar snapshot.
+
+    One gauge per ``Section.metrics`` entry, named ``suite/<slug>/<metric>``
+    (e.g. ``suite/failure-locality/na_diners_radius``).  All values come from
+    the deterministic parts of the shard records, so the registry — and the
+    file ``run_suite(metrics_out=...)`` writes from it — is byte-stable for a
+    fixed config and seed.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    if specs is None:
+        specs = suite_specs(result.config)
+    registry = MetricsRegistry()
+    for spec, section in zip(specs, result.sections):
+        slug = spec.slug()
+        for name, value in sorted(section.metrics.items()):
+            registry.gauge(f"suite/{slug}/{name}").set(value)
+    return registry
+
+
 def run_suite(
     config: SuiteConfig | None = None,
     *,
     jobs: int = 1,
     records_path=None,
+    metrics_out=None,
 ) -> SuiteResult:
     """Run every section's campaign and collect the tables.
 
     ``jobs`` fans the union of all sections' shards across a worker pool
     (``1`` = sequential, in-process).  ``records_path`` streams the shard
     records to a JSONL checkpoint file: a re-run against the same file
-    skips every shard already recorded.
+    skips every shard already recorded.  ``metrics_out`` additionally writes
+    the sections' scalar snapshots (plus campaign-level aggregates) as a
+    metrics JSONL file.
     """
-    from ..campaign.runner import run_shards
+    from ..campaign.runner import campaign_metrics, run_shards
 
     config = config or SuiteConfig()
     specs = suite_specs(config)
@@ -358,6 +454,23 @@ def run_suite(
     for spec in specs:
         results = [dict(campaign.records[shard.key].result) for shard in spec.shards]
         result.sections.append(spec.section(results))
+
+    if metrics_out is not None:
+        from ..obs.metrics import write_metrics
+
+        # Section gauges plus campaign-level aggregates in one registry;
+        # include_meta=False drops the wall-time timer, so the file is a
+        # deterministic function of (config, seed).
+        registry = suite_metrics(result, specs)
+        campaign_metrics(campaign.records, registry)
+        header = {
+            "source": "suite",
+            "mode": "quick" if config.quick else "full",
+            "seed": config.seed,
+            "sections": len(result.sections),
+            "shards": campaign.total,
+        }
+        write_metrics(metrics_out, registry, header=header, include_meta=False)
     return result
 
 

@@ -28,7 +28,13 @@ from .record import (
     shard_key,
     write_records,
 )
-from .runner import CampaignResult, parallel_map, run_shards
+from .runner import (
+    CampaignResult,
+    campaign_metrics,
+    heartbeat_progress,
+    parallel_map,
+    run_shards,
+)
 from .shard import ALGORITHMS, HANDLERS, Shard, derive_seed, execute_shard, make_algorithm
 from .specs import SweepAggregate, SweepSpec, aggregate_sim
 
@@ -42,9 +48,11 @@ __all__ = [
     "SweepSpec",
     "TrialRecord",
     "aggregate_sim",
+    "campaign_metrics",
     "canonical_json",
     "derive_seed",
     "execute_shard",
+    "heartbeat_progress",
     "iter_lines",
     "make_algorithm",
     "parallel_map",

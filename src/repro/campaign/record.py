@@ -15,12 +15,21 @@ A record splits into two parts:
   ``result`` — a pure function of the shard definition.  Re-running the same
   shard always reproduces it byte for byte (canonical JSON: sorted keys,
   compact separators).
-* the **meta part** — worker pid, wall-clock duration, engine step counts —
-  useful for profiling a sweep but excluded from the determinism contract
-  and from every aggregate.
+* the **meta part** — ``duration_s`` (per-shard wall time), worker pid,
+  engine step counts — useful for profiling a sweep but excluded from the
+  determinism contract and from every aggregate.
 
 ``canonical_line`` strips the meta part; the determinism regression tests
 and the checkpoint digest both operate on canonical lines only.
+
+Format history
+--------------
+
+* **v1** — canonical fields plus an opaque ``meta`` object.
+* **v2** (current) — per-shard wall time is promoted to a first-class
+  ``duration_s`` field (written only with ``include_meta``; still outside
+  the canonical part).  The loader accepts both versions, pulling a v1
+  record's duration out of its ``meta`` object.
 """
 
 from __future__ import annotations
@@ -31,7 +40,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Format versions :func:`parse_line` accepts.
+ACCEPTED_FORMATS = (1, 2)
 
 #: JSON encoding used for every canonical artefact: stable across runs,
 #: machines, and dict-construction orders.
@@ -65,6 +77,9 @@ class TrialRecord:
     seed: int
     result: Mapping[str, Any]
     meta: Optional[Mapping[str, Any]] = field(default=None, compare=False)
+    #: Wall-clock seconds the shard took (format v2); environmental, so
+    #: excluded from equality and from the canonical line like ``meta``.
+    duration_s: Optional[float] = field(default=None, compare=False)
 
     def canonical_payload(self) -> Dict[str, Any]:
         """The deterministic part of the record, ready for JSON."""
@@ -80,8 +95,11 @@ class TrialRecord:
     def to_line(self, *, include_meta: bool = True) -> str:
         """One JSONL line (no trailing newline)."""
         payload = self.canonical_payload()
-        if include_meta and self.meta is not None:
-            payload["meta"] = dict(self.meta)
+        if include_meta:
+            if self.duration_s is not None:
+                payload["duration_s"] = self.duration_s
+            if self.meta is not None:
+                payload["meta"] = dict(self.meta)
         return canonical_json(payload)
 
     def canonical_line(self) -> str:
@@ -103,8 +121,13 @@ def parse_line(line: str) -> Optional[TrialRecord]:
         payload = json.loads(line)
     except json.JSONDecodeError:
         return None
-    if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
+    if not isinstance(payload, dict) or payload.get("format") not in ACCEPTED_FORMATS:
         return None
+    meta = payload.get("meta")
+    duration_s = payload.get("duration_s")
+    if duration_s is None and isinstance(meta, dict):
+        # v1 records kept the duration inside the opaque meta object.
+        duration_s = meta.get("duration_s")
     try:
         return TrialRecord(
             key=payload["key"],
@@ -112,7 +135,8 @@ def parse_line(line: str) -> Optional[TrialRecord]:
             params=payload["params"],
             seed=payload["seed"],
             result=payload["result"],
-            meta=payload.get("meta"),
+            meta=meta,
+            duration_s=duration_s,
         )
     except KeyError:
         return None

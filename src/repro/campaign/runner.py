@@ -22,9 +22,11 @@ records reproducible and the checkpoint sound.
 from __future__ import annotations
 
 import multiprocessing
+import sys
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, TextIO, TypeVar
 
 from .checkpoint import plan_resume
 from .record import TrialRecord, write_records
@@ -34,6 +36,76 @@ T = TypeVar("T")
 U = TypeVar("U")
 
 ProgressFn = Callable[[TrialRecord, int, int], None]
+
+
+def heartbeat_progress(
+    every: int,
+    *,
+    stream: TextIO | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    label: str = "shards",
+) -> ProgressFn:
+    """A :data:`ProgressFn` that prints one stderr line per ``every``
+    completions (and on the last shard) with throughput and ETA.
+
+    The quiet alternative to per-shard progress for large campaigns: a
+    10k-shard sweep with ``every=100`` costs 100 lines instead of 10k.
+    """
+    if every < 1:
+        raise ValueError("heartbeat interval must be >= 1")
+    out = stream if stream is not None else sys.stderr
+    start: List[float] = []
+
+    def progress(record: TrialRecord, done: int, total: int) -> None:
+        if not start:
+            start.append(clock())
+        if done % every != 0 and done != total:
+            return
+        elapsed = clock() - start[0]
+        rate = done / elapsed if elapsed > 0 else 0.0
+        if rate > 0 and total > done:
+            eta = f"{(total - done) / rate:.0f}s"
+        else:
+            eta = "0s" if total <= done else "?"
+        print(
+            f"[{done}/{total}] {label}: {rate:.1f}/s elapsed {elapsed:.0f}s eta {eta}",
+            file=out,
+        )
+
+    return progress
+
+
+def campaign_metrics(records: Mapping[str, TrialRecord], registry=None):
+    """A metrics registry summarising one campaign's records.
+
+    Deterministic metrics (shard counts per kind, total-eats histogram over
+    sim shards) come from the canonical part of each record; the per-shard
+    wall-time timer is built from ``duration_s`` and therefore meta.  Pass
+    an existing :class:`~repro.obs.metrics.MetricsRegistry` to merge the
+    campaign aggregates into it (the suite does, so section gauges and
+    campaign counters share one metrics file).
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+    registry.counter("campaign/shards").inc(len(records))
+    duration = registry.timer("campaign/shard_duration")
+    for key in sorted(records):
+        record = records[key]
+        registry.counter(f"campaign/kind/{record.kind}").inc()
+        if record.duration_s is not None:
+            duration.observe(record.duration_s)
+        total_eats = record.result.get("total_eats")
+        if isinstance(total_eats, int):
+            registry.histogram("campaign/total_eats").observe(total_eats)
+        converged = record.result.get("converged")
+        if isinstance(converged, bool):
+            registry.counter("campaign/converged").inc(int(converged))
+        radius = record.result.get("radius")
+        if isinstance(radius, int):
+            registry.histogram("campaign/locality_radius").observe(radius)
+    return registry
 
 
 def _pool_context():

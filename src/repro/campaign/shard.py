@@ -363,8 +363,6 @@ def execute_shard(shard: Shard) -> TrialRecord:
         params=dict(shard.params),
         seed=shard.seed,
         result=result,
-        meta={
-            "worker": os.getpid(),
-            "duration_s": round(time.perf_counter() - start, 6),
-        },
+        meta={"worker": os.getpid()},
+        duration_s=round(time.perf_counter() - start, 6),
     )

@@ -10,6 +10,16 @@ Subcommands
 ``check``      model-check closure + convergence on a small instance
 ``sweep``      many-seed randomized campaign across a worker pool
 ``report``     run the experiment suite, emit markdown
+``trace``      replay a recorded trace file offline; re-derive its summary
+``stats``      summarise a metrics / records / trace JSONL file
+
+Observability: ``run``, ``stabilize``, and ``locality`` accept ``--trace``
+(record the run as versioned JSONL) and ``--metrics-out`` (write the
+standard probes' metrics).  The same analysis drives both the live summary
+and ``repro trace`` on the recorded file, so the two are byte-identical for
+the same seed.  ``sweep`` interprets the pair at campaign granularity:
+``--trace`` logs shard completions with durations, ``--metrics-out``
+aggregates the campaign.
 
 Examples
 --------
@@ -17,16 +27,20 @@ Examples
 ::
 
     python -m repro run --topology ring:10 --algorithm na-diners --steps 20000
+    python -m repro run --topology ring:8 --trace out/run.trace --metrics-out out/run.metrics
+    python -m repro trace out/run.trace
     python -m repro locality --topology line:12 --algorithm hygienic --victim 0
     python -m repro stabilize --topology ring:8 --plant-cycle
     python -m repro figure2
     python -m repro check --topology line:3 --jobs 4
     python -m repro sweep --topology ring:8 --trials 32 --jobs 4 --out out.jsonl
+    python -m repro stats out/run.metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import sys
@@ -69,17 +83,90 @@ def make_algorithm(name: str):
         raise SystemExit(f"unknown algorithm {name!r}; one of {sorted(ALGORITHMS)}")
 
 
+# ------------------------------------------------------------ observability
+
+
+def _make_recorder(args: argparse.Namespace, steps: int):
+    """A trace recorder when ``--trace``/``--metrics-out`` was asked for.
+
+    Returns ``(recorder, snapshot_every)`` — ``(None, 0)`` when the run is
+    unobserved.  The snapshot cadence defaults to ~100 snapshots per run;
+    ``--snapshot-every`` overrides it.
+    """
+    if not (args.trace or args.metrics_out):
+        return None, 0
+    from .sim.trace import TraceRecorder
+
+    every = args.snapshot_every or max(1, steps // 100)
+    return TraceRecorder(snapshot_every=every), every
+
+
+def _finish_observability(
+    args: argparse.Namespace,
+    recorder,
+    *,
+    model: str,
+    algorithm,
+    topology_spec: str,
+    seed: int,
+    steps_taken: int,
+    threshold,
+    has_depth: bool,
+    snapshot_every: int,
+) -> None:
+    """Write the trace and/or metrics files and print the probe summary.
+
+    Runs the exact analysis ``repro trace`` runs offline, so the summary
+    line and the metrics file here are byte-identical to a later replay of
+    the recorded trace.
+    """
+    from .obs import (
+        analyze,
+        build_header,
+        trace_from_recorder,
+        write_analysis_metrics,
+        write_trace,
+    )
+
+    header = build_header(
+        model=model,
+        algorithm=algorithm.name,
+        topology=topology_spec,
+        enter_action=algorithm.enter_action,
+        exit_action=algorithm.exit_action,
+        threshold=threshold,
+        has_depth=has_depth,
+        seed=seed,
+        steps_taken=steps_taken,
+        snapshot_every=snapshot_every,
+    )
+    trace = trace_from_recorder(recorder, header)
+    if args.trace:
+        path = write_trace(args.trace, trace)
+        print(f"trace: {path}")
+    analysis = analyze(trace)
+    if args.metrics_out:
+        path = write_analysis_metrics(args.metrics_out, analysis)
+        print(f"metrics: {path}")
+    print(f"summary: {analysis.summary_json()}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology)
-    system = System(topology, make_algorithm(args.algorithm))
-    engine = Engine(system, hunger=AlwaysHungry(), seed=args.seed)
+    algorithm = make_algorithm(args.algorithm)
+    system = System(topology, algorithm)
+    recorder, every = _make_recorder(args, args.steps)
+    engine = Engine(
+        system, hunger=AlwaysHungry(), recorder=recorder, seed=args.seed
+    )
     result = engine.run(args.steps)
     print(f"{topology} / {system.algorithm.name}: ran {result.steps} steps")
     for pid in topology.nodes:
         print(f"  {pid}: {engine.eats_of(pid)} meals")
     final = system.snapshot()
     variables = set(system.local_variable_names())
-    if "depth" in variables:
+    has_depth = "depth" in variables
+    if has_depth:
         # NADiners family: the full invariant applies.
         print(f"invariant: {invariant_report(final)}")
     else:
@@ -88,14 +175,30 @@ def cmd_run(args: argparse.Namespace) -> int:
         from .core import e_holds
 
         print(f"no neighbours eating together: {e_holds(final)}")
+    if recorder is not None:
+        _finish_observability(
+            args,
+            recorder,
+            model="sim",
+            algorithm=algorithm,
+            topology_spec=args.topology,
+            seed=args.seed,
+            steps_taken=engine.step_count,
+            threshold=topology.diameter if has_depth else None,
+            has_depth=has_depth,
+            snapshot_every=every,
+        )
     return 0
 
 
 def cmd_locality(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology)
+    algorithm = make_algorithm(args.algorithm)
     victim = topology.nodes[args.victim]
+    # Observation budget ~ warmup + settle + window engine steps.
+    recorder, every = _make_recorder(args, args.steps * 2 + args.steps // 3)
     report = measure_failure_locality(
-        make_algorithm(args.algorithm),
+        algorithm,
         topology,
         [victim],
         malicious_steps=args.malicious or None,
@@ -103,6 +206,7 @@ def cmd_locality(args: argparse.Namespace) -> int:
         settle_steps=args.steps // 3,
         window=args.steps,
         seed=args.seed,
+        recorder=recorder,
     )
     kind = f"malicious({args.malicious})" if args.malicious else "benign"
     print(f"{topology} / {report.algorithm}: {kind} crash of {victim!r} while eating")
@@ -110,12 +214,27 @@ def cmd_locality(args: argparse.Namespace) -> int:
     print(f"  starvation radius: {report.starvation_radius}")
     for d, (count, total) in report.eats_by_distance(topology).items():
         print(f"  distance {d}: {count} processes, {total} meals")
+    if recorder is not None:
+        steps_taken = recorder.events[-1].step + 1 if recorder.events else 0
+        _finish_observability(
+            args,
+            recorder,
+            model="sim",
+            algorithm=algorithm,
+            topology_spec=args.topology,
+            seed=args.seed,
+            steps_taken=steps_taken,
+            threshold=topology.diameter,
+            has_depth="depth" in algorithm.local_domains(topology),
+            snapshot_every=every,
+        )
     return 0
 
 
 def cmd_stabilize(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology)
-    system = System(topology, make_algorithm(args.algorithm))
+    algorithm = make_algorithm(args.algorithm)
+    system = System(topology, algorithm)
     system.randomize(random.Random(args.seed))
     if args.plant_cycle:
         from .analysis.stabilization import _find_cycle
@@ -126,23 +245,49 @@ def cmd_stabilize(args: argparse.Namespace) -> int:
         else:
             plant_priority_cycle(system, cycle)
             print(f"planted priority cycle: {cycle}")
+    threshold = (
+        topology.longest_simple_path()
+        if args.corrected_threshold
+        else topology.diameter
+    )
     if args.nc_only:
         predicate = nc_holds
     elif args.corrected_threshold:
-        predicate = invariant_with_threshold(topology.longest_simple_path())
+        predicate = invariant_with_threshold(threshold)
     else:
         from .core import invariant_holds
 
         predicate = invariant_holds
+    recorder, every = _make_recorder(args, args.max_steps)
     result = steps_to_predicate(
-        system, predicate, max_steps=args.max_steps, seed=args.seed
+        system,
+        predicate,
+        max_steps=args.max_steps,
+        seed=args.seed,
+        recorder=recorder,
     )
+    status = 0
     if result.converged:
         print(f"converged after {result.steps} steps")
         print(f"live cycles now: {find_live_cycles(system.snapshot()) or 'none'}")
-        return 0
-    print(f"did NOT converge within {args.max_steps} steps")
-    return 1
+    else:
+        print(f"did NOT converge within {args.max_steps} steps")
+        status = 1
+    if recorder is not None:
+        steps_taken = recorder.events[-1].step + 1 if recorder.events else 0
+        _finish_observability(
+            args,
+            recorder,
+            model="sim",
+            algorithm=algorithm,
+            topology_spec=args.topology,
+            seed=args.seed,
+            steps_taken=steps_taken,
+            threshold=threshold,
+            has_depth="depth" in algorithm.local_domains(topology),
+            snapshot_every=every,
+        )
+    return status
 
 
 def cmd_figure2(args: argparse.Namespace) -> int:
@@ -200,7 +345,12 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
             for i in range(jobs)
         ]
-        campaign = run_shards(closure_shards, jobs=jobs)
+        check_progress = None
+        if getattr(args, "progress", None):
+            from .campaign import heartbeat_progress
+
+            check_progress = heartbeat_progress(args.progress)
+        campaign = run_shards(closure_shards, jobs=jobs, progress=check_progress)
         results = [campaign.records[key].result for key in sorted(campaign.records)]
         closure_holds = all(r["holds"] for r in results)
         checked = sum(r["checked_states"] for r in results)
@@ -267,23 +417,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fault=fault,
     )
 
-    def progress(record, done, total):
-        if not args.quiet:
-            print(
-                f"[{done}/{total}] {record.kind} "
-                f"{record.params.get('topology')} "
-                f"{record.params.get('algorithm')} seed={record.seed}",
-                file=sys.stderr,
-            )
-
-    result = run_shards(
-        sweep.shards(),
-        jobs=args.jobs,
-        out_path=args.out,
-        resume=not args.fresh,
-        include_meta=not args.no_meta,
-        progress=progress,
-    )
+    progress = _campaign_progress(args)
+    trace_log = _CampaignTraceLog(args.trace) if args.trace else None
+    if trace_log is not None:
+        progress = trace_log.wrap(progress)
+    try:
+        result = run_shards(
+            sweep.shards(),
+            jobs=args.jobs,
+            out_path=args.out,
+            resume=not args.fresh,
+            include_meta=not args.no_meta,
+            progress=progress,
+        )
+    finally:
+        if trace_log is not None:
+            trace_log.close()
     print(
         f"shards: {result.total} "
         f"(executed {result.executed}, resumed {result.resumed})"
@@ -292,6 +441,186 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(line_)
     if result.path is not None:
         print(f"records: {result.path}")
+    if trace_log is not None:
+        print(f"trace: {trace_log.path}")
+    if args.metrics_out:
+        from .campaign import campaign_metrics
+        from .obs import write_metrics
+
+        registry = campaign_metrics(result.records)
+        path = write_metrics(
+            args.metrics_out,
+            registry,
+            header={
+                "source": "campaign",
+                "shards": result.total,
+                "executed": result.executed,
+                "resumed": result.resumed,
+            },
+            include_meta=not args.no_meta,
+        )
+        print(f"metrics: {path}")
+    return 0
+
+
+def _campaign_progress(args: argparse.Namespace):
+    """The progress callback a campaign command asked for.
+
+    ``--quiet`` silences progress entirely; ``--progress N`` prints one
+    heartbeat line (with rate and ETA) per N completed shards; the default
+    prints one line per shard.
+    """
+    if getattr(args, "quiet", False):
+        return None
+    if getattr(args, "progress", None):
+        from .campaign import heartbeat_progress
+
+        return heartbeat_progress(args.progress)
+
+    def progress(record, done, total):
+        print(
+            f"[{done}/{total}] {record.kind} "
+            f"{record.params.get('topology')} "
+            f"{record.params.get('algorithm')} seed={record.seed}",
+            file=sys.stderr,
+        )
+
+    return progress
+
+
+class _CampaignTraceLog:
+    """``sweep --trace``: a JSONL log of shard completions with durations.
+
+    The campaign-granularity sibling of an engine trace: one header line,
+    then one line per completed shard in completion order — the timeline a
+    profiler wants, complementary to the key-ordered records file.
+    """
+
+    def __init__(self, path: str) -> None:
+        import pathlib
+
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._write(
+            {"format": 1, "kind": "header", "source": "campaign-trace"}
+        )
+
+    def _write(self, payload: dict) -> None:
+        self._handle.write(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+
+    def wrap(self, inner):
+        def progress(record, done, total):
+            self._write(
+                {
+                    "kind": "shard",
+                    "index": done,
+                    "total": total,
+                    "key": record.key,
+                    "shard_kind": record.kind,
+                    "seed": record.seed,
+                    "duration_s": record.duration_s,
+                }
+            )
+            if inner is not None:
+                inner(record, done, total)
+
+        return progress
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Replay a recorded trace offline: same probes, same summary."""
+    from .obs import analyze, read_trace, write_analysis_metrics
+    from .sim.errors import SimulationError
+
+    try:
+        trace = read_trace(args.path)
+    except (OSError, SimulationError) as exc:
+        raise SystemExit(str(exc)) from None
+    header = trace.header
+    print(
+        f"trace: {header.get('model')} / {header.get('algorithm')} on "
+        f"{header.get('topology')} seed={header.get('seed')} "
+        f"({len(trace.events)} events, {len(trace.snapshots)} snapshots)"
+    )
+    if args.limit:
+        for event in trace.events[: args.limit]:
+            print(str(event))
+        remaining = len(trace.events) - args.limit
+        if remaining > 0:
+            print(f"... ({remaining} more events)")
+    analysis = analyze(trace)
+    if args.metrics_out:
+        path = write_analysis_metrics(args.metrics_out, analysis)
+        print(f"metrics: {path}")
+    print(f"summary: {analysis.summary_json()}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarise any of the repository's JSONL artefacts by sniffing it."""
+    from .campaign import read_records
+    from .obs import read_metrics
+
+    if not os.path.exists(args.path):
+        raise SystemExit(f"{args.path}: no such file")
+
+    metrics = read_metrics(args.path)
+    if metrics.metrics:
+        print(f"metrics file: {len(metrics.metrics)} metrics")
+        for key in sorted(k for k in metrics.header if k not in ("format",)):
+            print(f"  {key}: {metrics.header[key]}")
+        for name, payload in metrics.metrics.items():
+            body = {k: v for k, v in payload.items() if k != "type"}
+            print(f"  {payload.get('type', '?'):9s} {name} = "
+                  + json.dumps(body, sort_keys=True))
+        return 0
+
+    records = read_records(args.path)
+    if records:
+        kinds = {}
+        durations = []
+        for record in records:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+            if record.duration_s is not None:
+                durations.append(record.duration_s)
+        print(f"campaign records: {len(records)}")
+        for kind in sorted(kinds):
+            print(f"  {kind}: {kinds[kind]} shards")
+        if durations:
+            print(
+                f"  duration_s: total {sum(durations):.3f}, "
+                f"mean {sum(durations) / len(durations):.3f}, "
+                f"max {max(durations):.3f}"
+            )
+        return 0
+
+    from .obs import read_trace
+    from .sim.errors import SimulationError
+
+    try:
+        trace = read_trace(args.path)
+    except SimulationError:
+        raise SystemExit(
+            f"{args.path}: not a metrics, campaign-records, or trace file"
+        ) from None
+    counts = {}
+    for event in trace.events:
+        counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+    header = trace.header
+    print(
+        f"trace file: {header.get('model')} / {header.get('algorithm')} on "
+        f"{header.get('topology')}, {header.get('steps_taken')} steps"
+    )
+    for kind in sorted(counts):
+        print(f"  {kind}: {counts[kind]} events")
+    print(f"  snapshots: {len(trace.snapshots)}")
     return 0
 
 
@@ -299,7 +628,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .analysis import SuiteConfig, run_suite, to_markdown
 
     config = SuiteConfig(quick=not args.full, seed=args.seed)
-    result = run_suite(config, jobs=args.jobs, records_path=args.records)
+    result = run_suite(
+        config,
+        jobs=args.jobs,
+        records_path=args.records,
+        metrics_out=args.metrics_out,
+    )
     markdown = to_markdown(result)
     if args.output:
         with open(args.output, "w") as handle:
@@ -307,6 +641,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(markdown)
+    if args.metrics_out:
+        print(f"metrics: {args.metrics_out}")
     return 0
 
 
@@ -324,18 +660,31 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--steps", type=int, default=steps_default)
 
+    def observability(p):
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record the run as versioned trace JSONL")
+        p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                       metavar="PATH", help="write probe metrics JSONL")
+        p.add_argument("--snapshot-every", type=int, default=0,
+                       dest="snapshot_every",
+                       help="configuration snapshot cadence in steps "
+                       "(0 = auto, ~100 snapshots per run)")
+
     p = sub.add_parser("run", help="simulate and report meals + invariant")
     common(p)
+    observability(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("locality", help="crash a victim while eating; measure radius")
     common(p, steps_default=40_000)
     p.add_argument("--victim", type=int, default=0, help="index into topology nodes")
     p.add_argument("--malicious", type=int, default=0, help="havoc steps (0 = benign)")
+    observability(p)
     p.set_defaults(fn=cmd_locality)
 
     p = sub.add_parser("stabilize", help="corrupt the state and time recovery")
     common(p)
+    observability(p)
     p.add_argument("--plant-cycle", action="store_true")
     p.add_argument("--nc-only", action="store_true", help="wait for NC instead of full I")
     p.add_argument("--corrected-threshold", action="store_true",
@@ -351,6 +700,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corrected-threshold", action="store_true")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes; >1 shards the state space")
+    p.add_argument("--progress", type=int, default=0, metavar="N",
+                   help="heartbeat: one stderr line per N completed shards")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
@@ -383,7 +734,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--malicious", type=int, default=0,
                    help="arbitrary steps before halting (0 = benign crash)")
     p.add_argument("--quiet", action="store_true", help="no per-shard progress")
+    p.add_argument("--progress", type=int, default=0, metavar="N",
+                   help="heartbeat: one stderr line (with ETA) per N "
+                   "completed shards instead of one per shard")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="log shard completions (with durations) as JSONL")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   metavar="PATH", help="write campaign aggregate metrics JSONL")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="replay a recorded trace file offline",
+        description="Load a --trace JSONL file, replay it through the "
+        "standard probes, and print the same summary (and optionally the "
+        "same metrics file) the live run produced.",
+    )
+    p.add_argument("path", help="trace JSONL file written by --trace")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   metavar="PATH", help="write probe metrics JSONL")
+    p.add_argument("--limit", type=int, default=0,
+                   help="also print the first N events")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="summarise a metrics / records / trace JSONL file",
+    )
+    p.add_argument("path", help="any JSONL artefact this toolkit writes")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("report", help="run the experiment suite, emit markdown")
     p.add_argument("--full", action="store_true")
@@ -391,6 +770,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, help="worker processes")
     p.add_argument("--records", default=None,
                    help="JSONL checkpoint file for the suite's campaign")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   metavar="PATH",
+                   help="write per-section scalar snapshots + campaign "
+                   "aggregates as metrics JSONL")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")
     p.set_defaults(fn=cmd_report)
 

@@ -22,12 +22,17 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
 
+from ..obs.events import MpEventKind
 from ..sim.errors import DeadProcessError, SimulationError, UnknownProcessError
 from ..sim.topology import Pid, Topology
+from ..sim.trace import TraceEvent
 from .channel import Channel
 from .node import MpContext, MpProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..obs.bus import EventBus
 
 
 class MpEngine:
@@ -46,6 +51,12 @@ class MpEngine:
         selections fires.
     seed:
         Engine RNG seed (scheduling and fault randomness).
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; sends, drops, deliveries,
+        ticks, havoc steps, and faults are published as
+        :class:`~repro.sim.trace.TraceEvent` with
+        :class:`~repro.obs.events.MpEventKind` kinds.  ``None`` (the
+        default) costs nothing.
     """
 
     def __init__(
@@ -57,6 +68,7 @@ class MpEngine:
         loss_probability: float = 0.0,
         patience: int = 64,
         seed: int = 0,
+        bus: "EventBus | None" = None,
     ) -> None:
         if set(processes) != set(topology.nodes):
             raise SimulationError("processes must cover exactly the topology nodes")
@@ -81,6 +93,7 @@ class MpEngine:
             p: MpContext(self, p) for p in topology.nodes
         }
         self.patience = patience
+        self.bus = bus
         self.rng = random.Random(seed)
         self.step_count = 0
         self.delivered = 0
@@ -90,6 +103,25 @@ class MpEngine:
         self._ages: Dict[Hashable, int] = {}
 
     # ------------------------------------------------------------- access
+
+    def _emit(self, kind: MpEventKind, pid: Pid | None, detail: Any = None) -> None:
+        if self.bus is not None:
+            self.bus.publish(TraceEvent(self.step_count, kind, pid, detail))
+
+    def send_message(self, src: Pid, dst: Pid, payload: Tuple) -> bool:
+        """Offer ``payload`` to the ``src``→``dst`` channel.
+
+        This is the single path every send takes (contexts route through
+        it), so the bus sees an :attr:`~repro.obs.events.MpEventKind.SEND`
+        for each accepted message and a
+        :attr:`~repro.obs.events.MpEventKind.DROP` for each one the channel
+        refused or lost.
+        """
+        accepted = self.channel(src, dst).send(payload)
+        self._emit(
+            MpEventKind.SEND if accepted else MpEventKind.DROP, src, dst
+        )
+        return accepted
 
     def channel(self, src: Pid, dst: Pid) -> Channel:
         try:
@@ -121,6 +153,7 @@ class MpEngine:
             raise DeadProcessError(pid)
         self._alive[pid] = False
         self._malicious_budget.pop(pid, None)
+        self._emit(MpEventKind.CRASH, pid)
 
     def crash_maliciously(self, pid: Pid, havoc_steps: int) -> None:
         """Malicious crash: ``havoc_steps`` arbitrary steps, then halt."""
@@ -132,6 +165,7 @@ class MpEngine:
             self.crash(pid)
         else:
             self._malicious_budget[pid] = havoc_steps
+            self._emit(MpEventKind.MALICE_BEGIN, pid, havoc_steps)
 
     def transient_fault(self, pids: Iterable[Pid] | None = None) -> None:
         """Corrupt process states and channel contents arbitrarily."""
@@ -142,6 +176,7 @@ class MpEngine:
         for (src, dst), channel in self._channels.items():
             if src in target_set or dst in target_set:
                 channel.corrupt(self.rng, self.processes[src].random_payload)
+        self._emit(MpEventKind.TRANSIENT, None, targets)
 
     # ----------------------------------------------------------- stepping
 
@@ -181,6 +216,7 @@ class MpEngine:
             message = self._channels[detail].deliver()
             self.delivered += 1
             self.counters[("delivered", dst)] += 1
+            self._emit(MpEventKind.DELIVER, dst, src)
             if self._alive[dst]:
                 budget = self._malicious_budget.get(dst)
                 if budget is None:
@@ -195,12 +231,14 @@ class MpEngine:
             self.counters[("tick", pid)] += 1
             budget = self._malicious_budget.get(pid)
             if budget is not None:
+                self._emit(MpEventKind.HAVOC, pid)
                 self.processes[pid].havoc(self._contexts[pid], self.rng)
                 if budget <= 1:
                     self.crash(pid)
                 else:
                     self._malicious_budget[pid] = budget - 1
             else:
+                self._emit(MpEventKind.TICK, pid)
                 self.processes[pid].on_tick(self._contexts[pid])
         self.step_count += 1
         return True

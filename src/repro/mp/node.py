@@ -54,7 +54,7 @@ class MpContext:
         """Send to a neighbour; returns False if the channel dropped it."""
         if dst not in self._neighbors:
             raise NotNeighborsError(self._pid, dst)
-        return self._engine.channel(self._pid, dst).send(payload)
+        return self._engine.send_message(self._pid, dst, payload)
 
 
 class MpProcess(ABC):

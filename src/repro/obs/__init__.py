@@ -1,0 +1,91 @@
+"""Unified observability layer: event bus, metrics, probes, and traces.
+
+One pipeline serves both engines and both moments:
+
+* **live** — attach an :class:`EventBus` to an engine, subscribe probes
+  and a :class:`~repro.sim.trace.TraceRecorder`, run;
+* **offline** — :func:`read_trace` a recorded JSONL file and
+  :func:`analyze` it through the same probes.
+
+Identical event/snapshot streams give identical metrics and summaries,
+so ``repro trace`` on a recorded file reproduces the live run's numbers
+byte for byte.
+"""
+
+from .bus import EventBus
+from .events import EventKind, MpEventKind, TraceEvent
+from .metrics import (
+    METRICS_FORMAT_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsFile,
+    MetricsRegistry,
+    Series,
+    Timer,
+    metrics_lines,
+    read_metrics,
+    write_metrics,
+)
+from .probes import (
+    DepthProbe,
+    EatingPairsProbe,
+    EatsProbe,
+    InvariantProbe,
+    LocalityProbe,
+    Probe,
+    StepTimerProbe,
+    WaitingChainProbe,
+    standard_probes,
+    waiting_chain_length,
+)
+from .trace_io import (
+    TRACE_FORMAT_VERSION,
+    Trace,
+    TraceAnalysis,
+    analyze,
+    build_header,
+    read_trace,
+    trace_from_recorder,
+    write_analysis_metrics,
+    write_trace,
+)
+
+__all__ = [
+    "EventBus",
+    "EventKind",
+    "MpEventKind",
+    "TraceEvent",
+    "METRICS_FORMAT_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsFile",
+    "MetricsRegistry",
+    "Series",
+    "Timer",
+    "metrics_lines",
+    "read_metrics",
+    "write_metrics",
+    "DepthProbe",
+    "EatingPairsProbe",
+    "EatsProbe",
+    "InvariantProbe",
+    "LocalityProbe",
+    "Probe",
+    "StepTimerProbe",
+    "WaitingChainProbe",
+    "standard_probes",
+    "waiting_chain_length",
+    "TRACE_FORMAT_VERSION",
+    "Trace",
+    "TraceAnalysis",
+    "analyze",
+    "build_header",
+    "read_trace",
+    "trace_from_recorder",
+    "write_analysis_metrics",
+    "write_trace",
+]

@@ -1,0 +1,82 @@
+"""A lightweight typed event bus.
+
+Both engines publish their occurrences here: :class:`~repro.sim.engine.Engine`
+publishes :class:`~repro.sim.trace.TraceEvent` (kinds from
+:class:`~repro.sim.trace.EventKind`) and :class:`~repro.mp.engine.MpEngine`
+publishes the same event type under :class:`~repro.obs.events.MpEventKind`.
+Subscribers are plain callables; a subscription is either *per kind* or
+*catch-all*.
+
+The default is zero-overhead: engines hold no bus at all (``bus=None``) and
+their emit path is a single ``is None`` test.  An attached bus with no
+subscribers costs one truthiness check per event.  This is what lets the
+trace/metrics machinery stay opt-in while being first-class when wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Protocol
+
+
+class BusEvent(Protocol):
+    """Anything publishable: an object with a hashable ``kind``."""
+
+    kind: Hashable
+
+
+Subscriber = Callable[[Any], None]
+
+
+class EventBus:
+    """Dispatches published events to per-kind and catch-all subscribers.
+
+    Subscribers run synchronously, in subscription order, on the publisher's
+    thread; a slow subscriber slows the run, which is the honest contract for
+    instrumentation (no hidden queues, no reordering).
+    """
+
+    __slots__ = ("_by_kind", "_all")
+
+    def __init__(self) -> None:
+        self._by_kind: Dict[Hashable, List[Subscriber]] = {}
+        self._all: List[Subscriber] = []
+
+    # ---------------------------------------------------------- subscribe
+
+    def subscribe(self, kind: Hashable, fn: Subscriber) -> Subscriber:
+        """Call ``fn(event)`` for every published event of ``kind``."""
+        self._by_kind.setdefault(kind, []).append(fn)
+        return fn
+
+    def subscribe_all(self, fn: Subscriber) -> Subscriber:
+        """Call ``fn(event)`` for every published event, any kind."""
+        self._all.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> bool:
+        """Remove ``fn`` wherever it is subscribed; True if it was found."""
+        found = False
+        if fn in self._all:
+            self._all.remove(fn)
+            found = True
+        for subscribers in self._by_kind.values():
+            if fn in subscribers:
+                subscribers.remove(fn)
+                found = True
+        return found
+
+    # ------------------------------------------------------------ publish
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._all) or any(self._by_kind.values())
+
+    def publish(self, event: Any) -> None:
+        """Deliver ``event`` to catch-all, then per-kind subscribers."""
+        for fn in self._all:
+            fn(event)
+        subscribers = self._by_kind.get(event.kind)
+        if subscribers:
+            for fn in subscribers:
+                fn(event)

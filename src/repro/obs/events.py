@@ -1,0 +1,30 @@
+"""Event vocabulary of the observability layer.
+
+The shared-memory engine already has an event type —
+:class:`~repro.sim.trace.TraceEvent` with :class:`~repro.sim.trace.EventKind`
+— and the bus reuses it unchanged.  The message-passing engine gets its own
+kind enum here (its occurrences are sends, deliveries, and ticks rather than
+guarded actions) but publishes the *same* event dataclass, so one subscriber,
+one recorder, and one JSONL schema serve both models.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..sim.trace import EventKind, TraceEvent
+
+__all__ = ["EventKind", "MpEventKind", "TraceEvent"]
+
+
+class MpEventKind(enum.Enum):
+    """What a message-passing engine event records."""
+
+    SEND = "mp-send"  #: A process offered a message to a channel (accepted).
+    DROP = "mp-drop"  #: A channel dropped a message (loss or full).
+    DELIVER = "mp-deliver"  #: The head of a channel reached its destination.
+    TICK = "mp-tick"  #: A process took one spontaneous step.
+    HAVOC = "mp-havoc"  #: A malicious process took one arbitrary step.
+    CRASH = "mp-crash"  #: A process halted.
+    MALICE_BEGIN = "mp-malice-begin"  #: A malicious crash began its arbitrary phase.
+    TRANSIENT = "mp-transient"  #: A transient fault corrupted states/channels.

@@ -1,0 +1,313 @@
+"""The metrics registry: counters, gauges, histograms, timers → JSONL.
+
+Every quantitative claim later PRs make about performance or behaviour
+should flow through one of these instruments, so the numbers always arrive
+with the same schema and determinism contract as the campaign records:
+
+* **deterministic metrics** (the default) are pure functions of the run —
+  eats, depth histograms, invariant distances.  Writing them with
+  ``include_meta=False`` produces a byte-stable file for a given seed.
+* **meta metrics** (``meta=True`` at registration: wall-clock timers,
+  steps/sec) are environmental.  They are written only when the caller asks
+  (``include_meta=True``) and excluded from any byte-identical comparison.
+
+The file format is versioned JSON Lines: one ``header`` line, then one line
+per metric in name order.  ``read_metrics`` round-trips what ``write_metrics``
+produced and tolerates foreign lines the way the campaign loader does.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+METRICS_FORMAT_VERSION = 1
+
+_CANONICAL = dict(sort_keys=True, separators=(",", ":"))
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, **_CANONICAL)
+
+
+class Metric:
+    """Base class: a named instrument that renders to one JSON payload."""
+
+    type_name = "metric"
+
+    def __init__(self, name: str, *, meta: bool = False) -> None:
+        self.name = name
+        self.meta = meta
+
+    def payload(self) -> Dict[str, Any]:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    type_name = "counter"
+
+    def __init__(self, name: str, *, meta: bool = False) -> None:
+        super().__init__(name, meta=meta)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def payload(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """A value that can move both ways (last write wins)."""
+
+    type_name = "gauge"
+
+    def __init__(self, name: str, *, meta: bool = False) -> None:
+        super().__init__(name, meta=meta)
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def track_max(self, value: Any) -> None:
+        """Keep the largest value observed."""
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def payload(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram(Metric):
+    """Exact-value buckets over a discrete observation stream.
+
+    The quantities the paper's probes histogram (depths, chain lengths,
+    eating-pair counts) are small integers, so exact buckets beat
+    logarithmic ones: the ``depth > D`` tail is visible bucket by bucket.
+    """
+
+    type_name = "histogram"
+
+    def __init__(self, name: str, *, meta: bool = False) -> None:
+        super().__init__(name, meta=meta)
+        self.buckets: Dict[Any, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: Any, weight: int = 1) -> None:
+        self.buckets[value] = self.buckets.get(value, 0) + weight
+        self.count += weight
+        self.total += value * weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def payload(self) -> Dict[str, Any]:
+        # JSON object keys must be strings; keep buckets sorted by the
+        # underlying value so the rendering is deterministic and readable.
+        buckets = {str(k): self.buckets[k] for k in sorted(self.buckets)}
+        return {"buckets": buckets, "count": self.count, "sum": self.total}
+
+
+class Timer(Metric):
+    """Wall-clock durations (seconds).  Meta by default — wall time is
+    environmental and must never enter a byte-identical artefact."""
+
+    type_name = "timer"
+
+    def __init__(self, name: str, *, meta: bool = True) -> None:
+        super().__init__(name, meta=meta)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_s": round(self.total, 9),
+            "min_s": None if self.min is None else round(self.min, 9),
+            "max_s": None if self.max is None else round(self.max, 9),
+        }
+
+
+class Series(Metric):
+    """An explicit ``(step, value)`` timeline — the paper's witnesses are
+    trajectories (invariant distance over time, eating pairs over time), not
+    just endpoints."""
+
+    type_name = "series"
+
+    def __init__(self, name: str, *, meta: bool = False) -> None:
+        super().__init__(name, meta=meta)
+        self.points: List[Tuple[int, Any]] = []
+
+    def append(self, step: int, value: Any) -> None:
+        self.points.append((step, value))
+
+    def payload(self) -> Dict[str, Any]:
+        return {"points": [[s, v] for s, v in self.points]}
+
+
+class MetricsRegistry:
+    """A namespace of instruments, created on first use.
+
+    ``counter("a/b")`` twice returns the same object; asking for an existing
+    name with a different instrument type is an error (it would silently
+    fork the measurement).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, cls, name: str, **kwargs) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.type_name}"
+                )
+            return existing
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, *, meta: bool = False) -> Counter:
+        return self._get(Counter, name, meta=meta)
+
+    def gauge(self, name: str, *, meta: bool = False) -> Gauge:
+        return self._get(Gauge, name, meta=meta)
+
+    def histogram(self, name: str, *, meta: bool = False) -> Histogram:
+        return self._get(Histogram, name, meta=meta)
+
+    def timer(self, name: str, *, meta: bool = True) -> Timer:
+        return self._get(Timer, name, meta=meta)
+
+    def series(self, name: str, *, meta: bool = False) -> Series:
+        return self._get(Series, name, meta=meta)
+
+    # --------------------------------------------------------------- views
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def snapshot(self, *, include_meta: bool = True) -> Dict[str, Dict[str, Any]]:
+        """``{name: {"type": ..., **payload}}`` in name order."""
+        result: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.meta and not include_meta:
+                continue
+            result[name] = {"type": metric.type_name, **metric.payload()}
+        return result
+
+
+# ------------------------------------------------------------------ JSONL
+
+
+def metrics_lines(
+    registry: MetricsRegistry,
+    *,
+    header: Optional[Mapping[str, Any]] = None,
+    include_meta: bool = False,
+) -> Iterator[str]:
+    """The registry as versioned JSONL: header line, then metric lines."""
+    head: Dict[str, Any] = {"format": METRICS_FORMAT_VERSION, "kind": "header"}
+    if header:
+        head.update(header)
+    yield _canonical(head)
+    for name, payload in registry.snapshot(include_meta=include_meta).items():
+        yield _canonical({"kind": "metric", "name": name, **payload})
+
+
+def write_metrics(
+    path: Path | str,
+    registry: MetricsRegistry,
+    *,
+    header: Optional[Mapping[str, Any]] = None,
+    include_meta: bool = False,
+) -> Path:
+    """Write the registry to ``path`` (parents created, atomic replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        for line in metrics_lines(registry, header=header, include_meta=include_meta):
+            handle.write(line + "\n")
+    tmp.replace(path)
+    return path
+
+
+@dataclass(frozen=True)
+class MetricsFile:
+    """A parsed metrics JSONL file."""
+
+    header: Mapping[str, Any]
+    metrics: Mapping[str, Mapping[str, Any]]
+    #: Lines that were not valid metric/header records (foreign or truncated).
+    skipped: int = 0
+
+
+def read_metrics(path: Path | str) -> MetricsFile:
+    """Parse a file written by :func:`write_metrics`.
+
+    Unknown or truncated lines are counted, not fatal — the same tolerance
+    the campaign checkpoint loader applies.
+    """
+    path = Path(path)
+    header: Dict[str, Any] = {}
+    metrics: Dict[str, Dict[str, Any]] = {}
+    skipped = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(payload, dict):
+                skipped += 1
+                continue
+            if payload.get("kind") == "header":
+                if payload.get("format") != METRICS_FORMAT_VERSION:
+                    skipped += 1
+                    continue
+                header = {
+                    k: v for k, v in payload.items() if k not in ("kind",)
+                }
+            elif payload.get("kind") == "metric" and "name" in payload:
+                name = payload["name"]
+                metrics[name] = {
+                    k: v for k, v in payload.items() if k not in ("kind", "name")
+                }
+            else:
+                skipped += 1
+    return MetricsFile(header=header, metrics=metrics, skipped=skipped)

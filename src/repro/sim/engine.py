@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from .configuration import Configuration
 from .errors import SchedulingError
@@ -34,6 +34,9 @@ from .network import ProcessStatus, System
 from .scheduler import Daemon, WeaklyFairDaemon
 from .topology import Pid
 from .trace import EventKind, TraceEvent, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..obs.bus import EventBus
 
 StopPredicate = Callable[[Configuration], bool]
 
@@ -74,6 +77,10 @@ class Engine:
         Scheduled fault events; ``None`` means a fault-free run.
     recorder:
         Optional trace recorder.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; every event the recorder
+        would see is also published here, live, so probes can observe a run
+        without any recorder at all.  ``None`` (the default) costs nothing.
     seed:
         Seed for the engine's private RNG; runs are deterministic given
         (system state, daemon state, seed).
@@ -92,6 +99,7 @@ class Engine:
         hunger: HungerPolicy | None = None,
         faults: FaultPlan | None = None,
         recorder: TraceRecorder | None = None,
+        bus: "EventBus | None" = None,
         seed: int = 0,
         rng: random.Random | None = None,
     ) -> None:
@@ -100,6 +108,7 @@ class Engine:
         self.hunger = hunger
         self.faults = faults
         self.recorder = recorder
+        self.bus = bus
         self.rng = rng if rng is not None else random.Random(seed)
         self.step_count = 0
         #: Executed algorithm actions, keyed by ``(pid, action_name)``.
@@ -132,9 +141,15 @@ class Engine:
                 raise SchedulingError(
                     f"daemon chose disabled action {action.name!r} at {pid!r}"
                 )
+            # Capture the acting process's locals *before* the command runs:
+            # probes need the value ``depth`` held when ``exit`` fired, not
+            # the reset value it holds afterwards.
+            payload = self.system.locals_of(pid) if self.observed else None
             self.system.execute(pid, action)
             self.action_counts[(pid, action.name)] += 1
-            self._record(TraceEvent(step, EventKind.ACTION, pid, action.name))
+            self._emit(
+                TraceEvent(step, EventKind.ACTION, pid, action.name, payload)
+            )
         else:
             still_malicious = any(
                 self.system.status(p) is ProcessStatus.MALICIOUS
@@ -142,7 +157,7 @@ class Engine:
             )
             if not pending_faults and not still_malicious:
                 return False
-            self._record(TraceEvent(step, EventKind.IDLE))
+            self._emit(TraceEvent(step, EventKind.IDLE))
 
         self.step_count += 1
         if self.recorder is not None:
@@ -214,17 +229,17 @@ class Engine:
             event.apply(self.system, self.rng)
             if isinstance(event, MaliciousCrash):
                 if event.malicious_steps > 0:
-                    self._record(
+                    self._emit(
                         TraceEvent(
                             step, EventKind.MALICE_BEGIN, event.pid, event.malicious_steps
                         )
                     )
                 else:
-                    self._record(TraceEvent(step, EventKind.CRASH, event.pid, "malicious"))
+                    self._emit(TraceEvent(step, EventKind.CRASH, event.pid, "malicious"))
             elif isinstance(event, BenignCrash):
-                self._record(TraceEvent(step, EventKind.CRASH, event.pid, "benign"))
+                self._emit(TraceEvent(step, EventKind.CRASH, event.pid, "benign"))
             else:
-                self._record(
+                self._emit(
                     TraceEvent(step, EventKind.TRANSIENT, None, getattr(event, "pids", None))
                 )
 
@@ -235,11 +250,11 @@ class Engine:
             budget = self._malicious_budget.get(pid, 0)
             if budget > 0:
                 self.system.havoc_process(pid, self.rng)
-                self._record(TraceEvent(step, EventKind.HAVOC, pid))
+                self._emit(TraceEvent(step, EventKind.HAVOC, pid))
                 self._malicious_budget[pid] = budget - 1
             if self._malicious_budget.get(pid, 0) <= 0:
                 self.system.kill(pid)
-                self._record(TraceEvent(step, EventKind.CRASH, pid, "malice exhausted"))
+                self._emit(TraceEvent(step, EventKind.CRASH, pid, "malice exhausted"))
 
     def _refresh_hunger(self, step: int) -> None:
         if self.hunger is None or self._hunger_var is None:
@@ -249,7 +264,17 @@ class Engine:
                 pid, self._hunger_var, self.hunger.wants(pid, step, self.rng)
             )
 
-    def _record(self, event: TraceEvent) -> None:
+    @property
+    def observed(self) -> bool:
+        """True when someone is listening (recorder attached or live bus
+        subscriber); gates any per-event work beyond the event itself."""
+        return self.recorder is not None or (
+            self.bus is not None and self.bus.active
+        )
+
+    def _emit(self, event: TraceEvent) -> None:
+        if self.bus is not None:
+            self.bus.publish(event)
         if self.recorder is not None:
             self.recorder.record_event(event)
 
@@ -265,26 +290,35 @@ class Engine:
         if isinstance(event, MaliciousCrash):
             if event.malicious_steps > 0:
                 self._malicious_budget[event.pid] = event.malicious_steps
-                self._record(
+                self._emit(
                     TraceEvent(step, EventKind.MALICE_BEGIN, event.pid, event.malicious_steps)
                 )
             else:
-                self._record(TraceEvent(step, EventKind.CRASH, event.pid, "malicious"))
+                self._emit(TraceEvent(step, EventKind.CRASH, event.pid, "malicious"))
         elif isinstance(event, BenignCrash):
-            self._record(TraceEvent(step, EventKind.CRASH, event.pid, "benign"))
+            self._emit(TraceEvent(step, EventKind.CRASH, event.pid, "benign"))
         else:
-            self._record(
+            self._emit(
                 TraceEvent(step, EventKind.TRANSIENT, None, getattr(event, "pids", None))
             )
 
     # -------------------------------------------------------------- helpers
 
-    def eats_of(self, pid: Pid, enter_action: str = "enter") -> int:
-        """How many times ``pid`` has executed its ``enter`` action."""
+    def eats_of(self, pid: Pid, enter_action: Optional[str] = None) -> int:
+        """How many times ``pid`` has executed its enter action.
+
+        The action name defaults to what the algorithm itself declares
+        (``Algorithm.enter_action``), so variants that rename their
+        critical-section entry are counted correctly.
+        """
+        if enter_action is None:
+            enter_action = self.system.algorithm.enter_action
         return self.action_counts[(pid, enter_action)]
 
-    def total_eats(self, enter_action: str = "enter") -> int:
-        """Total ``enter`` executions across all processes."""
+    def total_eats(self, enter_action: Optional[str] = None) -> int:
+        """Total enter-action executions across all processes."""
+        if enter_action is None:
+            enter_action = self.system.algorithm.enter_action
         return sum(
             count
             for (pid, name), count in self.action_counts.items()

@@ -174,6 +174,13 @@ class System:
         except KeyError:
             raise UnknownProcessError(pid) from None
 
+    def locals_of(self, pid: Pid) -> Dict[str, Any]:
+        """A copy of ``pid``'s local variables (safe to keep after mutation)."""
+        try:
+            return dict(self._locals[pid])
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+
     def read_edge(self, e: Edge) -> Any:
         try:
             return self._edges[e]

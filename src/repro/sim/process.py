@@ -152,6 +152,16 @@ class Algorithm(ABC):
     #: Name of the externally driven "wants to eat" boolean, or None.
     hunger_variable: str | None = None
 
+    #: Name of the action whose execution means "this process eats" — what
+    #: throughput and locality measurements count.  Variants that rename
+    #: their critical-section entry override this instead of every
+    #: measurement hard-coding ``"enter"``.
+    enter_action: str = "enter"
+
+    #: Name of the action that leaves the critical section; the depth probe
+    #: watches its firings for ``depth > D`` (cycle-break) evidence.
+    exit_action: str = "exit"
+
     @abstractmethod
     def local_domains(self, topology: Topology) -> Mapping[str, Domain]:
         """Declare every local variable and its domain.

@@ -43,6 +43,13 @@ def _decode(text: str) -> Any:
         raise SimulationError(f"malformed serialized value: {text!r}") from None
 
 
+#: Public names for the literal codec: the observability layer (trace and
+#: metrics JSONL) encodes pids, action names, and variable values with the
+#: same repr/literal_eval round-trip counterexamples already use.
+encode_literal = _encode
+decode_literal = _decode
+
+
 def to_json(config: Configuration, *, indent: int | None = 2) -> str:
     """Serialize a configuration (including its topology) to JSON."""
     topology = config.topology

@@ -12,7 +12,7 @@ instead.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from .configuration import Configuration
@@ -35,13 +35,18 @@ class TraceEvent:
     """One recorded occurrence.
 
     ``detail`` is the action name for ACTION events and free-form context for
-    the others (e.g. the corrupted pid set of a transient fault).
+    the others (e.g. the corrupted pid set of a transient fault).  ``payload``
+    optionally carries structured context — for ACTION events the engine puts
+    the acting process's pre-action locals there, which is what lets a depth
+    probe see the value ``depth`` held *when* ``exit`` fired.  It is excluded
+    from equality so payload-free replicas still compare equal to originals.
     """
 
     step: int
     kind: EventKind
     pid: Optional[Pid] = None
     detail: Any = None
+    payload: Any = field(default=None, compare=False)
 
     def __str__(self) -> str:
         pid = "" if self.pid is None else f" {self.pid!r}"

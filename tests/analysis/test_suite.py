@@ -54,3 +54,45 @@ class TestMarkdownRendering:
     def test_empty_result_renders(self):
         md = to_markdown(SuiteResult(config=SuiteConfig()))
         assert md.startswith("# repro experiment suite")
+
+
+class TestSectionMetrics:
+    def test_every_section_has_metrics(self, quick_result):
+        assert all(section.metrics for section in quick_result.sections)
+
+    def test_locality_metrics_shape(self, quick_result):
+        by_title = {s.title: s for s in quick_result.sections}
+        locality = next(
+            s for t, s in by_title.items() if t.startswith("Failure locality")
+        )
+        assert set(locality.metrics) == {
+            "na_diners_radius",
+            "max_radius",
+            "starving_total",
+        }
+        assert locality.metrics["na_diners_radius"] <= 2  # Theorem 2
+
+    def test_suite_metrics_registry(self, quick_result):
+        from repro.analysis import suite_metrics
+
+        registry = suite_metrics(quick_result)
+        names = registry.names()
+        assert any(name.startswith("suite/failure-locality/") for name in names)
+        assert any(name.startswith("suite/stabilization") for name in names)
+
+    def test_metrics_out_writes_file(self, tmp_path):
+        from repro.obs import read_metrics
+
+        path = tmp_path / "suite.metrics"
+        run_suite(SuiteConfig(quick=True, seed=1), metrics_out=path)
+        parsed = read_metrics(path)
+        assert parsed.header["source"] == "suite"
+        assert "campaign/shards" in parsed.metrics
+        assert any(name.startswith("suite/") for name in parsed.metrics)
+
+    def test_spec_slug_is_stable(self):
+        from repro.analysis import suite_specs
+
+        slugs = [spec.slug() for spec in suite_specs(SuiteConfig(quick=True))]
+        assert slugs == sorted(set(slugs), key=slugs.index)  # unique
+        assert all(slug and slug == slug.lower() for slug in slugs)

@@ -81,3 +81,56 @@ class TestFiles:
     def test_iter_lines_meta_toggle(self):
         lines = list(iter_lines([record()], include_meta=False))
         assert all("meta" not in json.loads(l) for l in lines)
+
+
+class TestFormatV2:
+    def test_duration_round_trip(self):
+        rec = TrialRecord(
+            key="k1", kind="sim", params={}, seed=0,
+            result={"total_eats": 3}, duration_s=0.125,
+        )
+        back = parse_line(rec.to_line())
+        assert back.duration_s == 0.125
+
+    def test_duration_excluded_from_canonical_line(self):
+        rec = TrialRecord(
+            key="k1", kind="sim", params={}, seed=0,
+            result={}, duration_s=0.125,
+        )
+        assert "duration_s" not in rec.canonical_line()
+
+    def test_duration_excluded_from_equality(self):
+        a = TrialRecord(key="k", kind="sim", params={}, seed=0, result={},
+                        duration_s=0.1)
+        b = TrialRecord(key="k", kind="sim", params={}, seed=0, result={},
+                        duration_s=9.9)
+        assert a == b
+
+    def test_v1_line_still_parses(self):
+        """PR-1 files carried the duration inside the opaque meta object."""
+        v1 = json.dumps({
+            "format": 1,
+            "key": "k1",
+            "kind": "sim",
+            "params": {},
+            "seed": 0,
+            "result": {"total_eats": 2},
+            "meta": {"worker": 9, "duration_s": 0.25},
+        })
+        back = parse_line(v1)
+        assert back is not None
+        assert back.duration_s == 0.25
+        assert back.result["total_eats"] == 2
+
+    def test_unknown_format_rejected(self):
+        line = json.dumps({"format": 3, "key": "k", "kind": "sim",
+                           "params": {}, "seed": 0, "result": {}})
+        assert parse_line(line) is None
+
+    def test_current_format_is_2(self):
+        from repro.campaign.record import ACCEPTED_FORMATS, FORMAT_VERSION
+
+        rec = record()
+        payload = json.loads(rec.to_line())
+        assert payload["format"] == FORMAT_VERSION == 2
+        assert set(ACCEPTED_FORMATS) == {1, 2}

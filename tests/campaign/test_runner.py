@@ -120,3 +120,103 @@ class TestParallelMap:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
             parallel_map(len, [], jobs=0)
+
+
+class TestHeartbeatProgress:
+    def _run(self, every, total, times):
+        import io
+
+        from repro.campaign import heartbeat_progress
+
+        clock = iter(times)
+        out = io.StringIO()
+        progress = heartbeat_progress(
+            every, stream=out, clock=lambda: next(clock)
+        )
+        from repro.campaign import TrialRecord
+
+        rec = TrialRecord(key="k", kind="sim", params={}, seed=0, result={})
+        for done in range(1, total + 1):
+            progress(rec, done, total)
+        return out.getvalue().splitlines()
+
+    def test_one_line_per_interval_plus_final(self):
+        lines = self._run(every=2, total=5, times=[float(i) for i in range(10)])
+        # completions 2, 4 hit the interval; 5 is the final shard.
+        assert len(lines) == 3
+        assert lines[0].startswith("[2/5]")
+        assert lines[-1].startswith("[5/5]")
+
+    def test_line_carries_rate_and_eta(self):
+        lines = self._run(every=2, total=4, times=[0.0, 0.0, 1.0, 1.0, 2.0])
+        assert "elapsed" in lines[0] and "eta" in lines[0]
+
+    def test_bad_interval_rejected(self):
+        from repro.campaign import heartbeat_progress
+
+        with pytest.raises(ValueError):
+            heartbeat_progress(0)
+
+
+class TestCampaignMetrics:
+    def test_aggregates_from_records(self):
+        from repro.campaign import campaign_metrics
+
+        result = run_shards(sweep(trials=3).shards())
+        registry = campaign_metrics(result.records)
+        snap = registry.snapshot(include_meta=True)
+        assert snap["campaign/shards"]["value"] == 3
+        assert snap["campaign/kind/sim"]["value"] == 3
+        assert snap["campaign/total_eats"]["count"] == 3
+        # sequential in-process shards still record wall time
+        assert snap["campaign/shard_duration"]["count"] == 3
+
+    def test_duration_timer_is_meta(self):
+        from repro.campaign import campaign_metrics
+
+        result = run_shards(sweep(trials=2).shards())
+        registry = campaign_metrics(result.records)
+        assert "campaign/shard_duration" not in registry.snapshot(
+            include_meta=False
+        )
+
+    def test_merges_into_existing_registry(self):
+        from repro.campaign import campaign_metrics
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.gauge("suite/x").set(1)
+        result = run_shards(sweep(trials=2).shards())
+        merged = campaign_metrics(result.records, registry)
+        assert merged is registry
+        assert "suite/x" in registry and "campaign/shards" in registry
+
+    def test_deterministic_over_record_order(self):
+        from repro.campaign import campaign_metrics
+
+        result = run_shards(sweep(trials=3).shards())
+        a = campaign_metrics(result.records).snapshot(include_meta=False)
+        reversed_records = dict(reversed(list(result.records.items())))
+        b = campaign_metrics(reversed_records).snapshot(include_meta=False)
+        assert a == b
+
+
+class TestShardDuration:
+    def test_execute_shard_stamps_duration(self):
+        from repro.campaign import execute_shard
+
+        shard = sweep(trials=1).shards()[0]
+        record = execute_shard(shard)
+        assert record.duration_s is not None and record.duration_s >= 0
+
+    def test_duration_survives_jsonl_stream(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        run_shards(sweep(trials=2).shards(), out_path=path)
+        records = read_records(path)
+        assert records and all(r.duration_s is not None for r in records)
+
+    def test_no_meta_strips_duration(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        run_shards(sweep(trials=2).shards(), out_path=path, include_meta=False)
+        records = read_records(path)
+        assert records and all(r.duration_s is None for r in records)

@@ -1,0 +1,96 @@
+"""Message-passing engine × event bus: every MpEventKind is published."""
+
+from typing import Tuple
+
+from repro.mp import MpEngine, MpProcess
+from repro.obs import EventBus, MpEventKind
+from repro.sim import line, ring
+
+
+class Chatter(MpProcess):
+    """Pings every neighbour each tick; replies to pings."""
+
+    def on_message(self, ctx, src, payload):
+        if payload and payload[0] == "ping":
+            ctx.send(src, ("pong",))
+
+    def on_tick(self, ctx):
+        for q in ctx.neighbors:
+            ctx.send(q, ("ping",))
+
+    def corrupt(self, rng):
+        pass
+
+    def random_payload(self, rng) -> Tuple:
+        return ("junk", rng.randrange(4))
+
+
+def engine_with_bus(topology, **kwargs):
+    bus = EventBus()
+    seen = []
+    bus.subscribe_all(seen.append)
+    engine = MpEngine(
+        topology,
+        {p: Chatter(p) for p in topology.nodes},
+        bus=bus,
+        **kwargs,
+    )
+    return engine, seen
+
+
+def kinds_of(seen):
+    return {e.kind for e in seen}
+
+
+class TestMpBusEvents:
+    def test_send_deliver_tick_flow(self):
+        engine, seen = engine_with_bus(ring(4), seed=1)
+        engine.run(200)
+        kinds = kinds_of(seen)
+        assert MpEventKind.SEND in kinds
+        assert MpEventKind.DELIVER in kinds
+        assert MpEventKind.TICK in kinds
+
+    def test_send_events_match_engine_counters(self):
+        engine, seen = engine_with_bus(ring(4), seed=1)
+        engine.run(200)
+        delivers = [e for e in seen if e.kind is MpEventKind.DELIVER]
+        assert len(delivers) == engine.delivered
+        ticks = [e for e in seen if e.kind is MpEventKind.TICK]
+        assert len(ticks) == engine.ticks
+
+    def test_crash_event(self):
+        engine, seen = engine_with_bus(line(3), seed=1)
+        engine.run(20)
+        engine.crash(0)
+        crashes = [e for e in seen if e.kind is MpEventKind.CRASH]
+        assert [e.pid for e in crashes] == [0]
+
+    def test_malice_and_havoc_events(self):
+        engine, seen = engine_with_bus(line(3), seed=1)
+        engine.crash_maliciously(1, havoc_steps=4)
+        engine.run(50)
+        begins = [e for e in seen if e.kind is MpEventKind.MALICE_BEGIN]
+        assert [(e.pid, e.detail) for e in begins] == [(1, 4)]
+        havocs = [e for e in seen if e.kind is MpEventKind.HAVOC]
+        assert havocs and all(e.pid == 1 for e in havocs)
+
+    def test_transient_event_carries_targets(self):
+        engine, seen = engine_with_bus(line(3), seed=1)
+        engine.transient_fault([2])
+        faults = [e for e in seen if e.kind is MpEventKind.TRANSIENT]
+        assert len(faults) == 1
+
+    def test_drop_event_on_full_channel(self):
+        # in-transit loss is invisible to senders (send() still returns
+        # True); DROP is a *bounded-capacity* rejection, so force it with
+        # a one-slot channel and a chatty workload.
+        engine, seen = engine_with_bus(ring(4), seed=3, channel_capacity=1)
+        engine.run(300)
+        assert MpEventKind.DROP in kinds_of(seen)
+
+    def test_no_bus_costs_nothing(self):
+        topology = ring(4)
+        engine = MpEngine(topology, {p: Chatter(p) for p in topology.nodes}, seed=1)
+        assert engine.bus is None
+        engine.run(50)  # must not raise

@@ -1,0 +1,89 @@
+"""Unit tests for the typed event bus."""
+
+from repro.obs import EventBus, EventKind, MpEventKind, TraceEvent
+
+
+def event(step=0, kind=EventKind.ACTION, pid=0, detail="enter"):
+    return TraceEvent(step, kind, pid, detail)
+
+
+class TestSubscribe:
+    def test_per_kind_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(EventKind.ACTION, seen.append)
+        bus.publish(event(kind=EventKind.ACTION))
+        bus.publish(event(kind=EventKind.CRASH, detail=None))
+        assert len(seen) == 1
+        assert seen[0].kind is EventKind.ACTION
+
+    def test_catch_all_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        bus.publish(event(kind=EventKind.ACTION))
+        bus.publish(event(kind=EventKind.IDLE, pid=None, detail=None))
+        assert [e.kind for e in seen] == [EventKind.ACTION, EventKind.IDLE]
+
+    def test_catch_all_before_per_kind(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe_all(lambda e: order.append("all"))
+        bus.subscribe(EventKind.ACTION, lambda e: order.append("kind"))
+        bus.publish(event())
+        assert order == ["all", "kind"]
+
+    def test_mp_kinds_are_distinct_keys(self):
+        bus = EventBus()
+        sim, mp = [], []
+        bus.subscribe(EventKind.CRASH, sim.append)
+        bus.subscribe(MpEventKind.CRASH, mp.append)
+        bus.publish(TraceEvent(0, MpEventKind.CRASH, 1, None))
+        assert not sim and len(mp) == 1
+
+    def test_subscribe_returns_fn(self):
+        bus = EventBus()
+        fn = lambda e: None  # noqa: E731
+        assert bus.subscribe(EventKind.ACTION, fn) is fn
+        assert bus.subscribe_all(fn) is fn
+
+
+class TestUnsubscribe:
+    def test_removes_per_kind(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(EventKind.ACTION, seen.append)
+        assert bus.unsubscribe(seen.append)
+        bus.publish(event())
+        assert not seen
+
+    def test_removes_catch_all(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        assert bus.unsubscribe(seen.append)
+        bus.publish(event())
+        assert not seen
+
+    def test_unknown_fn_is_false(self):
+        assert not EventBus().unsubscribe(lambda e: None)
+
+
+class TestActive:
+    def test_fresh_bus_inactive(self):
+        assert not EventBus().active
+
+    def test_active_after_subscribe(self):
+        bus = EventBus()
+        bus.subscribe(EventKind.ACTION, lambda e: None)
+        assert bus.active
+
+    def test_inactive_after_unsubscribe(self):
+        bus = EventBus()
+        fn = lambda e: None  # noqa: E731
+        bus.subscribe_all(fn)
+        bus.unsubscribe(fn)
+        assert not bus.active
+
+    def test_publish_without_subscribers_is_noop(self):
+        EventBus().publish(event())  # must not raise

@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry and its JSONL encoding."""
+
+import pytest
+
+from repro.obs import (
+    METRICS_FORMAT_VERSION,
+    MetricsRegistry,
+    metrics_lines,
+    read_metrics,
+    write_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("eats/total")
+        c.inc()
+        c.inc(3)
+        assert c.payload() == {"value": 4}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_set_and_track_max(self):
+        g = MetricsRegistry().gauge("depth/max")
+        g.set(2)
+        g.track_max(5)
+        g.track_max(1)
+        assert g.payload() == {"value": 5}
+
+    def test_histogram_exact_buckets(self):
+        h = MetricsRegistry().histogram("depth/histogram")
+        for v in (0, 0, 1, 3):
+            h.observe(v)
+        payload = h.payload()
+        assert payload["buckets"] == {"0": 2, "1": 1, "3": 1}
+        assert payload["count"] == 4
+        assert payload["sum"] == 4
+        assert h.mean == 1.0
+
+    def test_timer_is_meta_by_default(self):
+        reg = MetricsRegistry()
+        t = reg.timer("step_time/run")
+        t.observe(0.25)
+        assert t.meta
+        assert "step_time/run" not in reg.snapshot(include_meta=False)
+        assert "step_time/run" in reg.snapshot(include_meta=True)
+
+    def test_series_points(self):
+        s = MetricsRegistry().series("invariant/distance")
+        s.append(0, 3)
+        s.append(200, 0)
+        assert s.payload()["points"] == [[0, 3], [200, 0]]
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ("a", "b")
+
+    def test_contains_and_getitem(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        assert "a" in reg and reg["a"] is c
+
+
+class TestJsonl:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("eats/total").inc(7)
+        reg.gauge("depth/max").set(3)
+        reg.histogram("waiting_chain/histogram").observe(2)
+        reg.timer("step_time/run").observe(0.5)
+        return reg
+
+    def test_header_line_versioned(self):
+        lines = list(metrics_lines(self._registry(), header={"seed": 1}))
+        assert f'"format":{METRICS_FORMAT_VERSION}' in lines[0]
+        assert '"kind":"header"' in lines[0]
+        assert '"seed":1' in lines[0]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        write_metrics(path, self._registry(), header={"seed": 1}, include_meta=True)
+        parsed = read_metrics(path)
+        assert parsed.header["seed"] == 1
+        assert parsed.metrics["eats/total"]["value"] == 7
+        assert parsed.metrics["depth/max"]["value"] == 3
+        assert "step_time/run" in parsed.metrics
+        assert parsed.skipped == 0
+
+    def test_meta_excluded_by_default(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        write_metrics(path, self._registry())
+        assert "step_time/run" not in read_metrics(path).metrics
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_metrics(a, self._registry(), header={"seed": 1})
+        write_metrics(b, self._registry(), header={"seed": 1})
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_reader_skips_foreign_lines(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        write_metrics(path, self._registry())
+        with path.open("a") as handle:
+            handle.write("not json\n")
+            handle.write('{"some": "other record"}\n')
+        parsed = read_metrics(path)
+        assert parsed.skipped == 2
+        assert "eats/total" in parsed.metrics
+
+    def test_write_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "m.jsonl"
+        write_metrics(path, self._registry())
+        assert path.exists()

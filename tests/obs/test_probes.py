@@ -1,0 +1,227 @@
+"""Unit tests for the paper-grounded probes."""
+
+from repro.core import NADiners
+from repro.core.state import VAR_DEPTH, VAR_STATE, DinerState
+from repro.obs import (
+    DepthProbe,
+    EatingPairsProbe,
+    EatsProbe,
+    EventBus,
+    EventKind,
+    InvariantProbe,
+    LocalityProbe,
+    MetricsRegistry,
+    StepTimerProbe,
+    WaitingChainProbe,
+    standard_probes,
+    waiting_chain_length,
+)
+from repro.sim import BenignCrash, System, TraceEvent, edge, line, ring
+
+from ..conftest import make_engine
+
+
+def action(step, pid, name, payload=None):
+    return TraceEvent(step, EventKind.ACTION, pid, name, payload)
+
+
+class TestEatsProbe:
+    def test_counts_enter_only(self):
+        probe = EatsProbe()
+        probe.on_event(action(0, 0, "enter"))
+        probe.on_event(action(1, 0, "exit"))
+        probe.on_event(action(2, 1, "enter"))
+        assert probe.eats == {0: 1, 1: 1}
+        assert probe.total == 2
+
+    def test_custom_enter_action(self):
+        probe = EatsProbe("grab")
+        probe.on_event(action(0, 0, "enter"))
+        probe.on_event(action(1, 0, "grab"))
+        assert probe.total == 1
+
+    def test_publish(self):
+        probe = EatsProbe()
+        probe.on_event(action(0, 3, "enter"))
+        reg = MetricsRegistry()
+        probe.publish(reg)
+        assert reg["eats/total"].payload() == {"value": 1}
+        assert reg["eats/3"].payload() == {"value": 1}
+
+
+class TestDepthProbe:
+    def test_deep_exit_from_payload(self):
+        probe = DepthProbe(threshold=2)
+        probe.on_event(action(5, 0, "exit", payload={VAR_DEPTH: 5}))
+        probe.on_event(action(6, 0, "exit", payload={VAR_DEPTH: 1}))
+        probe.on_event(action(7, 0, "exit"))  # payload-free replica: ignored
+        assert probe.deep_exits == 1
+
+    def test_histogram_from_samples(self):
+        system = System(line(3), NADiners())
+        system.write_local(0, VAR_DEPTH, 4)
+        probe = DepthProbe(threshold=2)
+        probe.on_sample(0, system.snapshot())
+        assert probe.max_depth == 4
+        assert sum(probe.histogram.values()) == 3
+
+    def test_faulty_processes_excluded(self):
+        system = System(line(3), NADiners())
+        system.write_local(0, VAR_DEPTH, 9)
+        system.kill(0)
+        probe = DepthProbe(threshold=2)
+        probe.on_sample(0, system.snapshot())
+        assert probe.max_depth < 9
+
+
+class TestInvariantProbe:
+    def test_clean_state_distance_zero(self):
+        probe = InvariantProbe()
+        probe.on_sample(0, System(line(4), NADiners()).snapshot())
+        assert probe.distance(probe.timeline[0]) == 0
+        assert probe.final == {"NC": True, "ST": True, "E": True}
+        assert probe.first_legitimate_step() == 0
+
+    def test_cycle_violates_nc(self):
+        system = System(ring(4), NADiners())
+        for i in range(4):
+            system.write_edge(edge(i, (i + 1) % 4), i)
+        probe = InvariantProbe()
+        probe.on_sample(7, system.snapshot())
+        _, nc, _, _ = probe.timeline[0]
+        assert not nc
+        assert probe.first_legitimate_step() is None
+
+    def test_publish_series(self):
+        probe = InvariantProbe()
+        probe.on_sample(0, System(line(3), NADiners()).snapshot())
+        reg = MetricsRegistry()
+        probe.publish(reg)
+        assert reg["invariant/distance"].payload()["points"] == [[0, 0]]
+        assert reg["invariant/samples"].payload() == {"value": 1}
+
+
+class TestWaitingChain:
+    def test_no_hungry_no_chain(self):
+        assert waiting_chain_length(System(line(4), NADiners()).snapshot()) == 0
+
+    def test_chain_of_waiting_hungry(self):
+        system = System(line(3), NADiners())
+        hungry = DinerState.HUNGRY.value
+        for pid in range(3):
+            system.write_local(pid, VAR_STATE, hungry)
+        # initial orientation points low→high: 0 is 1's ancestor, 1 is 2's.
+        assert waiting_chain_length(system.snapshot()) == 3
+
+    def test_hungry_cycle_capped_at_node_count(self):
+        system = System(ring(4), NADiners())
+        hungry = DinerState.HUNGRY.value
+        for i in range(4):
+            system.write_local(i, VAR_STATE, hungry)
+            system.write_edge(edge(i, (i + 1) % 4), i)
+        assert waiting_chain_length(system.snapshot()) == 4
+
+    def test_probe_tracks_max(self):
+        probe = WaitingChainProbe()
+        probe.on_sample(0, System(line(4), NADiners()).snapshot())
+        assert probe.max_length == 0
+
+
+class TestEatingPairsProbe:
+    def test_exclusive_run_never_pairs(self):
+        probe = EatingPairsProbe()
+        engine = make_engine(System(ring(6), NADiners()), seed=3)
+        for step in range(500):
+            engine.step()
+            if step % 50 == 0:
+                probe.on_sample(step, engine.system.snapshot())
+        assert probe.max_pairs == 0
+        assert all(count == 0 for _, count in probe.timeline)
+
+
+class TestLocalityProbe:
+    def _probe_after_crash(self):
+        probe = LocalityProbe()
+        probe.on_event(TraceEvent(10, EventKind.CRASH, 0, "benign"))
+        probe.on_event(action(11, 3, "enter"))
+        system = System(line(4), NADiners())
+        system.kill(0)
+        probe.on_sample(12, system.snapshot())
+        return probe
+
+    def test_radius_is_farthest_starving_distance(self):
+        # live non-eaters {1, 2}; the farthest is 2 hops from the site.
+        assert self._probe_after_crash().observed_radius() == 2
+
+    def test_no_crash_no_radius(self):
+        assert LocalityProbe().observed_radius() is None
+
+    def test_duplicate_crash_events_coalesce(self):
+        probe = self._probe_after_crash()
+        probe.on_event(TraceEvent(13, EventKind.MALICE_BEGIN, 0, 5))
+        assert len(probe.crashes) == 1
+
+    def test_publish_silent_without_crash(self):
+        reg = MetricsRegistry()
+        LocalityProbe().publish(reg)
+        assert "locality/crashes" not in reg
+
+
+class TestStepTimerProbe:
+    def test_attributes_time_between_events(self):
+        clock = iter([0.0, 1.0, 3.0])
+        probe = StepTimerProbe(clock=lambda: next(clock))
+        probe.on_event(action(0, 0, "join"))
+        probe.on_event(action(1, 0, "enter"))
+        probe.on_event(action(2, 0, "exit"))
+        assert probe.per_label == {"enter": [1.0], "exit": [2.0]}
+        reg = MetricsRegistry()
+        probe.publish(reg)
+        assert reg["step_time/enter"].meta
+
+    def test_metrics_are_meta(self):
+        probe = StepTimerProbe()
+        reg = MetricsRegistry()
+        probe.publish(reg)
+        assert "rate/events_per_sec" not in reg.snapshot(include_meta=False)
+
+
+class TestStandardProbes:
+    def test_full_set_with_depth(self):
+        probes = standard_probes(threshold=3)
+        kinds = {type(p) for p in probes}
+        assert kinds == {
+            EatsProbe,
+            DepthProbe,
+            EatingPairsProbe,
+            LocalityProbe,
+            WaitingChainProbe,
+            InvariantProbe,
+        }
+
+    def test_depthless_algorithms_drop_priority_probes(self):
+        kinds = {type(p) for p in standard_probes(threshold=3, has_depth=False)}
+        assert kinds == {EatsProbe, EatingPairsProbe, LocalityProbe}
+
+
+class TestLiveWiring:
+    """Probes attached to a real engine's bus see the real stream."""
+
+    def test_bus_driven_run(self):
+        bus = EventBus()
+        eats = EatsProbe().attach(bus)
+        locality = LocalityProbe().attach(bus)
+        engine = make_engine(System(ring(6), NADiners()), seed=1, bus=bus)
+        engine.run(800)
+        assert eats.total == engine.total_eats() > 0
+
+        engine.inject(BenignCrash(pid=0))
+        engine.run(800)
+        locality.on_sample(engine.step_count, engine.system.snapshot())
+        assert locality.crashes and locality.crashes[0][1] == 0
+        assert locality.observed_radius() is not None
+
+    def test_engine_without_bus_pays_nothing(self):
+        engine = make_engine(System(ring(6), NADiners()), seed=1)
+        assert not engine.observed
+        engine.run(100)  # no recorder, no bus: no payload capture

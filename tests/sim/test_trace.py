@@ -96,3 +96,91 @@ class TestRendering:
         rec = TraceRecorder()
         rec.record_event(event(0))
         assert "more events" not in rec.render()
+
+
+class TestRealRunCoverage:
+    """Every EventKind is reachable from a real engine run, and a recorded
+    run survives the trace JSONL round trip."""
+
+    def _engine(self, topology, seed=2, snapshot_every=0):
+        from repro.sim import AlwaysHungry, Engine, WeaklyFairDaemon
+
+        recorder = TraceRecorder(snapshot_every=snapshot_every)
+        engine = Engine(
+            System(topology, NADiners()),
+            WeaklyFairDaemon(),
+            seed=seed,
+            hunger=AlwaysHungry(),
+            recorder=recorder,
+        )
+        return engine, recorder
+
+    def _faulty_run(self):
+        from repro.sim import MaliciousCrash, TransientFault, line
+
+        engine, recorder = self._engine(line(4), snapshot_every=25)
+        engine.run(150)
+        engine.inject(TransientFault(pids=(1,)))
+        engine.inject(MaliciousCrash(pid=0, malicious_steps=5))
+        engine.run(150)
+        return engine, recorder
+
+    def test_all_six_kinds_reachable(self):
+        engine, recorder = self._faulty_run()
+        kinds = {e.kind for e in recorder.events}
+        for kind in (
+            EventKind.ACTION,
+            EventKind.HAVOC,
+            EventKind.CRASH,
+            EventKind.MALICE_BEGIN,
+            EventKind.TRANSIENT,
+        ):
+            assert kind in kinds, kind
+
+        # IDLE needs a step where nothing is enabled but malice is pending:
+        # make every process malicious.
+        from repro.sim import MaliciousCrash
+
+        engine, recorder = self._engine(line(2))
+        engine.inject(MaliciousCrash(pid=0, malicious_steps=3))
+        engine.inject(MaliciousCrash(pid=1, malicious_steps=3))
+        engine.run(10)
+        assert EventKind.IDLE in {e.kind for e in recorder.events}
+
+    def test_snapshot_interval_respected(self):
+        engine, recorder = self._faulty_run()
+        steps = [s for s, _ in recorder.snapshots]
+        assert steps, "cadence 25 over 300 steps must snapshot"
+        assert all(s % 25 == 0 for s in steps)
+        assert steps == sorted(set(steps))
+
+    def test_jsonl_round_trip_of_real_run(self, tmp_path):
+        from repro.obs import build_header, read_trace, trace_from_recorder, write_trace
+
+        engine, recorder = self._faulty_run()
+        header = build_header(
+            model="sim",
+            algorithm="na-diners",
+            seed=2,
+            steps_taken=engine.step_count,
+            topology="line:4",
+            snapshot_every=25,
+        )
+        path = tmp_path / "run.trace"
+        write_trace(path, trace_from_recorder(recorder, header))
+        back = read_trace(path)
+        assert back.events == recorder.events
+        assert [s for s, _ in back.snapshots] == [s for s, _ in recorder.snapshots]
+
+    def test_action_payload_captures_pre_action_locals(self):
+        from repro.sim import ring
+
+        engine, recorder = self._engine(ring(5))
+        engine.run(400)
+        exits = [
+            e
+            for e in recorder.events
+            if e.kind is EventKind.ACTION and e.detail == "exit"
+        ]
+        assert exits, "a 400-step ring run must contain exits"
+        assert all(isinstance(e.payload, dict) and "depth" in e.payload for e in exits)

@@ -189,3 +189,118 @@ class TestCheckJobs:
         pick = lambda text: [l for l in text.splitlines() if "legitimate" in l or "converges" in l or "closed" in l]
         assert pick(seq) == pick(par)
         assert "2 shards" in par
+
+
+class TestObservability:
+    """--trace / --metrics-out wiring and the offline replay commands."""
+
+    def _traced_run(self, tmp_path, capsys, seed=7):
+        trace = tmp_path / "run.trace"
+        metrics = tmp_path / "run.metrics"
+        code = main([
+            "run", "--topology", "ring:6", "--steps", "1500",
+            "--seed", str(seed),
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        return trace, metrics, out
+
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace, metrics, out = self._traced_run(tmp_path, capsys)
+        assert trace.exists() and metrics.exists()
+        assert "summary:" in out
+
+    def test_replay_reproduces_summary_byte_identical(self, tmp_path, capsys):
+        """The PR's acceptance criterion: live and offline summaries match."""
+        trace, metrics, out = self._traced_run(tmp_path, capsys)
+        live_summary = next(
+            line for line in out.splitlines() if line.startswith("summary:")
+        )
+        replay_metrics = tmp_path / "replay.metrics"
+        assert main([
+            "trace", str(trace), "--metrics-out", str(replay_metrics)
+        ]) == 0
+        replay_out = capsys.readouterr().out
+        replay_summary = next(
+            line for line in replay_out.splitlines() if line.startswith("summary:")
+        )
+        assert replay_summary == live_summary
+        assert replay_metrics.read_bytes() == metrics.read_bytes()
+
+    def test_trace_event_listing(self, tmp_path, capsys):
+        trace, _, _ = self._traced_run(tmp_path, capsys)
+        assert main(["trace", str(trace), "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "action" in out
+
+    def test_trace_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", str(tmp_path / "absent.trace")])
+
+    def test_stats_sniffs_each_artefact(self, tmp_path, capsys):
+        trace, metrics, _ = self._traced_run(tmp_path, capsys)
+        records = tmp_path / "records.jsonl"
+        assert main([
+            "sweep", "--topology", "ring:4", "--trials", "2",
+            "--steps", "200", "--out", str(records), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["stats", str(metrics)]) == 0
+        assert "metrics file" in capsys.readouterr().out
+        assert main(["stats", str(records)]) == 0
+        assert "campaign records" in capsys.readouterr().out
+        assert main(["stats", str(trace)]) == 0
+        assert "trace" in capsys.readouterr().out
+
+    def test_stats_unknown_file_exits(self, tmp_path):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["stats", str(junk)])
+
+    def test_locality_accepts_observability_flags(self, tmp_path, capsys):
+        trace = tmp_path / "loc.trace"
+        assert main([
+            "locality", "--topology", "line:6", "--steps", "4000",
+            "--victim", "2", "--trace", str(trace),
+        ]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+
+    def test_stabilize_accepts_observability_flags(self, tmp_path, capsys):
+        metrics = tmp_path / "stab.metrics"
+        assert main([
+            "stabilize", "--topology", "line:5", "--seed", "2",
+            "--max-steps", "60000", "--metrics-out", str(metrics),
+        ]) == 0
+        assert metrics.exists()
+
+    def test_sweep_progress_and_campaign_artifacts(self, tmp_path, capsys):
+        records = tmp_path / "records.jsonl"
+        trace = tmp_path / "sweep.trace"
+        metrics = tmp_path / "sweep.metrics"
+        assert main([
+            "sweep", "--topology", "ring:4", "--trials", "4",
+            "--steps", "200", "--out", str(records),
+            "--progress", "2",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "[4/4]" in err and "eta" in err
+        assert trace.exists() and metrics.exists()
+        shard_lines = [
+            line for line in trace.read_text().splitlines()[1:] if line
+        ]
+        assert len(shard_lines) == 4
+
+    def test_report_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "suite.metrics"
+        assert main([
+            "report", "--seed", "1", "--metrics-out", str(metrics),
+            "--output", str(tmp_path / "suite.md"),
+        ]) == 0
+        text = metrics.read_text()
+        assert "suite/" in text and "campaign/shards" in text
