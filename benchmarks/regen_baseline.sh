@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerate the committed performance baseline (benchmarks/BENCH_baseline.json).
+#
+# Run from anywhere.  Uses full rounds (not --quick) so the recorded medians
+# are stable; per-round work is identical either way, so CI's --quick runs
+# compare cleanly against this file.  Record a new baseline only from a
+# quiet machine, and mention the regeneration in the PR description: every
+# later `repro bench --compare` judges against this file.
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro bench --out benchmarks/BENCH_baseline.json "$@"

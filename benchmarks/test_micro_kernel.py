@@ -1,69 +1,30 @@
 """Micro-benchmarks of the library itself (not a paper experiment).
 
-Engine step throughput, snapshot cost, predicate evaluation, and model
-checker successor generation: the numbers downstream users care about when
-sizing their own experiments, and the regressions the experiment suite
-would otherwise only show as timeouts.
+Thin pytest-benchmark veneer over the **shared** benchmark registry
+(:func:`repro.perf.registry`): the same kernels ``repro bench`` times —
+engine step throughput, snapshot cost, predicate evaluation, model-checker
+successor generation, message-passing ticks, campaign-shard cost — so the
+pytest tables and the ``BENCH_*.json`` trajectory can never drift apart.
+
+Run ``repro bench`` for the JSON artefact + regression gate; run this file
+for interactive pytest-benchmark tables.
 """
 
-import random
+import pytest
 
-from repro.core import NADiners, invariant_holds, red_set
-from repro.sim import AlwaysHungry, Engine, System, WeaklyFairDaemon, ring
-from repro.verification import TransitionSystem
+from repro.perf import registry
 
-
-def test_micro_engine_steps(benchmark):
-    """Steps/second of the full engine loop (ring(16), everyone hungry)."""
-    system = System(ring(16), NADiners())
-    engine = Engine(system, WeaklyFairDaemon(), hunger=AlwaysHungry(), seed=1)
-
-    def thousand_steps():
-        engine.run(1000)
-
-    benchmark.pedantic(thousand_steps, rounds=20, iterations=1)
-    benchmark.extra_info["steps_per_round"] = 1000
+BENCHES = registry()
 
 
-def test_micro_snapshot(benchmark):
-    """Configuration snapshot cost (ring(16))."""
-    system = System(ring(16), NADiners())
-    benchmark(system.snapshot)
-
-
-def test_micro_invariant_eval(benchmark):
-    """Full invariant I evaluation on a converged ring(16) state."""
-    system = System(ring(16), NADiners())
-    engine = Engine(system, hunger=AlwaysHungry(), seed=2)
-    engine.run(3000)
-    config = system.snapshot()
-    benchmark(invariant_holds, config)
-
-
-def test_micro_red_fixpoint(benchmark):
-    """RD fixpoint on a corrupted ring(16) with two dead processes."""
-    system = System(ring(16), NADiners())
-    system.randomize(random.Random(3))
-    system.kill(0)
-    system.kill(8)
-    config = system.snapshot()
-    benchmark(red_set, config)
-
-
-def test_micro_checker_successors(benchmark):
-    """Model-checker successor generation from a busy state (ring(6))."""
-    topo = ring(6)
-    algo = NADiners(depth_cap=topo.diameter + 1)
-    system = System(topo, algo)
-    for p in system.pids:
-        system.write_local(p, "needs", True)
-    config = system.snapshot()
-    ts = TransitionSystem(algo, topo)
-    benchmark(ts.successors, config)
-
-
-def test_micro_havoc(benchmark):
-    """One malicious havoc step (ring(16))."""
-    system = System(ring(16), NADiners())
-    rng = random.Random(4)
-    benchmark(system.havoc_process, 5, rng)
+@pytest.mark.parametrize("name", sorted(BENCHES))
+def test_micro(benchmark, name):
+    bench = BENCHES[name]
+    kernel = bench.setup()
+    benchmark.pedantic(
+        kernel,
+        rounds=bench.quick_rounds,
+        warmup_rounds=bench.quick_warmup,
+        iterations=1,
+    )
+    benchmark.extra_info["ops_per_round"] = bench.ops

@@ -11,7 +11,8 @@ Subcommands
 ``sweep``      many-seed randomized campaign across a worker pool
 ``report``     run the experiment suite, emit markdown
 ``trace``      replay a recorded trace file offline; re-derive its summary
-``stats``      summarise a metrics / records / trace JSONL file
+``stats``      summarise a metrics / records / trace / BENCH artefact
+``bench``      run the performance benchmark suite; write/compare BENCH files
 
 Observability: ``run``, ``stabilize``, and ``locality`` accept ``--trace``
 (record the run as versioned JSONL) and ``--metrics-out`` (write the
@@ -35,6 +36,8 @@ Examples
     python -m repro check --topology line:3 --jobs 4
     python -m repro sweep --topology ring:8 --trials 32 --jobs 4 --out out.jsonl
     python -m repro stats out/run.metrics
+    python -m repro bench --quick --out BENCH_now.json
+    python -m repro bench --compare benchmarks/BENCH_baseline.json BENCH_now.json
 """
 
 from __future__ import annotations
@@ -87,17 +90,36 @@ def make_algorithm(name: str):
 
 
 def _make_recorder(args: argparse.Namespace, steps: int):
-    """A trace recorder when ``--trace``/``--metrics-out`` was asked for.
+    """A trace recorder when ``--trace``/``--metrics-out``/``--timings-out``
+    was asked for.
 
     Returns ``(recorder, snapshot_every)`` — ``(None, 0)`` when the run is
     unobserved.  The snapshot cadence defaults to ~100 snapshots per run;
-    ``--snapshot-every`` overrides it.
+    ``--snapshot-every`` overrides it.  ``--timings-out`` swaps in a
+    recorder that also feeds every event, live, to a
+    :class:`~repro.obs.probes.StepTimerProbe` — wall-clock timing cannot be
+    recovered from a recorded trace, so it must be captured in-line.
     """
-    if not (args.trace or args.metrics_out):
+    if not (args.trace or args.metrics_out or getattr(args, "timings_out", None)):
         return None, 0
     from .sim.trace import TraceRecorder
 
     every = args.snapshot_every or max(1, steps // 100)
+    if getattr(args, "timings_out", None):
+        from .obs import StepTimerProbe
+
+        class _TimedRecorder(TraceRecorder):
+            """Recorder that tees each event into the live timing probe."""
+
+            def __init__(self, probe, **kwargs):
+                super().__init__(**kwargs)
+                self.timer_probe = probe
+
+            def record_event(self, event):
+                self.timer_probe.on_event(event)
+                super().record_event(event)
+
+        return _TimedRecorder(StepTimerProbe(), snapshot_every=every), every
     return TraceRecorder(snapshot_every=every), every
 
 
@@ -148,6 +170,28 @@ def _finish_observability(
     if args.metrics_out:
         path = write_analysis_metrics(args.metrics_out, analysis)
         print(f"metrics: {path}")
+    timer_probe = getattr(recorder, "timer_probe", None)
+    if timer_probe is not None and getattr(args, "timings_out", None):
+        # Live wall-clock timers are meta by nature: they go to their own
+        # file (written with meta included) so the deterministic
+        # ``--metrics-out`` artefact stays byte-identical under replay.
+        from .obs import MetricsRegistry, write_metrics
+
+        registry = MetricsRegistry()
+        timer_probe.publish(registry)
+        path = write_metrics(
+            args.timings_out,
+            registry,
+            header={
+                "source": "timings",
+                "model": model,
+                "algorithm": algorithm.name,
+                "topology": topology_spec,
+                "seed": seed,
+            },
+            include_meta=True,
+        )
+        print(f"timings: {path}")
     print(f"summary: {analysis.summary_json()}")
 
 
@@ -159,7 +203,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     engine = Engine(
         system, hunger=AlwaysHungry(), recorder=recorder, seed=args.seed
     )
-    result = engine.run(args.steps)
+    if args.profile_out:
+        from .perf import write_profile_metrics
+
+        result, profile = engine.run_profiled(args.steps)
+        path = write_profile_metrics(
+            args.profile_out,
+            profile,
+            header={
+                "model": "sim",
+                "algorithm": system.algorithm.name,
+                "topology": args.topology,
+                "seed": args.seed,
+                "steps": result.steps,
+            },
+        )
+        print(f"profile: {path}")
+    else:
+        result = engine.run(args.steps)
     print(f"{topology} / {system.algorithm.name}: ran {result.steps} steps")
     for pid in topology.nodes:
         print(f"  {pid}: {engine.eats_of(pid)} meals")
@@ -564,15 +625,49 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Summarise any of the repository's JSONL artefacts by sniffing it."""
+    """Summarise any of the repository's artefacts by sniffing the file.
+
+    Recognises metrics JSONL, campaign records, trace JSONL, and BENCH
+    JSON.  Anything else — including empty, binary, or truncated files —
+    exits nonzero with a one-line reason, never a traceback.
+    """
+    try:
+        return _stats(args.path)
+    except BrokenPipeError:
+        raise  # downstream pager closed; handled quietly in main()
+    except (OSError, UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"{args.path}: unreadable artefact ({exc})") from None
+
+
+def _stats(path: str) -> int:
     from .campaign import read_records
     from .obs import read_metrics
 
-    if not os.path.exists(args.path):
-        raise SystemExit(f"{args.path}: no such file")
+    if not os.path.exists(path):
+        raise SystemExit(f"{path}: no such file")
+    if os.path.isdir(path):
+        raise SystemExit(f"{path}: is a directory, not an artefact file")
+    if os.path.getsize(path) == 0:
+        raise SystemExit(f"{path}: empty file")
 
-    metrics = read_metrics(args.path)
-    if metrics.metrics:
+    bench = _try_bench(path)
+    if bench is not None:
+        env = bench.get("env", {})
+        benchmarks = bench["benchmarks"]
+        print(f"BENCH file: {len(benchmarks)} benchmarks")
+        for key in ("git_rev", "python", "platform", "cpu_count", "timestamp"):
+            if env.get(key) is not None:
+                print(f"  {key}: {env[key]}")
+        for name in sorted(benchmarks):
+            stats = benchmarks[name].get("stats", {})
+            print(
+                f"  {name}: median {stats.get('median_s')}s, "
+                f"iqr {stats.get('iqr_s')}s, min {stats.get('min_s')}s"
+            )
+        return 0
+
+    metrics = read_metrics(path)
+    if metrics.metrics or metrics.header.get("source"):
         print(f"metrics file: {len(metrics.metrics)} metrics")
         for key in sorted(k for k in metrics.header if k not in ("format",)):
             print(f"  {key}: {metrics.header[key]}")
@@ -582,7 +677,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
                   + json.dumps(body, sort_keys=True))
         return 0
 
-    records = read_records(args.path)
+    records = read_records(path)
     if records:
         kinds = {}
         durations = []
@@ -605,10 +700,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from .sim.errors import SimulationError
 
     try:
-        trace = read_trace(args.path)
+        trace = read_trace(path)
     except SimulationError:
         raise SystemExit(
-            f"{args.path}: not a metrics, campaign-records, or trace file"
+            f"{path}: not a metrics, campaign-records, trace, or BENCH file"
         ) from None
     counts = {}
     for event in trace.events:
@@ -621,6 +716,106 @@ def cmd_stats(args: argparse.Namespace) -> int:
     for kind in sorted(counts):
         print(f"  {kind}: {counts[kind]} events")
     print(f"  snapshots: {len(trace.snapshots)}")
+    return 0
+
+
+def _try_bench(path: str):
+    """The parsed BENCH document, or ``None`` if ``path`` is not one.
+
+    BENCH files are single JSON documents (not JSONL), so a whole-file
+    parse distinguishes them from every line-oriented artefact cheaply —
+    JSONL with more than one line fails ``json.loads`` immediately.
+    """
+    from .perf import read_bench
+
+    try:
+        return read_bench(path)
+    except ValueError:
+        return None
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite, write/compare BENCH files, or profile."""
+    from .perf import (
+        compare,
+        format_compare,
+        read_bench,
+        run_benchmarks,
+        select,
+        write_bench,
+    )
+
+    if args.threshold < 0:
+        raise SystemExit("--threshold must be non-negative")
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = read_bench(old_path)
+            new = read_bench(new_path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        report = compare(old, new, threshold=args.threshold)
+        print(format_compare(report))
+        return 0 if report.ok else 1
+
+    benches = select(args.filter)
+    if not benches:
+        raise SystemExit(
+            f"no benchmark matches --filter {args.filter!r}; "
+            f"try `repro bench --list`"
+        )
+    if args.list:
+        for bench in benches:
+            plan = bench.plan(args.quick)
+            print(f"{bench.name}  (ops={bench.ops}, rounds={plan.rounds}, "
+                  f"warmup={plan.warmup})")
+        return 0
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
+    def progress(result):
+        stats = result.stats
+        rate = result.ops_per_sec
+        print(
+            f"{result.name:35s} median {stats['median_s']:.6f}s  "
+            f"iqr {stats['iqr_s']:.6f}s  min {stats['min_s']:.6f}s  "
+            f"{'' if rate is None else f'{rate:,.0f} ops/s'}"
+        )
+
+    mode = "quick" if args.quick else "full"
+    print(f"running {len(benches)} benchmarks ({mode})")
+    results = run_benchmarks(
+        benches, quick=args.quick, profiler=profiler, progress=progress
+    )
+    if args.out:
+        path = write_bench(
+            args.out,
+            results,
+            options={
+                "quick": args.quick,
+                "filter": args.filter,
+                "profiled": args.profile,
+            },
+        )
+        print(f"bench: {path}")
+    if profiler is not None:
+        from .perf import format_hotspots, hotspots, write_profile_metrics
+
+        rows = hotspots(profiler, top=args.profile_top)
+        print(format_hotspots(rows))
+        path = write_profile_metrics(
+            args.profile_out,
+            profiler,
+            header={"benchmarks": len(results), "quick": args.quick},
+            top=args.profile_top,
+        )
+        print(f"profile: {path}")
+        print("note: profiled round times are inflated; do not commit them "
+              "as a baseline")
     return 0
 
 
@@ -669,10 +864,18 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="snapshot_every",
                        help="configuration snapshot cadence in steps "
                        "(0 = auto, ~100 snapshots per run)")
+        p.add_argument("--timings-out", default=None, dest="timings_out",
+                       metavar="PATH",
+                       help="write live per-action wall-clock timers "
+                       "(meta metrics JSONL; see StepTimerProbe)")
 
     p = sub.add_parser("run", help="simulate and report meals + invariant")
     common(p)
     observability(p)
+    p.add_argument("--profile-out", default=None, dest="profile_out",
+                   metavar="PATH",
+                   help="cProfile the run's hot loop; write top hotspots "
+                   "as meta metrics JSONL (readable by `repro stats`)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("locality", help="crash a victim while eating; measure radius")
@@ -763,6 +966,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("path", help="any JSONL artefact this toolkit writes")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the performance benchmark suite; write/compare BENCH files",
+        description="Execute the shared benchmark registry (engine step "
+        "loops, snapshot/invariant/checker kernels, mp ticks, campaign "
+        "shards) with warmup and repeated rounds, reduce to robust stats "
+        "(median, IQR, min), and optionally write a versioned BENCH_*.json "
+        "with environment provenance.  --compare OLD NEW applies the "
+        "noise-tolerant regression gate and exits nonzero on regression.",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="fewer rounds/warmup (CI smoke mode)")
+    p.add_argument("--filter", default=None, metavar="SUBSTR",
+                   help="only benchmarks whose name contains SUBSTR")
+    p.add_argument("--list", action="store_true",
+                   help="list matching benchmarks and exit")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write results as a BENCH_*.json trajectory file")
+    p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                   help="compare two BENCH files instead of running")
+    from .perf.bench_io import DEFAULT_THRESHOLD
+
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="relative median slowdown tolerated by --compare "
+                   f"(default {DEFAULT_THRESHOLD})")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the timed rounds; print + write hotspots")
+    p.add_argument("--profile-out", default="bench_profile.metrics",
+                   dest="profile_out", metavar="PATH",
+                   help="hotspot metrics JSONL path for --profile")
+    p.add_argument("--profile-top", type=int, default=15, dest="profile_top",
+                   help="hotspot rows to keep with --profile")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("report", help="run the experiment suite, emit markdown")
     p.add_argument("--full", action="store_true")

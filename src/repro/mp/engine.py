@@ -267,3 +267,19 @@ class MpEngine:
             if stop_when is not None and taken % check_every == 0 and stop_when(self):
                 break
         return taken
+
+    def run_profiled(self, max_steps: int, **kwargs):
+        """:meth:`run` under ``cProfile``; returns ``(taken, profile)``.
+
+        The message-passing twin of :meth:`repro.sim.engine.Engine.run_profiled`:
+        one hook point over the deliver/tick hot loop.
+        """
+        import cProfile
+
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            taken = self.run(max_steps, **kwargs)
+        finally:
+            profile.disable()
+        return taken, profile

@@ -25,6 +25,7 @@ from .metrics import (
     Series,
     Timer,
     metrics_lines,
+    percentile_of_sorted,
     read_metrics,
     write_metrics,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "Series",
     "Timer",
     "metrics_lines",
+    "percentile_of_sorted",
     "read_metrics",
     "write_metrics",
     "DepthProbe",

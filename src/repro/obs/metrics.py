@@ -33,6 +33,27 @@ def _canonical(payload: Any) -> str:
     return json.dumps(payload, **_CANONICAL)
 
 
+def percentile_of_sorted(values: List[float], q: float) -> float:
+    """Linearly interpolated quantile ``q`` (in ``[0, 1]``) of a pre-sorted
+    sequence — numpy's default definition, without numpy.
+
+    One shared definition serves the bench runner's robust stats and the
+    instruments below, so "median" means the same thing in a ``BENCH_*.json``
+    file and a metrics artefact.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    if len(values) == 1:
+        return values[0]
+    pos = q * (len(values) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return values[lo] * (1.0 - frac) + values[hi] * frac
+
+
 class Metric:
     """Base class: a named instrument that renders to one JSON payload."""
 
@@ -110,6 +131,27 @@ class Histogram(Metric):
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    def percentile(self, q: float) -> Any:
+        """Smallest bucket value covering quantile ``q`` of the mass
+        (nearest-rank over the cumulative bucket counts)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if not self.count:
+            return None
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        ordered = sorted(self.buckets)
+        for value in ordered:
+            cumulative += self.buckets[value]
+            if cumulative >= target:
+                return value
+        return ordered[-1]
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's buckets into this one (shard merge)."""
+        for value, weight in other.buckets.items():
+            self.observe(value, weight)
+
     def payload(self) -> Dict[str, Any]:
         # JSON object keys must be strings; keep buckets sorted by the
         # underlying value so the rendering is deterministic and readable.
@@ -129,16 +171,30 @@ class Timer(Metric):
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: Raw observations, kept so percentiles and merges stay exact.
+        self.samples: List[float] = []
 
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total += seconds
         self.min = seconds if self.min is None else min(self.min, seconds)
         self.max = seconds if self.max is None else max(self.max, seconds)
+        self.samples.append(seconds)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Interpolated quantile of the observed durations."""
+        if not self.samples:
+            return None
+        return percentile_of_sorted(sorted(self.samples), q)
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's observations into this one."""
+        for seconds in other.samples:
+            self.observe(seconds)
 
     def payload(self) -> Dict[str, Any]:
         return {
@@ -146,7 +202,14 @@ class Timer(Metric):
             "total_s": round(self.total, 9),
             "min_s": None if self.min is None else round(self.min, 9),
             "max_s": None if self.max is None else round(self.max, 9),
+            "mean_s": None if not self.count else round(self.mean, 9),
+            "p50_s": _round_opt(self.percentile(0.5)),
+            "p90_s": _round_opt(self.percentile(0.9)),
         }
+
+
+def _round_opt(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 9)
 
 
 class Series(Metric):

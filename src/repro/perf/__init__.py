@@ -1,0 +1,75 @@
+"""Performance observability: benchmark registry, BENCH files, profiling.
+
+The layer every performance claim in this repo flows through:
+
+* :mod:`repro.perf.bench` — the shared benchmark registry and the
+  warmup/rounds/robust-stats runner (no pytest required);
+* :mod:`repro.perf.kernels` — the default kernels: engine step loops,
+  snapshot cost, invariant evaluation, model-checker successors,
+  message-passing ticks, campaign-shard throughput;
+* :mod:`repro.perf.bench_io` — the versioned ``BENCH_*.json`` trajectory
+  format (stats + environment provenance) and the noise-tolerant
+  ``--compare`` regression gate;
+* :mod:`repro.perf.profile` — cProfile hooks that publish top-N hotspots
+  through the standard metrics registry, so ``repro stats`` reads them.
+"""
+
+from .bench import (
+    Benchmark,
+    BenchResult,
+    register,
+    registry,
+    robust_stats,
+    run_benchmark,
+    run_benchmarks,
+    select,
+)
+from .bench_io import (
+    BENCH_FORMAT_VERSION,
+    DEFAULT_THRESHOLD,
+    CompareReport,
+    Delta,
+    bench_payload,
+    compare,
+    environment,
+    format_compare,
+    git_revision,
+    read_bench,
+    write_bench,
+)
+from .profile import (
+    DEFAULT_TOP,
+    format_hotspots,
+    hotspots,
+    profile_call,
+    publish_hotspots,
+    write_profile_metrics,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "register",
+    "registry",
+    "robust_stats",
+    "run_benchmark",
+    "run_benchmarks",
+    "select",
+    "BENCH_FORMAT_VERSION",
+    "DEFAULT_THRESHOLD",
+    "CompareReport",
+    "Delta",
+    "bench_payload",
+    "compare",
+    "environment",
+    "format_compare",
+    "git_revision",
+    "read_bench",
+    "write_bench",
+    "DEFAULT_TOP",
+    "format_hotspots",
+    "hotspots",
+    "profile_call",
+    "publish_hotspots",
+    "write_profile_metrics",
+]

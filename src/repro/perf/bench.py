@@ -1,0 +1,214 @@
+"""The benchmark registry and runner: the repo's kernels, timed without pytest.
+
+A :class:`Benchmark` is a named *setup → kernel* pair: ``setup()`` builds
+whatever state the measurement needs (a warmed engine, a snapshot, a
+transition system) and returns the zero-argument kernel to time.  The
+runner warms the kernel up, times ``rounds`` calls, and reduces them with
+robust statistics — **median**, **IQR**, and **min** — because wall-clock
+samples on shared machines are contaminated by one-sided noise: the median
+and the minimum are stable under it, the mean is not.
+
+``ops`` declares how many logical operations one kernel call performs
+(engine steps, snapshots, evaluations...), so results can also be read as
+throughput (``ops / median``).
+
+Benchmarks register themselves via :func:`register`; the default kernels
+live in :mod:`repro.perf.kernels` and are loaded on first use of
+:func:`registry`.  ``pytest-benchmark`` micro benchmarks and ``repro
+bench`` both draw from this one registry, so the two never drift apart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..obs.metrics import percentile_of_sorted
+
+#: Kernel factory: called once per benchmark run, returns the callable to time.
+Setup = Callable[[], Callable[[], Any]]
+
+_REGISTRY: Dict[str, "Benchmark"] = {}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered measurement."""
+
+    name: str
+    setup: Setup
+    #: Logical operations per kernel call (for throughput derivation).
+    ops: int = 1
+    rounds: int = 10
+    warmup: int = 2
+    quick_rounds: int = 3
+    quick_warmup: int = 1
+
+    def plan(self, quick: bool) -> "RunPlan":
+        if quick:
+            return RunPlan(rounds=self.quick_rounds, warmup=self.quick_warmup)
+        return RunPlan(rounds=self.rounds, warmup=self.warmup)
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    rounds: int
+    warmup: int
+
+
+def register(
+    name: str,
+    *,
+    ops: int = 1,
+    rounds: int = 10,
+    warmup: int = 2,
+    quick_rounds: int = 3,
+    quick_warmup: int = 1,
+) -> Callable[[Setup], Setup]:
+    """Decorator: register ``setup`` under ``name``.
+
+    Registering the same name twice is an error — it would silently fork
+    the trajectory that name carries across ``BENCH_*.json`` files.
+    """
+
+    def decorator(setup: Setup) -> Setup:
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} already registered")
+        _REGISTRY[name] = Benchmark(
+            name=name,
+            setup=setup,
+            ops=ops,
+            rounds=rounds,
+            warmup=warmup,
+            quick_rounds=quick_rounds,
+            quick_warmup=quick_warmup,
+        )
+        return setup
+
+    return decorator
+
+
+def registry() -> Mapping[str, Benchmark]:
+    """All registered benchmarks (default kernels loaded on first call)."""
+    from . import kernels  # noqa: F401 — registers the default set on import
+
+    return dict(_REGISTRY)
+
+
+def select(pattern: Optional[str] = None) -> List[Benchmark]:
+    """Benchmarks whose name contains ``pattern``, in name order."""
+    benches = registry()
+    names = sorted(benches)
+    if pattern:
+        names = [n for n in names if pattern in n]
+    return [benches[n] for n in names]
+
+
+# ------------------------------------------------------------------ results
+
+
+def robust_stats(times: Sequence[float]) -> Dict[str, float]:
+    """Median / IQR / min / max / mean of a sample of round times."""
+    ordered = sorted(times)
+    return {
+        "median_s": percentile_of_sorted(ordered, 0.5),
+        "iqr_s": percentile_of_sorted(ordered, 0.75)
+        - percentile_of_sorted(ordered, 0.25),
+        "min_s": ordered[0],
+        "max_s": ordered[-1],
+        "mean_s": sum(ordered) / len(ordered),
+    }
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one benchmark: raw round times plus the derived stats."""
+
+    name: str
+    ops: int
+    rounds: int
+    warmup: int
+    times: tuple = field(default_factory=tuple)
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        return robust_stats(self.times)
+
+    @property
+    def median(self) -> float:
+        return self.stats["median_s"]
+
+    @property
+    def ops_per_sec(self) -> Optional[float]:
+        median = self.median
+        return self.ops / median if median > 0 else None
+
+    def payload(self) -> Dict[str, Any]:
+        """The per-benchmark body of a ``BENCH_*.json`` file."""
+        stats = {k: round(v, 9) for k, v in self.stats.items()}
+        ops_per_sec = self.ops_per_sec
+        return {
+            "ops": self.ops,
+            "rounds": self.rounds,
+            "warmup": self.warmup,
+            "stats": stats,
+            "ops_per_sec": None if ops_per_sec is None else round(ops_per_sec, 3),
+        }
+
+
+# ------------------------------------------------------------------- runner
+
+
+def run_benchmark(
+    bench: Benchmark,
+    *,
+    quick: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
+    profiler=None,
+) -> BenchResult:
+    """Set up, warm up, and time one benchmark.
+
+    ``profiler`` (a ``cProfile.Profile``) is enabled around the timed calls
+    only — setup and warmup stay outside the profile.  Profiling inflates
+    the round times; callers that profile should not also trust the stats.
+    """
+    plan = bench.plan(quick)
+    kernel = bench.setup()
+    for _ in range(plan.warmup):
+        kernel()
+    times: List[float] = []
+    for _ in range(plan.rounds):
+        if profiler is not None:
+            profiler.enable()
+        start = clock()
+        kernel()
+        elapsed = clock() - start
+        if profiler is not None:
+            profiler.disable()
+        times.append(elapsed)
+    return BenchResult(
+        name=bench.name,
+        ops=bench.ops,
+        rounds=plan.rounds,
+        warmup=plan.warmup,
+        times=tuple(times),
+    )
+
+
+def run_benchmarks(
+    benches: Sequence[Benchmark],
+    *,
+    quick: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
+    profiler=None,
+    progress: Optional[Callable[[BenchResult], None]] = None,
+) -> List[BenchResult]:
+    """Run a benchmark list in order; ``progress`` fires after each one."""
+    results: List[BenchResult] = []
+    for bench in benches:
+        result = run_benchmark(bench, quick=quick, clock=clock, profiler=profiler)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results

@@ -1,0 +1,222 @@
+"""``BENCH_*.json``: the versioned performance-trajectory file format.
+
+One file is one benchmark run on one machine: per-benchmark robust stats
+plus environment provenance (git revision, Python, platform, CPU count), so
+a sequence of files committed over PRs forms a *comparable trajectory* —
+the question "did PR N make the engine slower?" becomes
+``repro bench --compare BENCH_old.json BENCH_new.json``.
+
+The comparison gate is noise-tolerant by construction: it compares
+**medians** (robust to one-sided scheduling noise) and only fails past a
+relative ``threshold`` (default +25 %).  Comparing files from different
+hardware is still apples-to-oranges for absolute numbers — CI uses a wider
+threshold for exactly that reason — but the per-benchmark *ratios* remain
+the honest first-order signal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .bench import BenchResult
+
+BENCH_FORMAT_VERSION = 1
+
+#: Default regression gate: fail past a +25 % median slowdown.
+DEFAULT_THRESHOLD = 0.25
+
+
+def git_revision(cwd: Optional[Path] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def environment() -> Dict[str, Any]:
+    """Provenance snapshot: where and on what these numbers were measured."""
+    return {
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def bench_payload(
+    results: Sequence[BenchResult],
+    *,
+    options: Optional[Mapping[str, Any]] = None,
+    env: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The complete BENCH document for a run."""
+    return {
+        "format": BENCH_FORMAT_VERSION,
+        "kind": "bench",
+        "env": dict(env) if env is not None else environment(),
+        "options": dict(options or {}),
+        "benchmarks": {r.name: r.payload() for r in results},
+    }
+
+
+def write_bench(
+    path: Path | str,
+    results: Sequence[BenchResult],
+    *,
+    options: Optional[Mapping[str, Any]] = None,
+    env: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a BENCH document (parents created, atomic replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = bench_payload(results, options=options, env=env)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    tmp.replace(path)
+    return path
+
+
+def read_bench(path: Path | str) -> Dict[str, Any]:
+    """Load and validate a BENCH document.
+
+    Raises ``ValueError`` with a one-line reason on anything that is not a
+    version-matched BENCH file — the CLI turns that into a clean exit.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc.msg})") from None
+    if not isinstance(payload, dict) or payload.get("kind") != "bench":
+        raise ValueError(f"{path}: not a BENCH file")
+    if payload.get("format") != BENCH_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported BENCH format {payload.get('format')!r}"
+        )
+    if not isinstance(payload.get("benchmarks"), dict):
+        raise ValueError(f"{path}: BENCH file has no benchmarks table")
+    return payload
+
+
+# ----------------------------------------------------------------- compare
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's old→new movement."""
+
+    name: str
+    old_median: float
+    new_median: float
+
+    @property
+    def ratio(self) -> float:
+        """new/old; > 1 is a slowdown.  ``inf`` when old is zero."""
+        if self.old_median <= 0:
+            return float("inf") if self.new_median > 0 else 1.0
+        return self.new_median / self.old_median
+
+    def regressed(self, threshold: float) -> bool:
+        return self.ratio > 1.0 + threshold
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Everything ``--compare`` derives from two BENCH files."""
+
+    deltas: List[Delta]
+    #: Present only in the new / only in the old file.
+    added: List[str]
+    removed: List[str]
+    threshold: float
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareReport:
+    """Compare two BENCH documents; deltas ranked worst-slowdown first."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    old_benches = old.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    deltas: List[Delta] = []
+    for name in sorted(set(old_benches) & set(new_benches)):
+        deltas.append(
+            Delta(
+                name=name,
+                old_median=float(old_benches[name]["stats"]["median_s"]),
+                new_median=float(new_benches[name]["stats"]["median_s"]),
+            )
+        )
+    deltas.sort(key=lambda d: (-d.ratio, d.name))
+    return CompareReport(
+        deltas=deltas,
+        added=sorted(set(new_benches) - set(old_benches)),
+        removed=sorted(set(old_benches) - set(new_benches)),
+        threshold=threshold,
+    )
+
+
+def format_compare(report: CompareReport) -> str:
+    """The ranked delta table ``repro bench --compare`` prints."""
+    lines = [
+        f"{'benchmark':40s} {'old median':>12s} {'new median':>12s} "
+        f"{'ratio':>7s}  verdict"
+    ]
+    for delta in report.deltas:
+        if delta.regressed(report.threshold):
+            verdict = "REGRESSION"
+        elif delta.ratio < 1.0 - report.threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{delta.name:40s} {delta.old_median:>11.6f}s {delta.new_median:>11.6f}s "
+            f"{delta.ratio:>6.2f}x  {verdict}"
+        )
+    for name in report.added:
+        lines.append(f"{name:40s} {'-':>12s} {'(new)':>12s}")
+    for name in report.removed:
+        lines.append(f"{name:40s} {'(gone)':>12s} {'-':>12s}")
+    gate = f"+{report.threshold:.0%} median gate"
+    if report.ok:
+        lines.append(f"no regressions ({len(report.deltas)} compared, {gate})")
+    else:
+        worst = report.regressions[0]
+        lines.append(
+            f"{len(report.regressions)} regression(s) past the {gate}; "
+            f"worst: {worst.name} at {worst.ratio:.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""The default benchmark kernels: every hot path the repo cares about.
+
+Importing this module populates the shared registry
+(:func:`repro.perf.bench.registry`).  Kernels are deterministic given their
+baked-in seeds and touch no global randomness, so two runs on the same
+machine measure the same work.
+
+Naming convention: ``<subsystem>/<operation>/<instance>``.  The instance
+suffix pins the topology/scale, so a future PR that adds bigger instances
+extends the trajectory instead of silently re-labelling it.
+
+Each kernel bakes an inner repetition count into one call (``ops``) large
+enough that a round is comfortably above clock granularity but small enough
+that ``--quick`` stays CI-cheap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .bench import register
+
+
+@register("engine/steps/ring16", ops=1000)
+def engine_steps_ring():
+    """Full engine step loop: ring(16), everyone hungry, weakly fair."""
+    from ..core import NADiners
+    from ..sim import AlwaysHungry, Engine, System, ring
+
+    engine = Engine(System(ring(16), NADiners()), hunger=AlwaysHungry(), seed=1)
+    return lambda: engine.run(1000)
+
+
+@register("engine/steps/line16", ops=1000)
+def engine_steps_line():
+    """Same loop on a line — the diameter-heavy extreme of the topology set."""
+    from ..core import NADiners
+    from ..sim import AlwaysHungry, Engine, System, line
+
+    engine = Engine(System(line(16), NADiners()), hunger=AlwaysHungry(), seed=1)
+    return lambda: engine.run(1000)
+
+
+@register("engine/steps/grid4x4", ops=1000)
+def engine_steps_grid():
+    """Same loop on a grid — degree-4 neighbourhoods, denser guards."""
+    from ..core import NADiners
+    from ..sim import AlwaysHungry, Engine, System, grid
+
+    engine = Engine(System(grid(4, 4), NADiners()), hunger=AlwaysHungry(), seed=1)
+    return lambda: engine.run(1000)
+
+
+@register("snapshot/ring16", ops=100)
+def snapshot_cost():
+    """Configuration snapshot cost — the price of every observation."""
+    from ..core import NADiners
+    from ..sim import System, ring
+
+    system = System(ring(16), NADiners())
+
+    def kernel():
+        for _ in range(100):
+            system.snapshot()
+
+    return kernel
+
+
+@register("invariant/eval/ring16", ops=100)
+def invariant_eval():
+    """Full invariant ``I`` on a converged ring(16) configuration."""
+    from ..core import NADiners, invariant_holds
+    from ..sim import AlwaysHungry, Engine, System, ring
+
+    system = System(ring(16), NADiners())
+    Engine(system, hunger=AlwaysHungry(), seed=2).run(3000)
+    config = system.snapshot()
+
+    def kernel():
+        for _ in range(100):
+            invariant_holds(config)
+
+    return kernel
+
+
+@register("invariant/red_fixpoint/ring16", ops=20)
+def red_fixpoint():
+    """RD fixpoint on a corrupted ring(16) with two dead processes."""
+    from ..core import NADiners, red_set
+    from ..sim import System, ring
+
+    system = System(ring(16), NADiners())
+    system.randomize(random.Random(3))
+    system.kill(0)
+    system.kill(8)
+    config = system.snapshot()
+
+    def kernel():
+        for _ in range(20):
+            red_set(config)
+
+    return kernel
+
+
+@register("checker/successors/ring6", ops=20)
+def checker_successors():
+    """Model-checker successor generation from a busy ring(6) state."""
+    from ..core import NADiners
+    from ..sim import System, ring
+    from ..verification import TransitionSystem
+
+    topo = ring(6)
+    algo = NADiners(depth_cap=topo.diameter + 1)
+    system = System(topo, algo)
+    for p in system.pids:
+        system.write_local(p, "needs", True)
+    config = system.snapshot()
+    ts = TransitionSystem(algo, topo)
+
+    def kernel():
+        for _ in range(20):
+            ts.successors(config)
+
+    return kernel
+
+
+@register("mp/ticks/ring8", ops=1000)
+def mp_ticks():
+    """Message-passing engine deliver/tick loop (Chandy–Misra ring(8))."""
+    from ..mp import MpEngine, build_diners
+    from ..sim import ring
+
+    topo = ring(8)
+    engine = MpEngine(topo, build_diners(topo), seed=4)
+    return lambda: engine.run(1000)
+
+
+@register("campaign/shard/sim_ring6", ops=1, rounds=7)
+def campaign_shard():
+    """One complete ``sim`` campaign shard, end to end (record included)."""
+    from ..campaign import Shard
+    from ..campaign.shard import execute_shard
+
+    shard = Shard(
+        "sim",
+        {"topology": "ring:6", "algorithm": "na-diners", "steps": 400},
+        seed=11,
+    )
+    return lambda: execute_shard(shard)
+
+
+@register("engine/havoc/ring16", ops=200)
+def havoc_step():
+    """Malicious havoc steps — the fault path's per-step cost."""
+    from ..core import NADiners
+    from ..sim import System, ring
+
+    system = System(ring(16), NADiners())
+    rng = random.Random(5)
+
+    def kernel():
+        for _ in range(200):
+            system.havoc_process(5, rng)
+
+    return kernel

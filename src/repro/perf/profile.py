@@ -1,0 +1,108 @@
+"""cProfile hooks: hotspots as first-class observability artefacts.
+
+A profile is only useful if it lands where the other numbers land, so the
+top-N cumulative hotspots are published into a
+:class:`~repro.obs.metrics.MetricsRegistry` (as **meta** metrics — wall
+time is environmental) and written with the standard metrics writer.  The
+resulting file is a plain metrics JSONL artefact: ``repro stats`` summarises
+it exactly like a probe metrics file, no new reader required.
+
+Entry points:
+
+* ``repro bench --profile`` profiles the timed benchmark rounds;
+* ``repro run --profile-out`` profiles the engine's hot loop via
+  :meth:`repro.sim.engine.Engine.run_profiled`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry, write_metrics
+
+#: Hotspots published per profile; enough to see a hot loop, small enough
+#: to stay readable in a terminal.
+DEFAULT_TOP = 15
+
+
+def profile_call(fn: Callable[[], Any]) -> Tuple[Any, cProfile.Profile]:
+    """Run ``fn()`` under a fresh profiler; returns ``(result, profile)``."""
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = fn()
+    finally:
+        profile.disable()
+    return result, profile
+
+
+def _where(func_key: Tuple[str, int, str]) -> str:
+    """Compact ``file:line(function)`` label; paths trimmed to two parts."""
+    filename, lineno, funcname = func_key
+    if filename.startswith("<"):  # builtins, compiled code
+        return f"{filename}({funcname})"
+    parts = Path(filename).parts
+    short = "/".join(parts[-2:]) if len(parts) >= 2 else filename
+    return f"{short}:{lineno}({funcname})"
+
+
+def hotspots(
+    profile: cProfile.Profile, *, top: int = DEFAULT_TOP
+) -> List[Dict[str, Any]]:
+    """The top-``top`` functions by cumulative time, as plain dicts."""
+    stats = pstats.Stats(profile)
+    rows: List[Dict[str, Any]] = []
+    for func_key, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "where": _where(func_key),
+                "calls": nc,
+                "primitive_calls": cc,
+                "tot_s": round(tottime, 6),
+                "cum_s": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda r: (-r["cum_s"], r["where"]))
+    return rows[:top]
+
+
+def publish_hotspots(
+    registry: MetricsRegistry,
+    rows: List[Dict[str, Any]],
+    *,
+    prefix: str = "profile",
+) -> MetricsRegistry:
+    """Rank-keyed meta gauges: ``profile/00`` is the hottest frame."""
+    registry.gauge(f"{prefix}/hotspots", meta=True).set(len(rows))
+    for rank, row in enumerate(rows):
+        registry.gauge(f"{prefix}/{rank:02d}", meta=True).set(row)
+    return registry
+
+
+def write_profile_metrics(
+    path: Path | str,
+    profile: cProfile.Profile,
+    *,
+    header: Optional[Mapping[str, Any]] = None,
+    top: int = DEFAULT_TOP,
+) -> Path:
+    """Write a profile's hotspots as a standard metrics JSONL file."""
+    registry = publish_hotspots(MetricsRegistry(), hotspots(profile, top=top))
+    head: Dict[str, Any] = {"source": "profile", "top": top}
+    if header:
+        head.update(header)
+    return write_metrics(path, registry, header=head, include_meta=True)
+
+
+def format_hotspots(rows: List[Dict[str, Any]]) -> str:
+    """Terminal rendering of a hotspot table."""
+    lines = [f"{'cum_s':>9s} {'tot_s':>9s} {'calls':>9s}  where"]
+    for row in rows:
+        lines.append(
+            f"{row['cum_s']:>9.4f} {row['tot_s']:>9.4f} {row['calls']:>9d}  "
+            f"{row['where']}"
+        )
+    return "\n".join(lines)

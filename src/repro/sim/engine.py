@@ -201,6 +201,24 @@ class Engine:
         """Run with no stop predicate; convenience wrapper over :meth:`run`."""
         return self.run(max_steps)
 
+    def run_profiled(self, max_steps: int, **kwargs):
+        """:meth:`run` under ``cProfile``; returns ``(result, profile)``.
+
+        The canonical profiling hook point for this engine's hot loop —
+        ``repro run --profile-out`` and ``repro bench --profile`` both land
+        here, so hotspot reports always cover the same region: the full
+        fault/malice/hunger/action step cycle, nothing outside it.
+        """
+        import cProfile
+
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            result = self.run(max_steps, **kwargs)
+        finally:
+            profile.disable()
+        return result, profile
+
     # ------------------------------------------------------------ internals
 
     def _result(

@@ -128,3 +128,78 @@ class TestJsonl:
         path = tmp_path / "deep" / "dir" / "m.jsonl"
         write_metrics(path, self._registry())
         assert path.exists()
+
+
+class TestAggregateMath:
+    """Percentiles and merges on Timer/Histogram (the BENCH runner's math)."""
+
+    def test_percentile_of_sorted_interpolates(self):
+        from repro.obs import percentile_of_sorted
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile_of_sorted(values, 0.0) == 1.0
+        assert percentile_of_sorted(values, 1.0) == 4.0
+        assert percentile_of_sorted(values, 0.5) == 2.5
+        assert percentile_of_sorted(values, 0.25) == 1.75
+
+    def test_percentile_of_sorted_rejects_bad_input(self):
+        from repro.obs import percentile_of_sorted
+
+        with pytest.raises(ValueError):
+            percentile_of_sorted([], 0.5)
+        with pytest.raises(ValueError):
+            percentile_of_sorted([1.0], 1.5)
+
+    def test_histogram_percentile_nearest_rank(self):
+        h = MetricsRegistry().histogram("h")
+        for value, weight in ((0, 5), (1, 3), (2, 2)):
+            h.observe(value, weight)
+        assert h.percentile(0.0) == 0
+        assert h.percentile(0.5) == 0     # 5 of 10 observations are 0
+        assert h.percentile(0.8) == 1
+        assert h.percentile(1.0) == 2
+
+    def test_histogram_percentile_empty(self):
+        assert MetricsRegistry().histogram("h").percentile(0.5) is None
+
+    def test_histogram_merge(self):
+        reg = MetricsRegistry()
+        a, b = reg.histogram("a"), reg.histogram("b")
+        a.observe(1, 2)
+        b.observe(1, 3)
+        b.observe(5, 1)
+        a.merge(b)
+        assert a.buckets == {1: 5, 5: 1}
+        assert a.count == 6
+        assert a.total == 10
+        # The merged histogram answers percentiles over the union.
+        assert a.percentile(0.5) == 1
+
+    def test_timer_percentile_and_extended_payload(self):
+        t = MetricsRegistry().timer("t")
+        for s in (0.1, 0.2, 0.3, 0.4, 0.5):
+            t.observe(s)
+        assert t.percentile(0.5) == pytest.approx(0.3)
+        payload = t.payload()
+        assert payload["p50_s"] == pytest.approx(0.3)
+        assert payload["p90_s"] == pytest.approx(0.46)
+        assert payload["mean_s"] == pytest.approx(0.3)
+
+    def test_timer_merge(self):
+        reg = MetricsRegistry()
+        a, b = reg.timer("a"), reg.timer("b")
+        a.observe(1.0)
+        b.observe(3.0)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == pytest.approx(9.0)
+        assert a.min == 1.0
+        assert a.max == 5.0
+        assert a.percentile(0.5) == pytest.approx(3.0)
+
+    def test_empty_timer_payload_is_all_none(self):
+        payload = MetricsRegistry().timer("t").payload()
+        assert payload["count"] == 0
+        assert payload["p50_s"] is None
+        assert payload["mean_s"] is None

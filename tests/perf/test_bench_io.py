@@ -1,0 +1,162 @@
+"""BENCH file round-trip, provenance, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BENCH_FORMAT_VERSION,
+    BenchResult,
+    bench_payload,
+    compare,
+    environment,
+    format_compare,
+    read_bench,
+    write_bench,
+)
+
+
+def result(name, times=(1.0, 2.0, 3.0), ops=10):
+    return BenchResult(
+        name=name, ops=ops, rounds=len(times), warmup=1, times=tuple(times)
+    )
+
+
+class TestEnvironment:
+    def test_provenance_keys(self):
+        env = environment()
+        for key in ("git_rev", "python", "platform", "cpu_count", "timestamp"):
+            assert key in env
+        assert env["python"].count(".") == 2
+
+    def test_git_rev_in_this_checkout(self):
+        # The test suite runs inside the repo, so the rev must resolve.
+        assert environment()["git_rev"]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        write_bench(path, [result("a/b"), result("c/d")], options={"quick": True})
+        doc = read_bench(path)
+        assert doc["format"] == BENCH_FORMAT_VERSION
+        assert doc["options"]["quick"] is True
+        assert set(doc["benchmarks"]) == {"a/b", "c/d"}
+        stats = doc["benchmarks"]["a/b"]["stats"]
+        assert stats["median_s"] == 2.0
+        assert stats["min_s"] == 1.0
+
+    def test_read_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            read_bench(path)
+
+    def test_read_rejects_bad_format_version(self, tmp_path):
+        path = tmp_path / "x.json"
+        payload = bench_payload([result("a")])
+        payload["format"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            read_bench(path)
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError):
+            read_bench(path)
+
+
+def _slow_copy(doc, name, factor):
+    """A deep-enough copy of ``doc`` with one benchmark slowed by ``factor``."""
+    copy = json.loads(json.dumps(doc))
+    stats = copy["benchmarks"][name]["stats"]
+    stats["median_s"] *= factor
+    return copy
+
+
+class TestCompare:
+    def _doc(self):
+        return bench_payload([result("a/b"), result("c/d", times=(4.0, 5.0, 6.0))])
+
+    def test_identical_is_clean(self):
+        doc = self._doc()
+        report = compare(doc, doc)
+        assert report.ok
+        assert [d.ratio for d in report.deltas] == [1.0, 1.0]
+
+    def test_injected_slowdown_fails_the_gate(self):
+        doc = self._doc()
+        report = compare(doc, _slow_copy(doc, "a/b", 2.0), threshold=0.25)
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["a/b"]
+        assert report.regressions[0].ratio == pytest.approx(2.0)
+
+    def test_slowdown_within_threshold_tolerated(self):
+        doc = self._doc()
+        report = compare(doc, _slow_copy(doc, "a/b", 1.2), threshold=0.25)
+        assert report.ok
+
+    def test_deltas_ranked_worst_first(self):
+        doc = self._doc()
+        new = _slow_copy(_slow_copy(doc, "a/b", 1.5), "c/d", 3.0)
+        report = compare(doc, new)
+        assert [d.name for d in report.deltas] == ["c/d", "a/b"]
+
+    def test_added_and_removed_reported(self):
+        old = bench_payload([result("gone"), result("both")])
+        new = bench_payload([result("both"), result("fresh")])
+        report = compare(old, new)
+        assert report.added == ["fresh"]
+        assert report.removed == ["gone"]
+        assert [d.name for d in report.deltas] == ["both"]
+
+    def test_format_mentions_verdicts(self):
+        doc = self._doc()
+        text = format_compare(compare(doc, _slow_copy(doc, "a/b", 2.0)))
+        assert "REGRESSION" in text
+        assert "regression(s)" in text
+        clean = format_compare(compare(doc, doc))
+        assert "no regressions" in clean
+
+
+class TestCliEndToEnd:
+    """The acceptance-criteria flow: bench --out, then --compare."""
+
+    def test_quick_out_then_compare_clean(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_pr.json"
+        assert main([
+            "bench", "--quick", "--filter", "snapshot", "--out", str(out),
+        ]) == 0
+        assert main(["bench", "--compare", str(out), str(out)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_exits_nonzero_on_artificial_slowdown(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_old.json"
+        assert main([
+            "bench", "--quick", "--filter", "snapshot", "--out", str(out),
+        ]) == 0
+        doc = read_bench(out)
+        slowed = tmp_path / "BENCH_new.json"
+        slowed.write_text(
+            json.dumps(_slow_copy(doc, "snapshot/ring16", 10.0))
+        )
+        assert main(["bench", "--compare", str(out), str(slowed)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_missing_file_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--compare", str(tmp_path / "no.json"),
+                  str(tmp_path / "pe.json")])
+
+    def test_bench_carries_provenance(self, tmp_path):
+        out = tmp_path / "BENCH_pr.json"
+        main(["bench", "--quick", "--filter", "snapshot", "--out", str(out)])
+        env = read_bench(out)["env"]
+        assert env["git_rev"]
+        assert env["cpu_count"] >= 1
+
+    def test_unknown_filter_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--filter", "no-such-kernel", "--list"])

@@ -1,0 +1,117 @@
+"""Profiling hooks: cProfile → hotspot rows → metrics artefacts."""
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, read_metrics
+from repro.perf import (
+    format_hotspots,
+    hotspots,
+    profile_call,
+    publish_hotspots,
+    write_profile_metrics,
+)
+
+
+def busy():
+    return sum(i * i for i in range(20_000))
+
+
+class TestProfileCall:
+    def test_returns_result_and_profile(self):
+        result, profile = profile_call(busy)
+        assert result == sum(i * i for i in range(20_000))
+        assert hotspots(profile)
+
+    def test_profile_captures_exceptions_region(self):
+        def boom():
+            busy()
+            raise RuntimeError("x")
+
+        try:
+            profile_call(boom)
+        except RuntimeError:
+            pass  # profile must have been disabled cleanly
+
+
+class TestHotspots:
+    def test_rows_ranked_by_cumulative(self):
+        _, profile = profile_call(busy)
+        rows = hotspots(profile, top=5)
+        assert len(rows) <= 5
+        cums = [row["cum_s"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+        assert all({"where", "calls", "tot_s", "cum_s"} <= set(r) for r in rows)
+
+    def test_busy_function_appears(self):
+        _, profile = profile_call(busy)
+        assert any("busy" in row["where"] for row in hotspots(profile))
+
+    def test_format_renders_every_row(self):
+        _, profile = profile_call(busy)
+        rows = hotspots(profile, top=3)
+        text = format_hotspots(rows)
+        assert len(text.splitlines()) == len(rows) + 1  # header + rows
+
+
+class TestPublish:
+    def test_meta_gauges(self):
+        _, profile = profile_call(busy)
+        registry = publish_hotspots(MetricsRegistry(), hotspots(profile, top=4))
+        assert registry["profile/hotspots"].meta
+        assert registry["profile/00"].value["cum_s"] >= 0
+        # Meta metrics: invisible to deterministic snapshots.
+        assert "profile/00" not in registry.snapshot(include_meta=False)
+
+    def test_write_then_read_metrics(self, tmp_path):
+        _, profile = profile_call(busy)
+        path = write_profile_metrics(
+            tmp_path / "p.metrics", profile, header={"steps": 1}, top=6
+        )
+        parsed = read_metrics(path)
+        assert parsed.header["source"] == "profile"
+        assert parsed.header["steps"] == 1
+        assert "profile/00" in parsed.metrics
+
+
+class TestCliProfilePaths:
+    def test_run_profile_out_readable_by_stats(self, tmp_path, capsys):
+        out = tmp_path / "run_profile.metrics"
+        assert main([
+            "run", "--topology", "ring:6", "--steps", "800",
+            "--profile-out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "profile:" in text
+        assert "profile/00" in text
+
+    def test_bench_profile_readable_by_stats(self, tmp_path, capsys):
+        out = tmp_path / "bench_profile.metrics"
+        assert main([
+            "bench", "--quick", "--filter", "snapshot",
+            "--profile", "--profile-out", str(out),
+        ]) == 0
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "source: profile" in text
+
+    def test_engine_run_profiled_hook(self):
+        from repro.core import NADiners
+        from repro.sim import AlwaysHungry, Engine, System, ring
+
+        engine = Engine(
+            System(ring(5), NADiners()), hunger=AlwaysHungry(), seed=0
+        )
+        result, profile = engine.run_profiled(300)
+        assert result.steps == 300
+        assert any("engine" in row["where"] for row in hotspots(profile))
+
+    def test_mp_engine_run_profiled_hook(self):
+        from repro.mp import MpEngine, build_diners
+        from repro.sim import ring
+
+        topo = ring(5)
+        engine = MpEngine(topo, build_diners(topo), seed=1)
+        taken, profile = engine.run_profiled(300)
+        assert taken == 300
+        assert hotspots(profile)

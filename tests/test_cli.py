@@ -304,3 +304,96 @@ class TestObservability:
         ]) == 0
         text = metrics.read_text()
         assert "suite/" in text and "campaign/shards" in text
+
+
+class TestStatsHardening:
+    """`repro stats` must fail with one clean line, never a traceback."""
+
+    def _exit_message(self, args):
+        with pytest.raises(SystemExit) as info:
+            main(args)
+        return str(info.value)
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        message = self._exit_message(["stats", str(empty)])
+        assert "empty file" in message
+
+    def test_directory(self, tmp_path):
+        message = self._exit_message(["stats", str(tmp_path)])
+        assert "directory" in message
+
+    def test_binary_junk(self, tmp_path):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"\x00\xff\xfe\x01" * 64)
+        message = self._exit_message(["stats", str(junk)])
+        assert str(junk) in message
+
+    def test_unrecognised_jsonl_schema(self, tmp_path):
+        foreign = tmp_path / "foreign.jsonl"
+        foreign.write_text('{"hello": 1}\n{"kind": "mystery"}\n')
+        message = self._exit_message(["stats", str(foreign)])
+        assert "not a metrics" in message
+
+    def test_missing_file(self, tmp_path):
+        message = self._exit_message(["stats", str(tmp_path / "absent")])
+        assert "no such file" in message
+
+    def test_truncated_trace_is_clean_error(self, tmp_path):
+        bad = tmp_path / "cut.trace"
+        bad.write_text('{"kind": "header", "format": 1}\n{"kind": "event"')
+        with pytest.raises(SystemExit):
+            main(["stats", str(bad)])
+
+
+class TestPerfCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine/steps/ring16" in out
+        assert "mp/ticks/ring8" in out
+
+    def test_bench_negative_threshold_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--threshold", "-1", "--list"])
+
+    def test_stats_sniffs_bench_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_x.json"
+        assert main([
+            "bench", "--quick", "--filter", "snapshot", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "BENCH file" in text
+        assert "snapshot/ring16" in text
+
+    def test_run_timings_out(self, tmp_path, capsys):
+        timings = tmp_path / "run.timings"
+        assert main([
+            "run", "--topology", "ring:5", "--steps", "600",
+            "--timings-out", str(timings),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(timings)]) == 0
+        text = capsys.readouterr().out
+        assert "source: timings" in text
+        assert "step_time/" in text
+        assert "rate/events_per_sec" in text
+
+    def test_timings_do_not_perturb_deterministic_metrics(self, tmp_path, capsys):
+        """--timings-out must leave --metrics-out byte-identical."""
+        plain = tmp_path / "plain.metrics"
+        assert main([
+            "run", "--topology", "ring:5", "--steps", "600", "--seed", "3",
+            "--metrics-out", str(plain),
+        ]) == 0
+        timed = tmp_path / "timed.metrics"
+        assert main([
+            "run", "--topology", "ring:5", "--steps", "600", "--seed", "3",
+            "--metrics-out", str(timed),
+            "--timings-out", str(tmp_path / "t.timings"),
+        ]) == 0
+        capsys.readouterr()
+        assert plain.read_bytes() == timed.read_bytes()
