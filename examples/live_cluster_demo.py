@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Live cluster demo: real sockets, injected chaos, service-level safety.
+
+Boots a 4-node ring of §4 Chandy–Misra lock servers on localhost — every
+node a real asyncio TCP daemon, every link routed through a chaos proxy —
+then drives one lock client per node for a few seconds while the seeded
+fault schedule injects link faults and one *malicious crash* (a garbage
+burst on the victim's outgoing links, then silence).  Afterwards it audits
+the emitted grant/release event stream: no two neighbouring nodes may ever
+hold their locks at once.
+
+Run:  python examples/live_cluster_demo.py
+"""
+
+import asyncio
+
+from repro.net import ClusterConfig, soak
+from repro.sim import ring
+
+SEED = 11
+DURATION_S = 3.0
+
+
+def main() -> None:
+    config = ClusterConfig(
+        topology=ring(4),
+        topology_spec="ring:4",
+        seed=SEED,
+        tick_interval=0.005,
+        lock_service=True,
+        chaos=True,
+    )
+    result = asyncio.run(soak(config, DURATION_S, hold_s=0.03))
+    cluster = result.cluster
+
+    print(f"soaked {config.topology_spec} for {DURATION_S}s (seed {SEED})")
+    print()
+    print("per-node lock service:")
+    for node in cluster.nodes:
+        counters = cluster.counters[node]
+        crashed = "  <- maliciously crashed" if node in cluster.killed else ""
+        print(
+            f"  node {node}: {counters['grants']:3d} grants, "
+            f"{counters['garbage_bytes']:3d} garbage bytes absorbed{crashed}"
+        )
+    print()
+    faults = ", ".join(
+        f"{kind}×{count}" for kind, count in sorted(cluster.chunk_faults.items())
+    )
+    print(f"chaos injected: {faults or 'none'}")
+    print(f"clients: {sum(c.acquired for c in result.clients)} acquisitions, "
+          f"{sum(c.timeouts for c in result.clients)} timeouts")
+    print(f"violations: {len(result.violations)}")
+
+    assert result.safe
+    assert cluster.total_grants > 0
+    print("\nOK: chaos absorbed, no neighbouring lock holders — ever.")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,12 +14,33 @@ A complete reproduction of Nesterenko & Arora (ICDCS 2002):
 * :mod:`repro.analysis` — failure locality, stabilization time, throughput
   and fairness measurement;
 * :mod:`repro.verification` — an explicit-state model checker validating the
-  paper's lemmas exhaustively on small instances.
+  paper's lemmas exhaustively on small instances;
+* :mod:`repro.net` — the live cluster runtime: the §4 processes over real
+  asyncio TCP with a chaos proxy layer and a lock-service client API.
 """
 
-from . import analysis, baselines, core, lowatom, mp, sim, verification
+from . import analysis, baselines, core, lowatom, mp, net, sim, verification
 
 __version__ = "1.0.0"
+
+
+def version() -> str:
+    """The installed package version, from distribution metadata.
+
+    Falls back to the hard-coded ``__version__`` when the package runs
+    straight off a source tree (``PYTHONPATH=src``) without being
+    installed.  ``repro --version`` and every cluster/soak artefact header
+    use this single source.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, metadata
+
+        return metadata("repro")["Version"]
+    except PackageNotFoundError:
+        return __version__
+    except Exception:  # pragma: no cover - metadata backend quirks
+        return __version__
+
 
 __all__ = [
     "analysis",
@@ -27,7 +48,9 @@ __all__ = [
     "core",
     "lowatom",
     "mp",
+    "net",
     "sim",
     "verification",
+    "version",
     "__version__",
 ]

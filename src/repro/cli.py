@@ -11,8 +11,10 @@ Subcommands
 ``sweep``      many-seed randomized campaign across a worker pool
 ``report``     run the experiment suite, emit markdown
 ``trace``      replay a recorded trace file offline; re-derive its summary
-``stats``      summarise a metrics / records / trace / BENCH artefact
+``stats``      summarise a metrics / records / trace / BENCH / events artefact
 ``bench``      run the performance benchmark suite; write/compare BENCH files
+``node``       serve one live cluster node (asyncio TCP daemon)
+``cluster``    run/soak a live N-node cluster with chaos on localhost
 
 Observability: ``run``, ``stabilize``, and ``locality`` accept ``--trace``
 (record the run as versioned JSONL) and ``--metrics-out`` (write the
@@ -38,6 +40,8 @@ Examples
     python -m repro stats out/run.metrics
     python -m repro bench --quick --out BENCH_now.json
     python -m repro bench --compare benchmarks/BENCH_baseline.json BENCH_now.json
+    python -m repro cluster run --topology ring:3 --seed 1 --duration 5
+    python -m repro cluster soak --nodes 5 --seed 7 --duration 10
 """
 
 from __future__ import annotations
@@ -666,6 +670,32 @@ def _stats(path: str) -> int:
             )
         return 0
 
+    # Cluster event logs parse as (empty) metrics files — their header has
+    # a source — so they must be sniffed before the generic metrics branch.
+    event_log = _try_cluster_events(path)
+    if event_log is not None:
+        header, events, skipped = event_log
+        print(f"cluster event log: {len(events)} events "
+              f"({header.get('source', '?')})")
+        for key in ("topology", "seed", "duration_s", "nodes", "version"):
+            if header.get(key) is not None:
+                print(f"  {key}: {header[key]}")
+        killed = header.get("killed") or []
+        if killed:
+            print(f"  maliciously crashed: {', '.join(killed)}")
+        schedule = header.get("schedule") or {}
+        if schedule.get("events") is not None:
+            print(f"  scheduled faults: {len(schedule['events'])}")
+        counts = {}
+        for event in events:
+            kind = event.get("event", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        for kind in sorted(counts):
+            print(f"  {kind}: {counts[kind]}")
+        if skipped:
+            print(f"  skipped lines: {skipped} (truncated or foreign)")
+        return 0
+
     metrics = read_metrics(path)
     if metrics.metrics or metrics.header.get("source"):
         print(f"metrics file: {len(metrics.metrics)} metrics")
@@ -717,6 +747,29 @@ def _stats(path: str) -> int:
         print(f"  {kind}: {counts[kind]} events")
     print(f"  snapshots: {len(trace.snapshots)}")
     return 0
+
+
+def _try_cluster_events(path: str):
+    """The parsed event log, or ``None`` if ``path`` is not one.
+
+    Event logs are JSONL whose first line is a header with a ``source``
+    from :data:`repro.net.cluster.EVENT_SOURCES` — checked on the first
+    line alone, so foreign files cost one readline.
+    """
+    from .net import EVENT_SOURCES, read_cluster_events
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = json.loads(handle.readline())
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if (
+        not isinstance(first, dict)
+        or first.get("kind") != "header"
+        or first.get("source") not in EVENT_SOURCES
+    ):
+        return None
+    return read_cluster_events(path)
 
 
 def _try_bench(path: str):
@@ -841,11 +894,205 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------- live cluster
+
+
+async def _node_main(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from .mp.diners_mp import DinersMpProcess
+    from .net import LockDinerProcess, NodeServer
+
+    topology = parse_topology(args.topology)
+    if not 0 <= args.pid < len(topology):
+        raise SystemExit(
+            f"--pid {args.pid} out of range for {args.topology} "
+            f"(has {len(topology)} processes)"
+        )
+    pid = topology.nodes[args.pid]
+    if args.lock_service:
+        process = LockDinerProcess(pid, topology, seed=args.seed)
+    else:
+        process = DinersMpProcess(pid, topology, eat_ticks=2, seed=args.seed)
+    server = NodeServer(
+        pid,
+        topology,
+        process,
+        host=args.host,
+        port=args.port,
+        tick_interval=args.tick_interval,
+    )
+    await server.start_listening()
+    print(f"node {pid!r} listening on {args.host}:{server.port}", flush=True)
+    peers = {}
+    for spec in args.peer or []:
+        index, sep, address = spec.partition("=")
+        host, sep2, port = address.rpartition(":")
+        if not sep or not sep2:
+            raise SystemExit(f"--peer {spec!r}: expected IDX=HOST:PORT")
+        try:
+            q = topology.nodes[int(index)]
+            peers[q] = (host, int(port))
+        except (ValueError, IndexError):
+            raise SystemExit(f"--peer {spec!r}: bad node index or port") from None
+    try:
+        await server.connect_peers(peers)
+    except ValueError as exc:
+        await server.stop()
+        raise SystemExit(f"{exc} (give --peer for every neighbour)") from None
+    try:
+        if args.duration > 0:
+            await asyncio.sleep(args.duration)
+        else:
+            await asyncio.Event().wait()  # serve until interrupted
+    finally:
+        await server.stop()
+    print(f"counters: {json.dumps(server.counters(), sort_keys=True)}")
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    import asyncio
+
+    try:
+        asyncio.run(_node_main(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
+    from .net import ClusterConfig
+
+    spec = args.topology or f"ring:{args.nodes}"
+    if args.nodes < 2 and not args.topology:
+        raise SystemExit("--nodes must be >= 2")
+    return ClusterConfig(
+        topology=parse_topology(spec),
+        topology_spec=spec,
+        seed=args.seed,
+        tick_interval=args.tick_interval,
+        lock_service=lock_service,
+        chaos=not args.no_chaos,
+        partitions=args.partitions,
+        malicious_crashes=args.malicious,
+        host=args.host,
+    )
+
+
+def _print_cluster_summary(result) -> None:
+    print(
+        f"cluster {result.topology_spec} seed={result.seed}: "
+        f"{result.mode} for {result.duration_s}s, {len(result.nodes)} nodes"
+    )
+    for node in result.nodes:
+        c = result.counters.get(node, {})
+        print(
+            f"  {node}: eats={c.get('eats', 0)} grants={c.get('grants', 0)} "
+            f"msgs in/out={c.get('msgs_in', 0)}/{c.get('msgs_out', 0)} "
+            f"garbage={c.get('garbage_bytes', 0)}B junk={c.get('junk_frames', 0)}"
+        )
+    scheduled = len(result.schedule.get("events", ())) if result.schedule else 0
+    print(f"  chaos: {scheduled} scheduled faults", end="")
+    if result.chunk_faults:
+        detail = ", ".join(
+            f"{kind}×{count}" for kind, count in sorted(result.chunk_faults.items())
+        )
+        print(f"; link-level {detail}", end="")
+    print()
+    if result.killed:
+        print(f"  maliciously crashed: {', '.join(result.killed)}")
+
+
+def _write_cluster_artefacts(args, result, *, extra_header=None) -> None:
+    from .net import write_cluster_events, write_cluster_metrics
+
+    if args.metrics_out:
+        path = write_cluster_metrics(
+            args.metrics_out, result, extra_header=extra_header
+        )
+        print(f"metrics: {path}")
+    if args.events_out:
+        path = write_cluster_events(args.events_out, result)
+        print(f"events: {path}")
+
+
+def cmd_cluster_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net import run_cluster
+
+    config = _cluster_config(args, lock_service=False)
+    result = asyncio.run(run_cluster(config, args.duration))
+    _print_cluster_summary(result)
+    _write_cluster_artefacts(args, result)
+    return 0
+
+
+def cmd_cluster_soak(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net import soak
+
+    config = _cluster_config(args, lock_service=True)
+    result = asyncio.run(
+        soak(
+            config,
+            args.duration,
+            hold_s=args.hold,
+            acquire_timeout=args.acquire_timeout,
+        )
+    )
+    cluster = result.cluster
+    _print_cluster_summary(cluster)
+    acquired = sum(c.acquired for c in result.clients)
+    timeouts = sum(c.timeouts for c in result.clients)
+    errors = sum(c.errors for c in result.clients)
+    print(
+        f"  clients: {acquired} acquisitions, {timeouts} timeouts, "
+        f"{errors} errors"
+    )
+    print(
+        f"  progress: {result.nodes_with_grants}/{len(cluster.nodes)} "
+        f"nodes granted at least once"
+    )
+    if result.safe:
+        print("  safety: OK (no neighbouring holders)")
+    else:
+        print(f"  safety: VIOLATED ({len(result.violations)} overlaps)")
+        for violation in result.violations[:10]:
+            print(
+                f"    {violation.node_a} ∦ {violation.node_b}: "
+                f"[{violation.overlap_start:.3f}, {violation.overlap_end:.3f}]s"
+            )
+    _write_cluster_artefacts(
+        args,
+        cluster,
+        extra_header={"safe": result.safe, "violations": len(result.violations)},
+    )
+    status = 0 if result.safe else 1
+    if args.require_progress:
+        # Every node the schedule did not kill must have granted.
+        survivors = [n for n in cluster.nodes if n not in cluster.killed]
+        starved = [
+            n for n in survivors
+            if cluster.counters.get(n, {}).get("grants", 0) == 0
+        ]
+        if starved:
+            print(f"  progress: FAILED — no grants at {', '.join(starved)}")
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dining philosophers that tolerate malicious crashes "
         "(Nesterenko & Arora, ICDCS 2002) — reproduction toolkit.",
+    )
+    from . import version as _version
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -962,7 +1209,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "stats",
-        help="summarise a metrics / records / trace JSONL file",
+        help="summarise a metrics / records / trace / events JSONL file",
     )
     p.add_argument("path", help="any JSONL artefact this toolkit writes")
     p.set_defaults(fn=cmd_stats)
@@ -1000,6 +1247,87 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-top", type=int, default=15, dest="profile_top",
                    help="hotspot rows to keep with --profile")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "node",
+        help="serve one live cluster node (asyncio TCP daemon)",
+        description="Host one §4 message-passing process behind real "
+        "sockets.  Prints the bound port on startup; give --peer for every "
+        "neighbour in the topology (links reconnect with backoff, so peers "
+        "may come up in any order).",
+    )
+    p.add_argument("--topology", default="ring:5", help="the shared topology spec")
+    p.add_argument("--pid", type=int, required=True,
+                   help="index into topology nodes: which process this is")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--peer", action="append", default=None,
+                   metavar="IDX=HOST:PORT",
+                   help="neighbour address; repeat for every neighbour")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tick-interval", type=float, default=0.01,
+                   dest="tick_interval", help="seconds between process ticks")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="seconds to serve (0 = until interrupted)")
+    p.add_argument("--lock-service", action="store_true", dest="lock_service",
+                   help="host the client-driven lock process instead of an "
+                   "always-hungry diner")
+    p.set_defaults(fn=cmd_node)
+
+    p = sub.add_parser(
+        "cluster",
+        help="run/soak a live N-node cluster with chaos on localhost",
+        description="Spawn every node of a topology on 127.0.0.1 (one "
+        "process, one event loop, real TCP), route every link through a "
+        "chaos proxy playing a seeded fault schedule (delay, drop, "
+        "duplicate, reorder, partition, malicious garbage-then-halt), and "
+        "write the standard metrics/event artefacts.",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def cluster_common(cp):
+        cp.add_argument("--nodes", type=int, default=5,
+                        help="ring size (shorthand for --topology ring:N)")
+        cp.add_argument("--topology", default=None,
+                        help="explicit spec (e.g. grid:3:3); overrides --nodes")
+        cp.add_argument("--seed", type=int, default=0,
+                        help="seeds the fault schedule and every process")
+        cp.add_argument("--duration", type=float, default=10.0, help="seconds")
+        cp.add_argument("--tick-interval", type=float, default=0.01,
+                        dest="tick_interval")
+        cp.add_argument("--host", default="127.0.0.1")
+        cp.add_argument("--no-chaos", action="store_true", dest="no_chaos",
+                        help="clean links: no fault schedule at all")
+        cp.add_argument("--partitions", type=int, default=1,
+                        help="partition/heal windows to schedule")
+        cp.add_argument("--malicious", type=int, default=1,
+                        help="malicious crashes (garbage burst, then halt)")
+        cp.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH", help="write cluster metrics JSONL")
+        cp.add_argument("--events-out", default=None, dest="events_out",
+                        metavar="PATH", help="write the event-log artefact")
+
+    cp = cluster_sub.add_parser(
+        "run", help="always-hungry diners under chaos; report counters"
+    )
+    cluster_common(cp)
+    cp.set_defaults(fn=cmd_cluster_run)
+
+    cp = cluster_sub.add_parser(
+        "soak",
+        help="lock-service clients under chaos; audit safety, exit 1 on "
+        "violation",
+    )
+    cluster_common(cp)
+    cp.add_argument("--hold", type=float, default=0.05,
+                    help="mean client hold/think time scale in seconds")
+    cp.add_argument("--acquire-timeout", type=float, default=5.0,
+                    dest="acquire_timeout")
+    cp.add_argument("--require-progress", action="store_true",
+                    dest="require_progress",
+                    help="also exit 1 if any surviving node never granted")
+    cp.set_defaults(fn=cmd_cluster_soak)
 
     p = sub.add_parser("report", help="run the experiment suite, emit markdown")
     p.add_argument("--full", action="store_true")

@@ -51,6 +51,13 @@ class MpEngine:
         selections fires.
     seed:
         Engine RNG seed (scheduling and fault randomness).
+    channel_factory:
+        Constructor used for every directed link; defaults to
+        :class:`~repro.mp.channel.Channel`.  Must accept the same signature.
+        This is the engine-side transport seam: passing
+        :class:`repro.net.wire_channel.WireChannel` runs the same processes
+        with every payload round-tripped through the live cluster's wire
+        codec, which is how codec/simulator parity is tested.
     bus:
         Optional :class:`~repro.obs.bus.EventBus`; sends, drops, deliveries,
         ticks, havoc steps, and faults are published as
@@ -68,6 +75,7 @@ class MpEngine:
         loss_probability: float = 0.0,
         patience: int = 64,
         seed: int = 0,
+        channel_factory: Callable[..., Channel] | None = None,
         bus: "EventBus | None" = None,
     ) -> None:
         if set(processes) != set(topology.nodes):
@@ -77,10 +85,11 @@ class MpEngine:
         self.topology = topology
         self.processes: Dict[Pid, MpProcess] = dict(processes)
         self._channels: Dict[Tuple[Pid, Pid], Channel] = {}
+        factory = channel_factory if channel_factory is not None else Channel
         loss_rng = random.Random(seed ^ 0x10552)
         for p in topology.nodes:
             for q in topology.neighbors(p):
-                self._channels[(p, q)] = Channel(
+                self._channels[(p, q)] = factory(
                     p,
                     q,
                     channel_capacity,

@@ -19,13 +19,36 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Protocol, Tuple, runtime_checkable
 
 from ..sim.errors import NotNeighborsError
 from ..sim.topology import Pid, Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import MpEngine
+
+
+@runtime_checkable
+class ProcessContext(Protocol):
+    """The transport seam: everything a process may ask of its substrate.
+
+    :class:`MpContext` (simulator) and :class:`repro.net.node.NetContext`
+    (live asyncio TCP) both satisfy it, which is what lets the same
+    :class:`MpProcess` subclasses run unchanged on either.  Keep this
+    surface minimal — anything added here must be implementable over a
+    real socket transport, not just the in-process engine.
+    """
+
+    @property
+    def pid(self) -> Pid: ...
+
+    @property
+    def neighbors(self) -> Tuple[Pid, ...]: ...
+
+    @property
+    def topology(self) -> Topology: ...
+
+    def send(self, dst: Pid, payload: Tuple) -> bool: ...
 
 
 class MpContext:
@@ -64,7 +87,7 @@ class MpProcess(ABC):
         self.pid = pid
 
     @abstractmethod
-    def on_message(self, ctx: MpContext, src: Pid, payload: Tuple) -> None:
+    def on_message(self, ctx: ProcessContext, src: Pid, payload: Tuple) -> None:
         """Handle one delivered message.
 
         ``payload`` may be arbitrary junk (transient faults corrupt
@@ -72,7 +95,7 @@ class MpProcess(ABC):
         validate before trusting any field.
         """
 
-    def on_tick(self, ctx: MpContext) -> None:
+    def on_tick(self, ctx: ProcessContext) -> None:
         """One spontaneous step; default does nothing."""
 
     @abstractmethod
@@ -84,7 +107,7 @@ class MpProcess(ABC):
     def random_payload(self, rng: random.Random) -> Tuple:
         """An arbitrary syntactically valid payload (for fault injection)."""
 
-    def havoc(self, ctx: MpContext, rng: random.Random) -> None:
+    def havoc(self, ctx: ProcessContext, rng: random.Random) -> None:
         """One arbitrary step of a malicious crash.
 
         Default: corrupt the local state and spray junk at a random subset

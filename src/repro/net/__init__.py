@@ -1,0 +1,101 @@
+"""repro.net — the live cluster runtime.
+
+The execution substrate that takes the §4 message-passing processes out of
+the in-process simulator and onto real asyncio TCP sockets:
+
+* :mod:`repro.net.codec` — versioned, length-prefixed, CRC-guarded wire
+  frames with a garbage-tolerant incremental decoder (the wire image of
+  the paper's arbitrary-initial-channel model);
+* :mod:`repro.net.wire_channel` — a simulator channel that round-trips
+  every payload through the codec, proving transport/simulator parity;
+* :mod:`repro.net.node` — the node daemon hosting an unchanged
+  :class:`~repro.mp.node.MpProcess` behind sockets, plus the lock-service
+  process;
+* :mod:`repro.net.chaos` — seeded, reproducible fault schedules applied
+  by socket-level link proxies (delay, drop, duplicate, reorder,
+  partition, malicious garbage-then-halt);
+* :mod:`repro.net.cluster` — the supervisor that runs an N-node topology
+  on localhost with observability artefacts;
+* :mod:`repro.net.lock` — the client API and the soak harness that audits
+  safety from the emitted event stream.
+"""
+
+from .chaos import (
+    ChaosController,
+    ChaosSchedule,
+    FaultEvent,
+    LinkProfile,
+    LinkProxy,
+    build_schedule,
+)
+from .cluster import (
+    EVENT_SOURCES,
+    ClusterConfig,
+    ClusterResult,
+    ClusterSupervisor,
+    cluster_metrics,
+    read_cluster_events,
+    run_cluster,
+    write_cluster_events,
+    write_cluster_metrics,
+)
+from .codec import (
+    Decoder,
+    Frame,
+    WIRE_VERSION,
+    CodecError,
+    decode_message,
+    encode_frame,
+    encode_hello,
+    encode_message,
+    hello_fields,
+)
+from .lock import (
+    LockClient,
+    LockError,
+    SoakResult,
+    Violation,
+    hold_intervals,
+    neighbour_violations,
+    soak,
+)
+from .node import LockDinerProcess, NetContext, NodeServer
+from .wire_channel import WireChannel
+
+__all__ = [
+    "ChaosController",
+    "ChaosSchedule",
+    "FaultEvent",
+    "LinkProfile",
+    "LinkProxy",
+    "build_schedule",
+    "EVENT_SOURCES",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterSupervisor",
+    "cluster_metrics",
+    "read_cluster_events",
+    "run_cluster",
+    "write_cluster_events",
+    "write_cluster_metrics",
+    "Decoder",
+    "Frame",
+    "WIRE_VERSION",
+    "CodecError",
+    "decode_message",
+    "encode_frame",
+    "encode_hello",
+    "encode_message",
+    "hello_fields",
+    "LockClient",
+    "LockError",
+    "SoakResult",
+    "Violation",
+    "hold_intervals",
+    "neighbour_violations",
+    "soak",
+    "LockDinerProcess",
+    "NetContext",
+    "NodeServer",
+    "WireChannel",
+]

@@ -1,0 +1,367 @@
+"""Chaos at the socket layer: seeded fault schedules and link proxies.
+
+Every peer link of a live cluster runs through a :class:`LinkProxy` — a
+tiny asyncio TCP forwarder that can delay, drop, duplicate, and reorder
+byte chunks, black-hole a partitioned link, and deliver a **malicious
+crash** as the paper defines it operationally: a burst of arbitrary bytes
+on every outgoing link, then silence.
+
+Determinism contract: all *decisions* derive from :class:`ChaosSchedule`,
+which is a pure function of ``(topology, seed, duration, profile)`` —
+building it twice yields equal schedules, and the schedule is written into
+the soak artefact so a run's faults can be audited after the fact.  Real
+sockets make event *timing* environmental, but the injected-fault plan
+(which links jitter and with what probabilities, when partitions open and
+heal, who crashes maliciously and when) reproduces exactly for a seed.
+
+Mapping to the paper's fault model (§2): the garbage burst is the wire
+image of a malicious crash's "arbitrary steps before halting" — the
+neighbours' decoders and ``on_message`` validators must absorb it, and the
+:class:`~repro.net.wire_channel.WireChannel` mirrors the same semantics for
+the in-process engine so the two fault repertoires never drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.topology import Pid, Topology
+
+#: Directed link identifier: ``(src_pid, dst_pid)``.
+Link = Tuple[Pid, Pid]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Continuous per-link misbehaviour (applies whenever the link is up)."""
+
+    delay_s: float = 0.0  #: fixed extra latency per forwarded chunk
+    jitter_s: float = 0.0  #: uniform extra latency on top of ``delay_s``
+    drop_p: float = 0.0  #: probability a chunk is silently discarded
+    dup_p: float = 0.0  #: probability a chunk is written twice
+    reorder_p: float = 0.0  #: probability a chunk is held and swapped
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled discrete fault."""
+
+    at_s: float  #: seconds after cluster start
+    kind: str  #: ``partition`` | ``heal`` | ``malicious-crash``
+    #: Links affected (for partitions) or the crashing node's outgoing links.
+    links: Tuple[Link, ...] = ()
+    node: Optional[Pid] = None  #: the crashing node (malicious-crash only)
+    #: Garbage burst for a malicious crash, per affected link.
+    garbage: Tuple[bytes, ...] = ()
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready rendering (garbage as lengths, not raw bytes)."""
+        body: Dict[str, Any] = {
+            "at_s": round(self.at_s, 6),
+            "kind": self.kind,
+            "links": [[repr(a), repr(b)] for a, b in self.links],
+        }
+        if self.node is not None:
+            body["node"] = repr(self.node)
+        if self.garbage:
+            body["garbage_bytes"] = [len(g) for g in self.garbage]
+        return body
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """The complete, reproducible fault plan for one run."""
+
+    seed: int
+    duration_s: float
+    profiles: Dict[Link, LinkProfile] = field(default_factory=dict)
+    events: Tuple[FaultEvent, ...] = ()
+
+    @property
+    def malicious_nodes(self) -> Tuple[Pid, ...]:
+        return tuple(
+            e.node for e in self.events if e.kind == "malicious-crash"
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready audit record, embedded in soak artefacts."""
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "profiles": {
+                f"{a!r}->{b!r}": vars(p).copy()
+                for (a, b), p in sorted(
+                    self.profiles.items(), key=lambda kv: repr(kv[0])
+                )
+            },
+            "events": [e.describe() for e in self.events],
+        }
+
+
+def build_schedule(
+    topology: Topology,
+    *,
+    seed: int,
+    duration_s: float,
+    partitions: int = 1,
+    malicious_crashes: int = 1,
+    flaky_links: float = 0.5,
+    max_delay_s: float = 0.02,
+) -> ChaosSchedule:
+    """Derive the fault plan deterministically from ``seed``.
+
+    * a ``flaky_links`` fraction of directed links get a nonzero
+      :class:`LinkProfile` (delay/jitter/drop/dup/reorder drawn from the
+      seed);
+    * ``partitions`` partition windows, each cutting every link across a
+      random node bipartition for a window inside the middle 60 % of the
+      run, paired with its ``heal``;
+    * ``malicious_crashes`` nodes crash maliciously in the last third of
+      the run: one garbage burst per outgoing link, then the node halts.
+
+    Pure function of its arguments — the reproducibility tests compare two
+    builds structurally.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = random.Random(seed ^ 0xC4A05)
+    links: List[Link] = []
+    for p in topology.nodes:
+        for q in topology.neighbors(p):
+            links.append((p, q))
+    links.sort(key=repr)
+
+    profiles: Dict[Link, LinkProfile] = {}
+    for link in links:
+        if rng.random() >= flaky_links:
+            continue
+        profiles[link] = LinkProfile(
+            delay_s=round(rng.uniform(0.0, max_delay_s / 2), 6),
+            jitter_s=round(rng.uniform(0.0, max_delay_s / 2), 6),
+            drop_p=round(rng.uniform(0.0, 0.05), 6),
+            dup_p=round(rng.uniform(0.0, 0.05), 6),
+            reorder_p=round(rng.uniform(0.0, 0.1), 6),
+        )
+
+    events: List[FaultEvent] = []
+    nodes = list(topology.nodes)
+    for _ in range(partitions):
+        if len(nodes) < 2:
+            break
+        side_size = rng.randint(1, len(nodes) - 1)
+        side = set(rng.sample(nodes, side_size))
+        cut = tuple(
+            (p, q) for (p, q) in links if (p in side) != (q in side)
+        )
+        start = rng.uniform(0.2, 0.5) * duration_s
+        length = rng.uniform(0.1, 0.3) * duration_s
+        events.append(FaultEvent(at_s=start, kind="partition", links=cut))
+        events.append(
+            FaultEvent(at_s=min(start + length, duration_s * 0.85),
+                       kind="heal", links=cut)
+        )
+    crash_candidates = list(nodes)
+    rng.shuffle(crash_candidates)
+    for node in crash_candidates[:malicious_crashes]:
+        out = tuple((p, q) for (p, q) in links if p == node)
+        garbage = tuple(
+            bytes(rng.randrange(256) for _ in range(rng.randint(16, 128)))
+            for _ in out
+        )
+        events.append(
+            FaultEvent(
+                at_s=rng.uniform(0.65, 0.8) * duration_s,
+                kind="malicious-crash",
+                links=out,
+                node=node,
+                garbage=garbage,
+            )
+        )
+    events.sort(key=lambda e: (e.at_s, e.kind))
+    return ChaosSchedule(
+        seed=seed,
+        duration_s=duration_s,
+        profiles=profiles,
+        events=tuple(events),
+    )
+
+
+# ------------------------------------------------------------------ proxies
+
+
+class LinkProxy:
+    """One chaos-capable TCP forwarder for one directed link.
+
+    Listens on an ephemeral localhost port; the *source* node connects here
+    instead of to the destination directly, and every byte chunk passes
+    through the fault pipeline (delay → drop → dup → reorder) unless the
+    link is partitioned.  ``kill()`` implements the tail of a malicious
+    crash: garbage toward the destination, then the pipe stays severed.
+    """
+
+    def __init__(
+        self,
+        link: Link,
+        dst_host: str,
+        dst_port: int,
+        *,
+        profile: LinkProfile | None = None,
+        rng: random.Random | None = None,
+        on_fault=None,
+    ) -> None:
+        self.link = link
+        self.dst_host = dst_host
+        self.dst_port = dst_port
+        self.profile = profile or LinkProfile()
+        self._rng = rng if rng is not None else random.Random(0)
+        self._on_fault = on_fault  # callable(kind, link) for obs counters
+        self.partitioned = False
+        self._server: asyncio.base_events.Server | None = None
+        self._dst_writer: asyncio.StreamWriter | None = None
+        self._killed = False
+        self.port: int | None = None
+        self.chunks_forwarded = 0
+        self.chunks_dropped = 0
+
+    async def start(self, host: str = "127.0.0.1") -> int:
+        self._server = await asyncio.start_server(self._handle, host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            dst_reader, dst_writer = await asyncio.open_connection(
+                self.dst_host, self.dst_port
+            )
+        except OSError:
+            writer.close()
+            return
+        self._dst_writer = dst_writer
+        held: Optional[bytes] = None  # chunk parked for reordering
+        try:
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    break
+                if self._killed:
+                    break
+                if self.partitioned:
+                    self.chunks_dropped += 1
+                    self._note("partition-drop")
+                    continue
+                p = self.profile
+                if p.drop_p and self._rng.random() < p.drop_p:
+                    self.chunks_dropped += 1
+                    self._note("drop")
+                    continue
+                if p.delay_s or p.jitter_s:
+                    await asyncio.sleep(
+                        p.delay_s + self._rng.uniform(0.0, p.jitter_s)
+                    )
+                out: List[bytes] = []
+                if held is not None:
+                    out = [chunk, held]  # held chunk goes *after* the new one
+                    held = None
+                    self._note("reorder")
+                elif p.reorder_p and self._rng.random() < p.reorder_p:
+                    held = chunk
+                    continue
+                else:
+                    out = [chunk]
+                if p.dup_p and self._rng.random() < p.dup_p:
+                    out.append(out[-1])
+                    self._note("dup")
+                for piece in out:
+                    dst_writer.write(piece)
+                    self.chunks_forwarded += 1
+                await dst_writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if held is not None and not self._killed and not self.partitioned:
+                try:
+                    dst_writer.write(held)
+                    await dst_writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+            dst_writer.close()
+
+    def _note(self, kind: str) -> None:
+        if self._on_fault is not None:
+            self._on_fault(kind, self.link)
+
+    async def kill(self, garbage: bytes = b"") -> None:
+        """Malicious-crash tail: spray ``garbage`` at the destination, then
+        sever the link for good."""
+        self._killed = True
+        writer = self._dst_writer
+        if writer is not None and garbage:
+            try:
+                writer.write(garbage)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        self._note("malicious-garbage")
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+class ChaosController:
+    """Owns every :class:`LinkProxy` of a cluster and plays the schedule.
+
+    ``run()`` sleeps between scheduled fault times and applies each event:
+    partitions toggle the affected proxies, a malicious crash sprays the
+    scheduled garbage on the victim's outgoing links and then asks the
+    supervisor (via ``on_crash``) to halt the node.  Every applied event is
+    reported through ``on_fault`` so it lands in the obs stream.
+    """
+
+    def __init__(self, schedule: ChaosSchedule, *, on_fault=None,
+                 on_crash=None) -> None:
+        self.schedule = schedule
+        self.proxies: Dict[Link, LinkProxy] = {}
+        self._on_fault = on_fault  # callable(event: FaultEvent)
+        self._on_crash = on_crash  # async callable(node)
+        self.applied: List[FaultEvent] = []
+
+    def register(self, proxy: LinkProxy) -> None:
+        self.proxies[proxy.link] = proxy
+
+    async def run(self, started_at: float, clock=None) -> None:
+        """Apply the schedule relative to ``started_at`` (loop time)."""
+        loop = asyncio.get_running_loop()
+        now = clock if clock is not None else loop.time
+        for event in self.schedule.events:
+            delay = started_at + event.at_s - now()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self.apply(event)
+
+    async def apply(self, event: FaultEvent) -> None:
+        if event.kind == "partition":
+            for link in event.links:
+                proxy = self.proxies.get(link)
+                if proxy is not None:
+                    proxy.partitioned = True
+        elif event.kind == "heal":
+            for link in event.links:
+                proxy = self.proxies.get(link)
+                if proxy is not None:
+                    proxy.partitioned = False
+        elif event.kind == "malicious-crash":
+            for link, garbage in zip(event.links, event.garbage):
+                proxy = self.proxies.get(link)
+                if proxy is not None:
+                    await proxy.kill(garbage)
+            if self._on_crash is not None and event.node is not None:
+                await self._on_crash(event.node)
+        self.applied.append(event)
+        if self._on_fault is not None:
+            self._on_fault(event)

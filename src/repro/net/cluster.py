@@ -1,0 +1,399 @@
+"""The cluster supervisor: N live nodes + chaos proxies on localhost.
+
+``ClusterSupervisor`` owns the whole runtime of one run:
+
+* one :class:`~repro.net.node.NodeServer` per topology node (same event
+  loop, real TCP sockets on 127.0.0.1, ephemeral ports);
+* one :class:`~repro.net.chaos.LinkProxy` per *directed* edge — every
+  peer byte crosses a chaos-capable forwarder, so the fault schedule acts
+  at the socket level exactly where a real network would;
+* a :class:`~repro.net.chaos.ChaosController` playing the seeded
+  schedule, including malicious crashes (garbage burst on the victim's
+  outgoing links, then the supervisor halts the node);
+* a liveness monitor publishing ``CRASH_DETECT`` when a node dies;
+* one shared :class:`~repro.obs.bus.EventBus`; everything the nodes and
+  the chaos layer publish is collected into an ordered event log and
+  reduced to a :class:`~repro.obs.metrics.MetricsRegistry`, then written
+  as the standard JSONL artefacts ``repro stats`` can sniff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..mp.diners_mp import DinersMpProcess
+from ..obs.bus import EventBus
+from ..obs.events import NetEventKind
+from ..obs.metrics import MetricsRegistry, write_metrics
+from ..sim.topology import Pid, Topology
+from ..sim.trace import TraceEvent
+from .chaos import ChaosController, ChaosSchedule, LinkProxy, build_schedule
+from .node import LockDinerProcess, NodeServer
+
+EVENTS_FORMAT_VERSION = 1
+#: ``source`` values of the cluster event-log artefact family.
+EVENT_SOURCES = ("cluster-events", "soak-events")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything that defines one live-cluster run."""
+
+    topology: Topology
+    topology_spec: str
+    seed: int = 0
+    tick_interval: float = 0.01
+    #: ``True`` hosts :class:`LockDinerProcess` (client-driven demand);
+    #: ``False`` hosts always-hungry :class:`DinersMpProcess`.
+    lock_service: bool = False
+    chaos: bool = True
+    partitions: int = 1
+    malicious_crashes: int = 1
+    host: str = "127.0.0.1"
+
+
+@dataclass
+class ClusterResult:
+    """What one run leaves behind (pre-artefact, in memory)."""
+
+    topology_spec: str
+    seed: int
+    duration_s: float
+    mode: str  #: ``run`` or ``soak``
+    nodes: List[str] = field(default_factory=list)
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    schedule: Optional[Dict[str, Any]] = None
+    killed: List[str] = field(default_factory=list)
+    chunk_faults: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_grants(self) -> int:
+        return sum(c.get("grants", 0) for c in self.counters.values())
+
+    @property
+    def total_garbage_bytes(self) -> int:
+        return sum(c.get("garbage_bytes", 0) for c in self.counters.values())
+
+
+class ClusterSupervisor:
+    """Builds, runs, faults, observes, and tears down one live cluster."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.bus = EventBus()
+        self.events: List[Dict[str, Any]] = []
+        self.bus.subscribe_all(self._collect)
+        self.nodes: Dict[Pid, NodeServer] = {}
+        self.proxies: Dict[tuple, LinkProxy] = {}
+        self.schedule: Optional[ChaosSchedule] = None
+        self.controller: Optional[ChaosController] = None
+        self.killed: List[Pid] = []
+        self.chunk_faults: Dict[str, int] = {}
+        self._t0: Optional[float] = None
+        self._chaos_task: Optional[asyncio.Task] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+
+    # ---------------------------------------------------------- collection
+
+    def _collect(self, event: TraceEvent) -> None:
+        detail = event.detail if isinstance(event.detail, dict) else {}
+        kind = event.kind.value if hasattr(event.kind, "value") else str(event.kind)
+        row: Dict[str, Any] = {
+            "t": detail.get("t", 0.0),
+            "node": None if event.pid is None else repr(event.pid),
+            "event": kind,
+        }
+        extra = {k: v for k, v in detail.items() if k != "t"}
+        if extra:
+            row["detail"] = extra
+        self.events.append(row)
+
+    def _emit(self, kind: NetEventKind, pid: Pid | None, detail: dict) -> None:
+        loop = asyncio.get_running_loop()
+        t = 0.0 if self._t0 is None else round(loop.time() - self._t0, 6)
+        self.bus.publish(TraceEvent(len(self.events), kind, pid, {"t": t, **detail}))
+
+    # ----------------------------------------------------------- lifecycle
+
+    def _build_process(self, pid: Pid, index: int):
+        cfg = self.config
+        if cfg.lock_service:
+            return LockDinerProcess(pid, cfg.topology, seed=cfg.seed + index)
+        return DinersMpProcess(
+            pid, cfg.topology, eat_ticks=2, seed=cfg.seed + index
+        )
+
+    async def start(self, duration_s: float) -> None:
+        """Bring every node and proxy up; wire the peer address maps."""
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        self._t0 = loop.time()
+        for i, pid in enumerate(cfg.topology.nodes):
+            node = NodeServer(
+                pid,
+                cfg.topology,
+                self._build_process(pid, i),
+                host=cfg.host,
+                tick_interval=cfg.tick_interval,
+                bus=self.bus,
+                t0=self._t0,
+            )
+            self.nodes[pid] = node
+            await node.start_listening()
+
+        if cfg.chaos:
+            self.schedule = build_schedule(
+                cfg.topology,
+                seed=cfg.seed,
+                duration_s=duration_s,
+                partitions=cfg.partitions,
+                malicious_crashes=cfg.malicious_crashes,
+            )
+        else:
+            self.schedule = ChaosSchedule(seed=cfg.seed, duration_s=duration_s)
+        self.controller = ChaosController(
+            self.schedule,
+            on_fault=self._on_scheduled_fault,
+            on_crash=self._kill_node,
+        )
+
+        for p in cfg.topology.nodes:
+            for q in cfg.topology.neighbors(p):
+                link = (p, q)
+                proxy = LinkProxy(
+                    link,
+                    cfg.host,
+                    self.nodes[q].port,
+                    profile=self.schedule.profiles.get(link),
+                    # A string seed keeps per-link decisions reproducible
+                    # across processes (hash() is salted; this is not).
+                    rng=random.Random(f"{cfg.seed}:{link!r}"),
+                    on_fault=self._on_chunk_fault,
+                )
+                await proxy.start(cfg.host)
+                self.proxies[link] = proxy
+                self.controller.register(proxy)
+
+        for p in cfg.topology.nodes:
+            peers = {
+                q: (cfg.host, self.proxies[(p, q)].port)
+                for q in cfg.topology.neighbors(p)
+            }
+            await self.nodes[p].connect_peers(peers)
+        self._monitor_task = asyncio.create_task(self._monitor())
+
+    async def run(self, duration_s: float) -> None:
+        """Play the chaos schedule while the cluster serves for the window."""
+        assert self._t0 is not None, "start() must run first"
+        self._chaos_task = asyncio.create_task(
+            self.controller.run(self._t0)
+        )
+        loop = asyncio.get_running_loop()
+        remaining = self._t0 + duration_s - loop.time()
+        if remaining > 0:
+            await asyncio.sleep(remaining)
+
+    async def stop(self) -> None:
+        for task in (self._chaos_task, self._monitor_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        for node in self.nodes.values():
+            await node.stop()
+        for proxy in self.proxies.values():
+            await proxy.close()
+
+    # --------------------------------------------------------------- chaos
+
+    def _on_scheduled_fault(self, event) -> None:
+        self._emit(
+            NetEventKind.CHAOS,
+            event.node,
+            {"kind": event.kind, "links": len(event.links)},
+        )
+
+    def _on_chunk_fault(self, kind: str, link) -> None:
+        self.chunk_faults[kind] = self.chunk_faults.get(kind, 0) + 1
+
+    async def _kill_node(self, pid: Pid) -> None:
+        """The halt half of a malicious crash: the node simply stops."""
+        node = self.nodes.get(pid)
+        if node is None:
+            return
+        self.killed.append(pid)
+        await node.stop()
+
+    async def _monitor(self) -> None:
+        """Liveness watchdog: report nodes whose tick loop died."""
+        reported: set = set()
+        while True:
+            await asyncio.sleep(0.2)
+            for pid, node in self.nodes.items():
+                task = node._tick_task
+                dead = task is not None and task.done()
+                if dead and pid not in reported:
+                    reported.add(pid)
+                    expected = pid in self.killed
+                    self._emit(
+                        NetEventKind.CRASH_DETECT,
+                        pid,
+                        {"expected": expected},
+                    )
+
+    # -------------------------------------------------------------- results
+
+    def result(self, duration_s: float) -> ClusterResult:
+        cfg = self.config
+        return ClusterResult(
+            topology_spec=cfg.topology_spec,
+            seed=cfg.seed,
+            duration_s=duration_s,
+            mode="soak" if cfg.lock_service else "run",
+            nodes=[repr(p) for p in cfg.topology.nodes],
+            counters={repr(p): n.counters() for p, n in self.nodes.items()},
+            events=sorted(self.events, key=lambda e: (e["t"], e["event"])),
+            schedule=None if self.schedule is None else self.schedule.describe(),
+            killed=[repr(p) for p in self.killed],
+            chunk_faults=dict(self.chunk_faults),
+        )
+
+
+async def run_cluster(
+    config: ClusterConfig, duration_s: float
+) -> ClusterResult:
+    """One complete supervised run: start → serve → stop → result."""
+    supervisor = ClusterSupervisor(config)
+    try:
+        await supervisor.start(duration_s)
+        await supervisor.run(duration_s)
+    finally:
+        await supervisor.stop()
+    return supervisor.result(duration_s)
+
+
+# ---------------------------------------------------------------- artefacts
+
+
+def cluster_metrics(result: ClusterResult) -> MetricsRegistry:
+    """Reduce a run to the standard metrics instruments."""
+    registry = MetricsRegistry()
+    for node in sorted(result.counters):
+        for key, value in sorted(result.counters[node].items()):
+            counter = registry.counter(f"net/{node}/{key}")
+            counter.inc(value)
+    grants = registry.counter("cluster/grants")
+    grants.inc(result.total_grants)
+    registry.counter("cluster/garbage_bytes").inc(result.total_garbage_bytes)
+    registry.gauge("cluster/nodes").set(len(result.nodes))
+    registry.gauge("cluster/killed").set(len(result.killed))
+    for kind in sorted(result.chunk_faults):
+        registry.counter(f"chaos/chunk_faults/{kind}").inc(
+            result.chunk_faults[kind]
+        )
+    scheduled = registry.counter("chaos/scheduled_faults")
+    if result.schedule:
+        scheduled.inc(len(result.schedule.get("events", ())))
+    events_by_kind: Dict[str, int] = {}
+    for event in result.events:
+        kind = event["event"]
+        events_by_kind[kind] = events_by_kind.get(kind, 0) + 1
+    for kind in sorted(events_by_kind):
+        registry.counter(f"cluster/events/{kind}").inc(events_by_kind[kind])
+    return registry
+
+
+def artefact_header(result: ClusterResult, source: str) -> Dict[str, Any]:
+    """The shared header of both cluster artefact files."""
+    from .. import version as repro_version  # deferred: package-init cycle
+
+    return {
+        "source": source,
+        "topology": result.topology_spec,
+        "seed": result.seed,
+        "duration_s": result.duration_s,
+        "nodes": len(result.nodes),
+        "version": repro_version(),
+    }
+
+
+def write_cluster_metrics(
+    path: Path | str, result: ClusterResult, *, extra_header: Dict[str, Any] | None = None
+) -> Path:
+    source = "cluster-soak" if result.mode == "soak" else "cluster-run"
+    header = artefact_header(result, source)
+    if extra_header:
+        header.update(extra_header)
+    return write_metrics(
+        path, cluster_metrics(result), header=header, include_meta=True
+    )
+
+
+def read_cluster_events(
+    path: Path | str,
+) -> tuple[Dict[str, Any], List[Dict[str, Any]], int]:
+    """Parse an event-log artefact leniently.
+
+    Returns ``(header, events, skipped_lines)``.  Unparseable or foreign
+    lines are counted, not fatal — a soak cut short by a crash leaves a
+    truncated tail, and the summary should still come out.
+    """
+    header: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+    skipped = 0
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(row, dict):
+                skipped += 1
+            elif row.get("kind") == "header":
+                header = row
+            elif row.get("kind") == "event":
+                events.append(row)
+            else:
+                skipped += 1
+    return header, events, skipped
+
+
+def write_cluster_events(path: Path | str, result: ClusterResult) -> Path:
+    """The event-log artefact: header (with the fault schedule), then one
+    line per observed event in time order."""
+    source = "soak-events" if result.mode == "soak" else "cluster-events"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format": EVENTS_FORMAT_VERSION,
+        "kind": "header",
+        **artefact_header(result, source),
+        "schedule": result.schedule,
+        "killed": result.killed,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n")
+        for event in result.events:
+            handle.write(
+                json.dumps(
+                    {"kind": "event", **event},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+    tmp.replace(path)
+    return path

@@ -1,0 +1,228 @@
+"""The versioned, length-prefixed wire codec of the live cluster.
+
+One frame on the wire is::
+
+    MAGIC(2) | version(1) | type(1) | length(4, big-endian) | crc32(4) | body
+
+``body`` is canonical UTF-8 JSON.  Tuples inside payloads are encoded as
+JSON arrays and restored recursively on decode — :class:`repro.mp.message.
+Message` payloads are tuples by contract, and protocol code (e.g. the
+Chandy–Misra ``edge_key`` check) compares them structurally, so the
+round-trip must be exact: ``decode(encode(m)) == m``.
+
+The decoder is **garbage tolerant** by construction, which is the wire-level
+image of the paper's arbitrary-initial-channel model: a transient fault (or
+the chaos proxy, or a maliciously crashing peer) may put arbitrary bytes on
+a TCP stream, and the decoder must (a) never crash, (b) discard junk while
+counting it, and (c) resynchronise on the next genuine frame.  Resync scans
+for the magic; a candidate header is accepted only if version, type, and
+length bounds hold *and* the CRC32 of the body matches — random bytes
+masquerading as a frame have a ~2^-32 chance of surviving, and protocol
+layers above still validate payload shape (defence in depth, exactly as
+``on_message`` implementations do in the simulator).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..mp.message import Message
+
+#: Bump on any incompatible change to the frame layout or body schema.
+WIRE_VERSION = 1
+
+MAGIC = b"RW"
+HEADER_SIZE = 12
+#: Upper bound on a body; a bogus length field past this is junk, not a
+#: reason to buffer forever.
+MAX_BODY = 1 << 20
+
+#: Frame types.
+T_HELLO = 1  #: protocol-version handshake, first frame of a peer link
+T_MSG = 2  #: one :class:`Message` between neighbouring nodes
+T_REQ = 3  #: lock-service client request (acquire/release)
+T_RSP = 4  #: lock-service response (granted/released/error)
+
+_TYPES = frozenset((T_HELLO, T_MSG, T_REQ, T_RSP))
+
+_CANONICAL = dict(sort_keys=True, separators=(",", ":"))
+
+
+class CodecError(ValueError):
+    """A payload that cannot be put on the wire."""
+
+
+def tuplify(value: Any) -> Any:
+    """Restore tuple structure lost to JSON (lists become tuples, deeply)."""
+    if isinstance(value, list):
+        return tuple(tuplify(v) for v in value)
+    if isinstance(value, dict):
+        return {k: tuplify(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    type: int
+    body: Any
+
+    @property
+    def is_hello(self) -> bool:
+        return self.type == T_HELLO
+
+
+# ------------------------------------------------------------------ encode
+
+
+def encode_frame(frame_type: int, body: Any) -> bytes:
+    """One complete frame: header + canonical JSON body."""
+    if frame_type not in _TYPES:
+        raise CodecError(f"unknown frame type {frame_type!r}")
+    try:
+        payload = json.dumps(body, **_CANONICAL).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"body is not wire-encodable: {exc}") from None
+    if len(payload) > MAX_BODY:
+        raise CodecError(f"body too large ({len(payload)} bytes)")
+    header = (
+        MAGIC
+        + bytes((WIRE_VERSION, frame_type))
+        + len(payload).to_bytes(4, "big")
+        + (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "big")
+    )
+    return header + payload
+
+
+def encode_message(message: Message) -> bytes:
+    """A :class:`Message` as one ``T_MSG`` frame."""
+    return encode_frame(
+        T_MSG,
+        {"src": message.src, "dst": message.dst, "payload": list(message.payload)},
+    )
+
+
+def encode_hello(node: Any, *, role: str = "peer") -> bytes:
+    """The handshake frame: wire version + sender identity + role."""
+    return encode_frame(
+        T_HELLO, {"version": WIRE_VERSION, "node": node, "role": role}
+    )
+
+
+def decode_message(frame: Frame) -> Optional[Message]:
+    """The :class:`Message` in a ``T_MSG`` frame, or ``None`` if malformed.
+
+    Malformed here means "valid frame, wrong body shape" — possible when
+    garbage happens to pass the CRC or a buggy/malicious peer sends a
+    syntactically valid frame.  Junk yields ``None``, never an exception.
+    """
+    body = frame.body
+    if frame.type != T_MSG or not isinstance(body, dict):
+        return None
+    if not {"src", "dst", "payload"} <= set(body):
+        return None
+    payload = body["payload"]
+    if not isinstance(payload, (list, tuple)):
+        return None
+    return Message(
+        src=tuplify(body["src"]),
+        dst=tuplify(body["dst"]),
+        payload=tuplify(list(payload)),
+    )
+
+
+def hello_fields(frame: Frame) -> Optional[Tuple[int, Any, str]]:
+    """``(version, node, role)`` of a hello frame, or ``None`` if malformed."""
+    body = frame.body
+    if frame.type != T_HELLO or not isinstance(body, dict):
+        return None
+    version = body.get("version")
+    if not isinstance(version, int):
+        return None
+    return version, tuplify(body.get("node")), str(body.get("role", "peer"))
+
+
+# ------------------------------------------------------------------ decode
+
+
+class Decoder:
+    """Incremental, garbage-tolerant frame decoder for one byte stream.
+
+    Feed it arbitrary chunks; it yields every complete valid frame and
+    counts every byte it had to discard (``garbage_bytes``) plus how many
+    times it lost sync (``resyncs``).  The counters are the wire-level
+    analogue of the simulator's junk-payload statistics, and the chaos
+    tests assert on them.
+    """
+
+    __slots__ = ("_buffer", "garbage_bytes", "resyncs", "frames_decoded")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.garbage_bytes = 0
+        self.resyncs = 0
+        self.frames_decoded = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Buffer ``data``; return all frames completed by it."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Frame]:
+        buf = self._buffer
+        while True:
+            start = buf.find(MAGIC)
+            if start < 0:
+                # No magic anywhere: all junk except a possible partial
+                # magic at the very end.
+                keep = 1 if buf[-1:] == MAGIC[:1] else 0
+                discard = len(buf) - keep
+                if discard > 0:
+                    self.garbage_bytes += discard
+                    self.resyncs += 1
+                    del buf[:discard]
+                return
+            if start > 0:
+                self.garbage_bytes += start
+                self.resyncs += 1
+                del buf[:start]
+            if len(buf) < HEADER_SIZE:
+                return  # header not complete yet
+            version, frame_type = buf[2], buf[3]
+            length = int.from_bytes(buf[4:8], "big")
+            crc = int.from_bytes(buf[8:12], "big")
+            if (
+                version != WIRE_VERSION
+                or frame_type not in _TYPES
+                or length > MAX_BODY
+            ):
+                # False magic: discard one byte and rescan.
+                self.garbage_bytes += 1
+                self.resyncs += 1
+                del buf[:1]
+                continue
+            if len(buf) < HEADER_SIZE + length:
+                return  # body not complete yet
+            body_bytes = bytes(buf[HEADER_SIZE : HEADER_SIZE + length])
+            if zlib.crc32(body_bytes) & 0xFFFFFFFF != crc:
+                self.garbage_bytes += 1
+                self.resyncs += 1
+                del buf[:1]
+                continue
+            try:
+                body = json.loads(body_bytes.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self.garbage_bytes += 1
+                self.resyncs += 1
+                del buf[:1]
+                continue
+            del buf[: HEADER_SIZE + length]
+            self.frames_decoded += 1
+            yield Frame(type=frame_type, body=body)

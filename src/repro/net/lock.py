@@ -1,0 +1,326 @@
+"""The lock-service client API and the soak harness.
+
+:class:`LockClient` is what an application sees: connect to any node of a
+live cluster and ``acquire()``/``release()`` its resource.  Underneath,
+an acquire makes the node's philosopher hungry and resolves when it
+starts eating — so the paper's guarantees (no neighbouring eaters;
+malicious crashes disturb at most radius 2 in the §3 program, and only
+the faulty edge-set under Chandy–Misra) become service-level guarantees:
+two clients of *neighbouring* nodes never hold their locks at once.
+
+``soak`` drives one client per node against a chaos-injected cluster and
+then audits the **emitted event stream**, not in-process state: grant and
+release events (state transitions observed at each node) are folded into
+hold intervals, and every topology edge is checked for overlap.  Nodes the
+schedule crashed maliciously are excluded from the safety audit — the
+paper's specification says nothing about what a faulty process itself
+does, only about its healthy neighbourhood.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.topology import Topology
+from .codec import Decoder, T_REQ, T_RSP, encode_frame, encode_hello
+from .cluster import ClusterConfig, ClusterResult, ClusterSupervisor
+
+
+class LockError(RuntimeError):
+    """The client lost its node or got a refusal."""
+
+
+class LockClient:
+    """A TCP client of one node's lock service."""
+
+    def __init__(self, host: str, port: int, *, client_id: str = "client") -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._read_task: Optional[asyncio.Task] = None
+        self._pending: Dict[Tuple[str, Any], asyncio.Future] = {}
+        self._next_id = 0
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._writer.write(encode_hello(self.client_id, role="client"))
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        decoder = Decoder()
+        try:
+            while True:
+                data = await self._reader.read(4096)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    if frame.type != T_RSP or not isinstance(frame.body, dict):
+                        continue
+                    key = (str(frame.body.get("op")), frame.body.get("id"))
+                    future = self._pending.pop(key, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame.body)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(LockError("connection lost"))
+            self._pending.clear()
+
+    def _request(self, op: str, req_id: Any) -> asyncio.Future:
+        if self._writer is None or self._writer.is_closing():
+            raise LockError("not connected")
+        future = asyncio.get_running_loop().create_future()
+        self._pending[(op, req_id)] = future
+        self._writer.write(encode_frame(T_REQ, {"op": op, "id": req_id}))
+        return future
+
+    async def acquire(self, *, timeout: Optional[float] = None) -> Any:
+        """Block until this node's philosopher eats on our behalf.
+
+        Returns the request id (pass it to :meth:`release`).  Raises
+        ``asyncio.TimeoutError`` if the node cannot be granted in time —
+        under chaos that is a legitimate outcome, not a bug.
+        """
+        self._next_id += 1
+        req_id = self._next_id
+        future = self._request("acquire", req_id)
+        body = await asyncio.wait_for(future, timeout)
+        if not body.get("ok"):
+            raise LockError(f"acquire refused: {body!r}")
+        return req_id
+
+    async def release(self, req_id: Any, *, timeout: Optional[float] = 5.0) -> None:
+        future = self._request("release", req_id)
+        await asyncio.wait_for(future, timeout)
+
+    async def close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+
+
+# ------------------------------------------------------------------- safety
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Two neighbouring nodes held the lock at once."""
+
+    node_a: str
+    node_b: str
+    overlap_start: float
+    overlap_end: float
+
+
+def hold_intervals(
+    events: Sequence[Dict[str, Any]], *, end_t: float
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-node ``(grant_t, release_t)`` intervals from an event stream.
+
+    A grant without a matching release (node crashed or run ended while
+    eating) closes at ``end_t``.  Tolerates duplicate releases and events
+    out of order within a node (sorts first) — the stream is honest data,
+    not a trusted invariant.
+    """
+    by_node: Dict[str, List[Tuple[float, str]]] = {}
+    for event in events:
+        kind = event.get("event")
+        node = event.get("node")
+        if node is None or kind not in ("net-grant", "net-release"):
+            continue
+        by_node.setdefault(node, []).append((float(event.get("t", 0.0)), kind))
+    intervals: Dict[str, List[Tuple[float, float]]] = {}
+    for node, marks in by_node.items():
+        marks.sort()
+        spans: List[Tuple[float, float]] = []
+        open_at: Optional[float] = None
+        for t, kind in marks:
+            if kind == "net-grant":
+                if open_at is None:
+                    open_at = t
+            elif open_at is not None:
+                spans.append((open_at, t))
+                open_at = None
+        if open_at is not None:
+            spans.append((open_at, end_t))
+        intervals[node] = spans
+    return intervals
+
+
+def neighbour_violations(
+    topology: Topology,
+    intervals: Dict[str, List[Tuple[float, float]]],
+    *,
+    exclude: Sequence[str] = (),
+) -> List[Violation]:
+    """Every overlap of hold intervals across a topology edge.
+
+    ``exclude`` names (repr'd) nodes outside the audit — the maliciously
+    crashed ones, whose own behaviour the specification does not bound.
+    """
+    excluded = set(exclude)
+    violations: List[Violation] = []
+    for e in topology.edges:
+        p, q = tuple(e)
+        a, b = repr(p), repr(q)
+        if a in excluded or b in excluded:
+            continue
+        for start_a, end_a in intervals.get(a, ()):
+            for start_b, end_b in intervals.get(b, ()):
+                lo = max(start_a, start_b)
+                hi = min(end_a, end_b)
+                if lo < hi:
+                    violations.append(Violation(a, b, lo, hi))
+    violations.sort(key=lambda v: (v.overlap_start, v.node_a, v.node_b))
+    return violations
+
+
+# --------------------------------------------------------------------- soak
+
+
+@dataclass
+class ClientStats:
+    """What one traffic loop observed."""
+
+    node: str
+    acquired: int = 0
+    released: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+
+@dataclass
+class SoakResult:
+    """A complete soak: the cluster run plus the audit."""
+
+    cluster: ClusterResult
+    clients: List[ClientStats]
+    violations: List[Violation]
+    intervals: Dict[str, List[Tuple[float, float]]]
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+    @property
+    def nodes_with_grants(self) -> int:
+        return sum(
+            1 for c in self.cluster.counters.values() if c.get("grants", 0) > 0
+        )
+
+
+async def _client_loop(
+    client: LockClient,
+    stats: ClientStats,
+    *,
+    stop_at: float,
+    rng: random.Random,
+    hold_s: float,
+    acquire_timeout: float,
+) -> None:
+    loop = asyncio.get_running_loop()
+    try:
+        await client.connect()
+    except OSError:
+        stats.errors += 1
+        return
+    while True:
+        remaining = stop_at - loop.time()
+        if remaining <= 0.05:
+            break
+        started = loop.time()
+        try:
+            req_id = await client.acquire(
+                timeout=min(acquire_timeout, remaining)
+            )
+        except asyncio.TimeoutError:
+            stats.timeouts += 1
+            break  # starved (chaos can legitimately do this); stop asking
+        except (LockError, OSError):
+            stats.errors += 1
+            break
+        stats.acquired += 1
+        stats.latencies_s.append(round(loop.time() - started, 6))
+        await asyncio.sleep(rng.uniform(0.3, 1.0) * hold_s)
+        try:
+            await client.release(req_id)
+            stats.released += 1
+        except (asyncio.TimeoutError, LockError, OSError):
+            stats.errors += 1
+            break
+        await asyncio.sleep(rng.uniform(0.2, 0.8) * hold_s)
+    await client.close()
+
+
+async def soak(
+    config: ClusterConfig,
+    duration_s: float,
+    *,
+    hold_s: float = 0.05,
+    acquire_timeout: float = 5.0,
+) -> SoakResult:
+    """Run a lock-service cluster under chaos and audit the event stream."""
+    if not config.lock_service:
+        raise ValueError("soak requires a lock_service cluster config")
+    supervisor = ClusterSupervisor(config)
+    client_tasks: List[asyncio.Task] = []
+    stats: List[ClientStats] = []
+    try:
+        await supervisor.start(duration_s)
+        loop = asyncio.get_running_loop()
+        stop_at = supervisor._t0 + duration_s
+        for i, pid in enumerate(config.topology.nodes):
+            node = supervisor.nodes[pid]
+            stat = ClientStats(node=repr(pid))
+            stats.append(stat)
+            client = LockClient(
+                config.host, node.port, client_id=f"client-{i}"
+            )
+            client_tasks.append(
+                asyncio.create_task(
+                    _client_loop(
+                        client,
+                        stat,
+                        stop_at=stop_at,
+                        rng=random.Random(config.seed * 1000 + i),
+                        hold_s=hold_s,
+                        acquire_timeout=acquire_timeout,
+                    )
+                )
+            )
+        await supervisor.run(duration_s)
+    finally:
+        for task in client_tasks:
+            task.cancel()
+        for task in client_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        await supervisor.stop()
+    result = supervisor.result(duration_s)
+    intervals = hold_intervals(result.events, end_t=duration_s)
+    violations = neighbour_violations(
+        config.topology, intervals, exclude=result.killed
+    )
+    return SoakResult(
+        cluster=result,
+        clients=stats,
+        violations=violations,
+        intervals=intervals,
+    )

@@ -1,0 +1,458 @@
+"""The live node daemon: one §4 process served over asyncio TCP.
+
+A :class:`NodeServer` hosts one :class:`~repro.mp.node.MpProcess` — the
+same object that runs under :class:`~repro.mp.engine.MpEngine` — behind a
+real socket transport:
+
+* one listening socket accepts *inbound* peer links and lock clients;
+* one outbound connection per neighbour (usually via a chaos proxy)
+  carries this node's sends, with automatic reconnect;
+* a tick loop fires :meth:`~repro.mp.node.MpProcess.on_tick` every
+  ``tick_interval`` seconds — the wall-clock realisation of the engine's
+  fairness assumption that every process takes infinitely many steps;
+* every inbound byte goes through the garbage-tolerant
+  :class:`~repro.net.codec.Decoder`, and every decoded ``T_MSG`` is
+  validated (dst is me, src is a neighbour, per-link sequence number is
+  fresh) before reaching ``on_message`` — the wire image of the model's
+  "channels may hold arbitrary junk" discipline.
+
+Per-link sequence numbers make duplication and reordering at the byte
+level safe for token-carrying protocols: a stale or repeated frame is
+discarded at the transport, so chaos ``dup``/``reorder`` degrade into
+``drop`` (a liveness matter the protocols already own) instead of forging
+a second fork (a safety matter they must never face).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..mp.diners_mp import DinersMpProcess, E as EATING
+from ..mp.message import Message
+from ..mp.node import MpProcess
+from ..obs.bus import EventBus
+from ..obs.events import NetEventKind
+from ..sim.topology import Pid, Topology
+from ..sim.trace import TraceEvent
+from .codec import (
+    Decoder,
+    Frame,
+    T_MSG,
+    T_REQ,
+    WIRE_VERSION,
+    decode_message,
+    encode_frame,
+    encode_hello,
+    hello_fields,
+    tuplify,
+)
+
+#: ``(host, port)`` of a peer's inbound socket (or its chaos proxy).
+Address = Tuple[str, int]
+
+
+class NetContext:
+    """The live transport's :class:`~repro.mp.node.ProcessContext`.
+
+    Handed to the hosted process on every tick and message, exactly like
+    :class:`~repro.mp.node.MpContext` — ``send`` returns False when the
+    link to ``dst`` is currently down, which the simulator models as a
+    channel refusing a message.
+    """
+
+    __slots__ = ("_server",)
+
+    def __init__(self, server: "NodeServer") -> None:
+        self._server = server
+
+    @property
+    def pid(self) -> Pid:
+        return self._server.pid
+
+    @property
+    def neighbors(self) -> Tuple[Pid, ...]:
+        return self._server.topology.neighbors(self._server.pid)
+
+    @property
+    def topology(self) -> Topology:
+        return self._server.topology
+
+    def send(self, dst: Pid, payload: Tuple) -> bool:
+        return self._server.send_message(dst, payload)
+
+
+class LockDinerProcess(DinersMpProcess):
+    """A Chandy–Misra philosopher exposed as a resource lock.
+
+    ``demand`` counts outstanding client acquires; the process is hungry
+    exactly while demand is positive.  Once eating, the meal is *held
+    open* until the client releases — the node server tops the meal up
+    every tick while ``holding`` — so "eating" and "client holds the
+    lock" are the same interval, which is what the soak safety checker
+    audits.
+    """
+
+    def __init__(self, pid: Pid, topology: Topology, *, seed: int = 0) -> None:
+        super().__init__(
+            pid, topology, needs=lambda: self.demand > 0, eat_ticks=2, seed=seed
+        )
+        self.demand = 0
+        self.holding = False
+
+    def on_tick(self, ctx) -> None:
+        if self.state == EATING and self.holding:
+            self._eating_remaining = max(self._eating_remaining, 2)
+        super().on_tick(ctx)
+
+    def grant_taken(self) -> None:
+        """The server matched this meal to a waiting acquire."""
+        self.demand = max(0, self.demand - 1)
+        self.holding = True
+
+    def release(self) -> None:
+        """Client released: let the meal end on the next tick."""
+        self.holding = False
+        self._eating_remaining = min(self._eating_remaining, 1)
+
+
+class _PeerLink:
+    """State of one outbound neighbour connection."""
+
+    __slots__ = ("address", "writer", "task", "seq", "retries")
+
+    def __init__(self, address: Address) -> None:
+        self.address = address
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.task: Optional[asyncio.Task] = None
+        self.seq = 0
+        self.retries = 0
+
+
+class NodeServer:
+    """One live node: listener + outbound peer links + tick loop."""
+
+    def __init__(
+        self,
+        pid: Pid,
+        topology: Topology,
+        process: MpProcess,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval: float = 0.01,
+        bus: EventBus | None = None,
+        t0: float | None = None,
+    ) -> None:
+        if pid not in topology:
+            raise ValueError(f"{pid!r} is not in the topology")
+        self.pid = pid
+        self.topology = topology
+        self.process = process
+        self.host = host
+        self.requested_port = port
+        self.tick_interval = tick_interval
+        self.bus = bus
+        self.port: Optional[int] = None
+        self._t0 = t0
+        self._server: asyncio.base_events.Server | None = None
+        self._links: Dict[Pid, _PeerLink] = {}
+        self._ctx = NetContext(self)
+        self._tick_task: Optional[asyncio.Task] = None
+        self._seq = 0
+        self._running = False
+        self._prev_state: Optional[str] = None
+        #: FIFO of ``(writer, request_id)`` acquires awaiting a grant.
+        self._waiters: List[Tuple[asyncio.StreamWriter, Any]] = []
+        #: Highest accepted per-source message sequence number.
+        self._last_seen: Dict[Pid, int] = {}
+        # ---- counters surfaced as metrics by the supervisor
+        self.msgs_in = 0
+        self.msgs_out = 0
+        self.send_failures = 0
+        self.junk_frames = 0
+        self.stale_frames = 0
+        self.garbage_bytes = 0
+        self.resyncs = 0
+        self.ticks = 0
+        self.grants = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------- obs
+
+    def _now(self) -> float:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return 0.0
+        if self._t0 is None:
+            self._t0 = loop.time()
+        return round(loop.time() - self._t0, 6)
+
+    def publish(self, kind: NetEventKind, detail: Optional[dict] = None) -> None:
+        if self.bus is None:
+            return
+        body = {"t": self._now()}
+        if detail:
+            body.update(detail)
+        self._seq += 1
+        self.bus.publish(TraceEvent(self._seq, kind, self.pid, body))
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start_listening(self) -> int:
+        """Bind the inbound socket; returns the (ephemeral) port."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._running = True
+        self.publish(NetEventKind.NODE_START, {"port": self.port})
+        return self.port
+
+    async def connect_peers(self, peers: Dict[Pid, Address]) -> None:
+        """Start one persistent outbound link per neighbour.
+
+        ``peers`` maps each neighbour to the address this node should dial
+        — the neighbour's own port, or its chaos proxy.
+        """
+        for q in self.topology.neighbors(self.pid):
+            if q not in peers:
+                raise ValueError(f"no address for neighbour {q!r}")
+            link = _PeerLink(peers[q])
+            self._links[q] = link
+            link.task = asyncio.create_task(self._maintain_link(q, link))
+        self._tick_task = asyncio.create_task(self._tick_loop())
+
+    async def stop(self) -> None:
+        """Halt: cancel tasks, close every socket, publish NODE_STOP."""
+        if not self._running:
+            return
+        self._running = False
+        tasks = [self._tick_task] + [l.task for l in self._links.values()]
+        for task in tasks:
+            if task is not None:
+                task.cancel()
+        for task in tasks:
+            if task is not None:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        for link in self._links.values():
+            if link.writer is not None:
+                link.writer.close()
+                link.writer = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.publish(NetEventKind.NODE_STOP)
+
+    # ------------------------------------------------------------- outbound
+
+    async def _maintain_link(self, q: Pid, link: _PeerLink) -> None:
+        """Keep the outbound connection to ``q`` alive; reconnect on loss."""
+        backoff = 0.05
+        host, port = link.address
+        while self._running:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                link.retries += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 0.5)
+                continue
+            backoff = 0.05
+            writer.write(encode_hello(repr(self.pid)))
+            link.writer = writer
+            self.publish(NetEventKind.CONN_OPEN, {"peer": repr(q)})
+            try:
+                # The outbound side is write-only; reading detects EOF.
+                while await reader.read(4096):
+                    pass
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                link.writer = None
+                writer.close()
+                if self._running:
+                    self.publish(NetEventKind.CONN_LOST, {"peer": repr(q)})
+
+    def send_message(self, dst: Pid, payload: Tuple) -> bool:
+        """Write one framed message toward ``dst``; False if the link is down."""
+        link = self._links.get(dst)
+        if link is None or link.writer is None or link.writer.is_closing():
+            self.send_failures += 1
+            return False
+        link.seq += 1
+        frame = encode_frame(
+            T_MSG,
+            {
+                "src": self.pid,
+                "dst": dst,
+                "payload": list(payload),
+                "seq": link.seq,
+            },
+        )
+        try:
+            link.writer.write(frame)
+        except (ConnectionError, OSError):
+            self.send_failures += 1
+            return False
+        self.msgs_out += 1
+        self.publish(NetEventKind.SEND, {"dst": repr(dst)})
+        return True
+
+    # -------------------------------------------------------------- inbound
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One inbound stream: a peer link or a lock client (HELLO decides).
+
+        Garbage may precede, interleave with, or replace valid frames; the
+        decoder resynchronises and this loop only trusts validated frames.
+        """
+        decoder = Decoder()
+        is_client = False
+        reported_garbage = 0
+        reported_resyncs = 0
+        try:
+            while self._running:
+                data = await reader.read(4096)
+                if not data:
+                    break
+                frames = decoder.feed(data)
+                if decoder.garbage_bytes > reported_garbage:
+                    fresh = decoder.garbage_bytes - reported_garbage
+                    self.garbage_bytes += fresh
+                    self.resyncs += decoder.resyncs - reported_resyncs
+                    reported_garbage = decoder.garbage_bytes
+                    reported_resyncs = decoder.resyncs
+                    self.publish(NetEventKind.GARBAGE, {"bytes": fresh})
+                for frame in frames:
+                    if frame.is_hello:
+                        fields = hello_fields(frame)
+                        if fields is None or fields[0] != WIRE_VERSION:
+                            self.publish(
+                                NetEventKind.HELLO_BAD,
+                                {"got": None if fields is None else fields[0]},
+                            )
+                            return  # incompatible peer: drop the connection
+                        is_client = fields[2] == "client"
+                        self.publish(
+                            NetEventKind.HELLO_OK,
+                            {"from": fields[1], "role": fields[2]},
+                        )
+                    elif frame.type == T_REQ and is_client:
+                        self._handle_request(frame, writer)
+                    elif frame.type == T_MSG:
+                        self._handle_peer_message(frame)
+                    else:
+                        self.junk_frames += 1
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._waiters = [(w, r) for (w, r) in self._waiters if w is not writer]
+            writer.close()
+
+    def _handle_peer_message(self, frame: Frame) -> None:
+        message = decode_message(frame)
+        body = frame.body if isinstance(frame.body, dict) else {}
+        if message is None or message.dst != self.pid:
+            self.junk_frames += 1
+            return
+        src = message.src
+        if src not in self.topology.neighbors(self.pid):
+            self.junk_frames += 1
+            return
+        seq = body.get("seq")
+        if isinstance(seq, int):
+            if seq <= self._last_seen.get(src, 0):
+                self.stale_frames += 1  # duplicate or reordered-behind
+                return
+            self._last_seen[src] = seq
+        self.msgs_in += 1
+        self.publish(NetEventKind.RECV, {"src": repr(src)})
+        self.process.on_message(self._ctx, src, message.payload)
+        self._after_step()
+
+    # ---------------------------------------------------------- lock service
+
+    def _handle_request(self, frame: Frame, writer: asyncio.StreamWriter) -> None:
+        body = frame.body if isinstance(frame.body, dict) else {}
+        op = body.get("op")
+        req_id = tuplify(body.get("id"))
+        process = self.process
+        if op == "acquire" and isinstance(process, LockDinerProcess):
+            process.demand += 1
+            self._waiters.append((writer, req_id))
+        elif op == "release" and isinstance(process, LockDinerProcess):
+            process.release()
+            self._respond(writer, {"op": "release", "id": req_id, "ok": True})
+        else:
+            self._respond(
+                writer, {"op": op, "id": req_id, "ok": False, "error": "bad-op"}
+            )
+
+    def _respond(self, writer: asyncio.StreamWriter, body: dict) -> None:
+        from .codec import T_RSP
+
+        if writer.is_closing():
+            return
+        try:
+            writer.write(encode_frame(T_RSP, body))
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------- stepping
+
+    async def _tick_loop(self) -> None:
+        while self._running:
+            await asyncio.sleep(self.tick_interval)
+            self.ticks += 1
+            self.process.on_tick(self._ctx)
+            self._after_step()
+
+    def _after_step(self) -> None:
+        """Detect eating-state transitions; emit GRANT/RELEASE and answer
+        waiting clients.  Works for any process exposing ``state``."""
+        state = getattr(self.process, "state", None)
+        if state is None:
+            return
+        prev = self._prev_state
+        self._prev_state = state
+        if prev == state:
+            return
+        if state == EATING:
+            self.grants += 1
+            detail: Dict[str, Any] = {}
+            if self._waiters and isinstance(self.process, LockDinerProcess):
+                writer, req_id = self._waiters.pop(0)
+                self.process.grant_taken()
+                self._respond(
+                    writer, {"op": "acquire", "id": req_id, "ok": True}
+                )
+                detail["req"] = req_id
+            self.publish(NetEventKind.GRANT, detail)
+        elif prev == EATING:
+            self.releases += 1
+            self.publish(NetEventKind.RELEASE)
+
+    # -------------------------------------------------------------- metrics
+
+    def counters(self) -> Dict[str, int]:
+        """Everything the supervisor turns into per-node metrics."""
+        return {
+            "msgs_in": self.msgs_in,
+            "msgs_out": self.msgs_out,
+            "send_failures": self.send_failures,
+            "junk_frames": self.junk_frames,
+            "stale_frames": self.stale_frames,
+            "garbage_bytes": self.garbage_bytes,
+            "resyncs": self.resyncs,
+            "ticks": self.ticks,
+            "grants": self.grants,
+            "releases": self.releases,
+            "eats": getattr(self.process, "eats", 0),
+        }

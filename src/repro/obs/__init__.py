@@ -13,7 +13,7 @@ byte for byte.
 """
 
 from .bus import EventBus
-from .events import EventKind, MpEventKind, TraceEvent
+from .events import EventKind, MpEventKind, NetEventKind, TraceEvent
 from .metrics import (
     METRICS_FORMAT_VERSION,
     Counter,
@@ -57,6 +57,7 @@ __all__ = [
     "EventBus",
     "EventKind",
     "MpEventKind",
+    "NetEventKind",
     "TraceEvent",
     "METRICS_FORMAT_VERSION",
     "Counter",

@@ -14,7 +14,7 @@ import enum
 
 from ..sim.trace import EventKind, TraceEvent
 
-__all__ = ["EventKind", "MpEventKind", "TraceEvent"]
+__all__ = ["EventKind", "MpEventKind", "NetEventKind", "TraceEvent"]
 
 
 class MpEventKind(enum.Enum):
@@ -28,3 +28,27 @@ class MpEventKind(enum.Enum):
     CRASH = "mp-crash"  #: A process halted.
     MALICE_BEGIN = "mp-malice-begin"  #: A malicious crash began its arbitrary phase.
     TRANSIENT = "mp-transient"  #: A transient fault corrupted states/channels.
+
+
+class NetEventKind(enum.Enum):
+    """What a live-cluster (:mod:`repro.net`) event records.
+
+    The live runtime publishes the same :class:`TraceEvent` dataclass as
+    both engines; ``step`` carries a per-publisher monotonic sequence
+    number (real time is environmental and goes in ``detail`` when an
+    event needs it).
+    """
+
+    NODE_START = "net-node-start"  #: A node daemon began serving.
+    NODE_STOP = "net-node-stop"  #: A node daemon shut down (or was killed).
+    CONN_OPEN = "net-conn-open"  #: A peer/client connection was established.
+    CONN_LOST = "net-conn-lost"  #: A connection dropped (reconnects follow).
+    HELLO_OK = "net-hello-ok"  #: Protocol-version handshake succeeded.
+    HELLO_BAD = "net-hello-bad"  #: Handshake rejected (version/garbage).
+    SEND = "net-send"  #: A frame was written toward a peer.
+    RECV = "net-recv"  #: A valid frame was decoded from a peer.
+    GARBAGE = "net-garbage"  #: Bytes discarded by the garbage-tolerant decoder.
+    CHAOS = "net-chaos"  #: The chaos proxy applied a scheduled fault.
+    GRANT = "net-grant"  #: The lock service granted an acquire (entered eating).
+    RELEASE = "net-release"  #: The lock service released (exited eating).
+    CRASH_DETECT = "net-crash-detect"  #: The supervisor saw a node die.

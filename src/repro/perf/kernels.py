@@ -149,6 +149,36 @@ def campaign_shard():
     return lambda: execute_shard(shard)
 
 
+@register("net/codec/roundtrip", ops=200)
+def codec_roundtrip():
+    """Wire codec encode→decode of a Chandy–Misra message batch.
+
+    One op is a full round trip — frame a :class:`~repro.mp.channel.Message`
+    and feed it back through the garbage-tolerant incremental decoder —
+    over a 200-message batch shaped like real fork/request traffic.
+    """
+    from ..mp.channel import Message
+    from ..net.codec import Decoder, decode_message, encode_message
+
+    rng = random.Random(6)
+    messages = [
+        Message(
+            src=rng.randrange(8),
+            dst=rng.randrange(8),
+            payload=("fork" if i % 2 else "request", (i % 8, (i + 1) % 8), i % 2 == 0),
+        )
+        for i in range(200)
+    ]
+
+    def kernel():
+        decoder = Decoder()
+        for message in messages:
+            for frame in decoder.feed(encode_message(message)):
+                decode_message(frame)
+
+    return kernel
+
+
 @register("engine/havoc/ring16", ops=200)
 def havoc_step():
     """Malicious havoc steps — the fault path's per-step cost."""

@@ -1,0 +1,76 @@
+"""Chaos schedules are reproducible, bounded, and well-formed."""
+
+from repro.net import build_schedule
+from repro.sim import grid, ring
+
+
+def schedule(seed=7, **kwargs):
+    return build_schedule(ring(5), seed=seed, duration_s=10.0, **kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert schedule().describe() == schedule().describe()
+
+    def test_different_seed_different_schedule(self):
+        assert schedule(seed=7).describe() != schedule(seed=8).describe()
+
+    def test_describe_is_json_shaped(self):
+        import json
+
+        json.dumps(schedule().describe())
+
+
+class TestShape:
+    def test_events_time_ordered_within_duration(self):
+        s = schedule()
+        times = [e.at_s for e in s.events]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= s.duration_s for t in times)
+
+    def test_malicious_victims_are_topology_nodes(self):
+        topo = ring(5)
+        s = build_schedule(topo, seed=3, duration_s=5.0, malicious_crashes=2)
+        victims = s.malicious_nodes
+        assert len(victims) == 2
+        assert all(v in topo.nodes for v in victims)
+
+    def test_malicious_crash_carries_garbage(self):
+        s = schedule()
+        crashes = [e for e in s.events if e.kind == "malicious-crash"]
+        assert crashes
+        for event in crashes:
+            assert len(event.garbage) == len(event.links)
+            assert all(16 <= len(g) <= 128 for g in event.garbage)
+
+    def test_partitions_heal(self):
+        s = schedule(partitions=2)
+        cuts = [e for e in s.events if e.kind == "partition"]
+        heals = [e for e in s.events if e.kind == "heal"]
+        assert len(cuts) == len(heals) == 2
+        for cut in cuts:
+            matching = [
+                h for h in heals
+                if set(h.links) == set(cut.links) and h.at_s > cut.at_s
+            ]
+            assert matching, f"partition at {cut.at_s} never heals"
+
+    def test_flaky_profiles_are_gentle(self):
+        s = build_schedule(grid(3, 3), seed=1, duration_s=5.0, flaky_links=1.0)
+        assert s.profiles
+        for profile in s.profiles.values():
+            assert 0.0 <= profile.drop_p <= 0.05
+            assert 0.0 <= profile.dup_p <= 0.05
+            assert 0.0 <= profile.reorder_p <= 0.1
+
+    def test_no_chaos_knobs_mean_no_events(self):
+        s = build_schedule(
+            ring(4),
+            seed=2,
+            duration_s=5.0,
+            partitions=0,
+            malicious_crashes=0,
+            flaky_links=0.0,
+        )
+        assert s.events == ()
+        assert s.profiles == {}

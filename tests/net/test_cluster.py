@@ -1,0 +1,155 @@
+"""Live cluster integration: real sockets, chaos, artefacts, stats CLI."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.net import (
+    ClusterConfig,
+    read_cluster_events,
+    run_cluster,
+    write_cluster_events,
+    write_cluster_metrics,
+)
+from repro.obs import read_metrics
+from repro.sim import ring
+
+
+def make_config(**overrides):
+    defaults = dict(
+        topology=ring(3),
+        topology_spec="ring:3",
+        seed=1,
+        tick_interval=0.005,
+        chaos=False,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def run(config, duration=1.0):
+    return asyncio.run(run_cluster(config, duration))
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    """One chaos-free run shared by the read-only assertions."""
+    return run(make_config())
+
+
+@pytest.fixture(scope="module")
+def chaotic_result():
+    return run(make_config(chaos=True, seed=7), duration=1.5)
+
+
+class TestCleanRun:
+    def test_every_node_eats(self, clean_result):
+        assert len(clean_result.counters) == 3
+        for counters in clean_result.counters.values():
+            assert counters["eats"] > 0
+            assert counters["msgs_in"] > 0 and counters["msgs_out"] > 0
+
+    def test_clean_links_carry_no_garbage(self, clean_result):
+        assert clean_result.total_garbage_bytes == 0
+        assert clean_result.killed == []
+
+    def test_lifecycle_events_emitted(self, clean_result):
+        kinds = {e["event"] for e in clean_result.events}
+        assert {"net-node-start", "net-conn-open", "net-hello-ok",
+                "net-node-stop"} <= kinds
+
+
+class TestChaoticRun:
+    def test_scheduled_malice_kills_its_victim(self, chaotic_result):
+        schedule = chaotic_result.schedule
+        victims = [
+            e["node"] for e in schedule["events"]
+            if e["kind"] == "malicious-crash"
+        ]
+        assert chaotic_result.killed == victims
+
+    def test_schedule_reproduces_for_a_seed(self, chaotic_result):
+        again = run(make_config(chaos=True, seed=7), duration=1.5)
+        assert again.schedule == chaotic_result.schedule
+
+    def test_garbage_burst_reaches_decoders(self, chaotic_result):
+        # The victim sprays 16..128 junk bytes per outgoing link; at least
+        # part of every burst lands in some neighbour's decoder counters.
+        assert chaotic_result.total_garbage_bytes > 0
+
+
+class TestArtefacts:
+    def test_events_roundtrip(self, clean_result, tmp_path):
+        path = write_cluster_events(tmp_path / "run.events", clean_result)
+        header, events, skipped = read_cluster_events(path)
+        assert header["source"] == "cluster-events"
+        assert header["topology"] == "ring:3"
+        assert header["version"]
+        assert skipped == 0
+        assert len(events) == len(clean_result.events)
+
+    def test_metrics_artefact(self, clean_result, tmp_path):
+        path = write_cluster_metrics(tmp_path / "run.metrics", clean_result)
+        metrics = read_metrics(path)
+        assert metrics.header["source"] == "cluster-run"
+        assert metrics.header["version"]
+        assert metrics.metrics["cluster/grants"]["value"] > 0
+        assert metrics.metrics["cluster/nodes"]["value"] == 3
+
+    def test_stats_sniffs_event_log(self, clean_result, tmp_path, capsys):
+        path = write_cluster_events(tmp_path / "run.events", clean_result)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cluster event log" in out
+        assert "net-node-start" in out
+
+    def test_stats_sniffs_metrics(self, clean_result, tmp_path, capsys):
+        path = write_cluster_metrics(tmp_path / "run.metrics", clean_result)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics file" in out
+        assert "cluster/grants" in out
+
+    def test_stats_tolerates_truncated_event_log(
+        self, clean_result, tmp_path, capsys
+    ):
+        path = write_cluster_events(tmp_path / "run.events", clean_result)
+        whole = path.read_text().splitlines()
+        path.write_text("\n".join(whole[:3]) + '\n{"kind": "event", "tru')
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped lines: 1" in out
+
+    def test_stats_rejects_nonsense(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\x00\x01\x02 definitely not an artefact")
+        with pytest.raises(SystemExit):
+            main(["stats", str(path)])
+
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_cluster_run_command(self, tmp_path, capsys):
+        events = tmp_path / "cli.events"
+        code = main([
+            "cluster", "run",
+            "--topology", "ring:3",
+            "--seed", "1",
+            "--duration", "0.8",
+            "--tick-interval", "0.005",
+            "--no-chaos",
+            "--events-out", str(events),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster ring:3 seed=1" in out
+        assert events.exists()
+        header, _, _ = read_cluster_events(events)
+        assert json.dumps(header)  # JSON-clean all the way down

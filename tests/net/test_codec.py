@@ -1,0 +1,161 @@
+"""Wire codec unit tests: exact round trips and garbage tolerance."""
+
+import random
+
+import pytest
+
+from repro.mp.message import Message
+from repro.net.codec import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_BODY,
+    T_HELLO,
+    T_MSG,
+    WIRE_VERSION,
+    CodecError,
+    Decoder,
+    Frame,
+    decode_message,
+    encode_frame,
+    encode_hello,
+    encode_message,
+    hello_fields,
+    tuplify,
+)
+
+# Bytes guaranteed not to contain the magic, for unambiguous garbage counts.
+JUNK = bytes(range(0, 65)) * 2
+
+
+def roundtrip(message):
+    frames = Decoder().feed(encode_message(message))
+    assert len(frames) == 1
+    return decode_message(frames[0])
+
+
+class TestRoundTrip:
+    def test_exact(self):
+        message = Message(0, 1, ("fork", ("0", "1"), True))
+        assert roundtrip(message) == message
+
+    def test_nested_tuples_restored(self):
+        message = Message(2, 3, ("request", (1, (2, (3,))), False))
+        out = roundtrip(message)
+        assert out == message
+        assert isinstance(out.payload[1], tuple)
+        assert isinstance(out.payload[1][1], tuple)
+
+    def test_hello(self):
+        frames = Decoder().feed(encode_hello(7, role="client"))
+        assert len(frames) == 1 and frames[0].is_hello
+        assert hello_fields(frames[0]) == (WIRE_VERSION, 7, "client")
+
+    def test_hello_fields_rejects_other_types(self):
+        frames = Decoder().feed(encode_message(Message(0, 1, ("x",))))
+        assert hello_fields(frames[0]) is None
+
+    def test_tuplify_deep(self):
+        assert tuplify([1, [2, [3]], {"k": [4]}]) == (1, (2, (3,)), {"k": (4,)})
+
+
+class TestEncodeErrors:
+    def test_unknown_type(self):
+        with pytest.raises(CodecError):
+            encode_frame(99, {})
+
+    def test_unencodable_body(self):
+        with pytest.raises(CodecError):
+            encode_frame(T_MSG, {"payload": object()})
+
+    def test_oversized_body(self):
+        with pytest.raises(CodecError):
+            encode_frame(T_MSG, {"pad": "x" * (MAX_BODY + 1)})
+
+
+class TestGarbageTolerance:
+    def test_garbage_prefix_counted_and_resynced(self):
+        decoder = Decoder()
+        frames = decoder.feed(JUNK + encode_message(Message(0, 1, ("ping",))))
+        assert [decode_message(f) for f in frames] == [Message(0, 1, ("ping",))]
+        assert decoder.garbage_bytes == len(JUNK)
+        assert decoder.resyncs >= 1
+
+    def test_garbage_between_many_frames(self):
+        rng = random.Random(42)
+        decoder = Decoder()
+        expected = []
+        collected = []
+        for i in range(20):
+            message = Message(i % 4, (i + 1) % 4, ("fork", (i, i + 1), bool(i % 2)))
+            expected.append(message)
+            junk = bytes(rng.randrange(256) for _ in range(rng.randrange(40)))
+            for frame in decoder.feed(junk + encode_message(message)):
+                decoded = decode_message(frame)
+                if decoded is not None:
+                    collected.append(decoded)
+        assert collected == expected
+
+    def test_byte_at_a_time(self):
+        data = encode_message(Message(0, 1, ("one", "byte", "at", "a", "time")))
+        decoder = Decoder()
+        frames = []
+        for i in range(len(data)):
+            frames.extend(decoder.feed(data[i : i + 1]))
+        assert len(frames) == 1
+        assert decoder.garbage_bytes == 0
+
+    def test_split_across_chunks(self):
+        data = encode_message(Message(1, 0, ("split",)))
+        decoder = Decoder()
+        assert decoder.feed(data[:HEADER_SIZE]) == []
+        frames = decoder.feed(data[HEADER_SIZE:])
+        assert len(frames) == 1
+
+    def test_version_mismatch_is_garbage(self):
+        good = encode_message(Message(0, 1, ("ok",)))
+        bad = bytearray(good)
+        bad[2] = WIRE_VERSION + 1
+        decoder = Decoder()
+        frames = decoder.feed(bytes(bad) + good)
+        assert [decode_message(f) for f in frames] == [Message(0, 1, ("ok",))]
+        assert decoder.garbage_bytes > 0
+
+    def test_crc_corruption_rejected(self):
+        good = encode_message(Message(0, 1, ("ok",)))
+        bad = bytearray(good)
+        bad[-1] ^= 0xFF  # flip a body byte; the CRC no longer matches
+        decoder = Decoder()
+        frames = decoder.feed(bytes(bad) + good)
+        assert len(frames) == 1
+        assert decode_message(frames[0]) == Message(0, 1, ("ok",))
+
+    def test_pure_garbage_never_raises(self):
+        rng = random.Random(7)
+        decoder = Decoder()
+        total = 0
+        for _ in range(50):
+            chunk = bytes(rng.randrange(256) for _ in range(rng.randrange(200)))
+            total += len(chunk)
+            for frame in decoder.feed(chunk):
+                # Astronomically unlikely (CRC); malformed at worst.
+                assert decode_message(frame) is None or True
+        assert decoder.garbage_bytes + len(decoder) == total
+
+    def test_trailing_partial_magic_kept(self):
+        decoder = Decoder()
+        decoder.feed(JUNK + MAGIC[:1])
+        assert len(decoder) == 1  # the possible frame start survives
+        frames = decoder.feed(
+            MAGIC[1:] + encode_message(Message(0, 1, ("late",)))[2:]
+        )
+        assert len(frames) == 1
+
+
+class TestMessageValidation:
+    def test_wrong_shape_returns_none(self):
+        assert decode_message(Frame(T_MSG, {"src": 0})) is None
+        assert decode_message(Frame(T_MSG, [1, 2])) is None
+        assert decode_message(Frame(T_HELLO, {"src": 0, "dst": 1, "payload": []})) is None
+
+    def test_payload_must_be_sequence(self):
+        assert decode_message(Frame(T_MSG, {"src": 0, "dst": 1, "payload": 3})) is None

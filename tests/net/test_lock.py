@@ -1,0 +1,75 @@
+"""Lock-service semantics: the safety audit, and a small live soak."""
+
+import asyncio
+
+from repro.net import ClusterConfig, hold_intervals, neighbour_violations, soak
+from repro.sim import ring
+
+
+def grant(node, t):
+    return {"event": "net-grant", "node": node, "t": t}
+
+
+def release(node, t):
+    return {"event": "net-release", "node": node, "t": t}
+
+
+class TestHoldIntervals:
+    def test_pairs_fold_into_spans(self):
+        events = [grant("0", 1.0), release("0", 2.0), grant("0", 3.0),
+                  release("0", 3.5)]
+        assert hold_intervals(events, end_t=5.0) == {
+            "0": [(1.0, 2.0), (3.0, 3.5)]
+        }
+
+    def test_open_grant_closes_at_end(self):
+        assert hold_intervals([grant("0", 4.0)], end_t=5.0) == {"0": [(4.0, 5.0)]}
+
+    def test_duplicate_release_ignored(self):
+        events = [grant("0", 1.0), release("0", 2.0), release("0", 2.5)]
+        assert hold_intervals(events, end_t=5.0) == {"0": [(1.0, 2.0)]}
+
+    def test_out_of_order_stream_sorted(self):
+        events = [release("0", 2.0), grant("0", 1.0)]
+        assert hold_intervals(events, end_t=5.0) == {"0": [(1.0, 2.0)]}
+
+    def test_foreign_events_skipped(self):
+        events = [{"event": "net-send", "node": "0", "t": 1.0}, grant("1", 2.0)]
+        assert hold_intervals(events, end_t=5.0) == {"1": [(2.0, 5.0)]}
+
+
+class TestNeighbourViolations:
+    topo = ring(3)
+
+    def test_overlap_on_an_edge_is_flagged(self):
+        intervals = {"0": [(1.0, 3.0)], "1": [(2.0, 4.0)], "2": []}
+        violations = neighbour_violations(self.topo, intervals)
+        assert len(violations) == 1
+        v = violations[0]
+        assert {v.node_a, v.node_b} == {"0", "1"}
+        assert (v.overlap_start, v.overlap_end) == (2.0, 3.0)
+
+    def test_disjoint_holds_are_safe(self):
+        intervals = {"0": [(1.0, 2.0)], "1": [(2.0, 3.0)], "2": [(3.0, 4.0)]}
+        assert neighbour_violations(self.topo, intervals) == []
+
+    def test_excluded_nodes_are_not_audited(self):
+        intervals = {"0": [(1.0, 3.0)], "1": [(2.0, 4.0)], "2": []}
+        assert neighbour_violations(self.topo, intervals, exclude=["1"]) == []
+
+
+class TestLiveSoak:
+    def test_short_soak_is_safe_and_makes_progress(self):
+        config = ClusterConfig(
+            topology=ring(3),
+            topology_spec="ring:3",
+            seed=2,
+            tick_interval=0.005,
+            lock_service=True,
+            chaos=True,
+        )
+        result = asyncio.run(soak(config, 1.5, hold_s=0.02))
+        assert result.safe, result.violations
+        assert sum(c.acquired for c in result.clients) > 0
+        assert all(c.errors == 0 for c in result.clients)
+        assert result.cluster.mode == "soak"

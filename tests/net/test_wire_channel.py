@@ -1,0 +1,77 @@
+"""Transport parity: an engine on WireChannel matches one on Channel."""
+
+import random
+
+from repro.mp import MpEngine
+from repro.mp.diners_mp import build_diners, neighbours_both_eating
+from repro.net import WireChannel
+from repro.sim import ring
+
+
+def run_pair(steps=3000, seed=9):
+    topo = ring(6)
+    plain = MpEngine(topo, build_diners(topo, seed=3), seed=seed)
+    wired = MpEngine(
+        topo,
+        build_diners(topo, seed=3),
+        seed=seed,
+        channel_factory=WireChannel,
+    )
+    plain.run(steps)
+    wired.run(steps)
+    return topo, plain, wired
+
+
+class TestParity:
+    def test_step_identical_run(self):
+        topo, plain, wired = run_pair()
+        for pid in topo.nodes:
+            assert plain.processes[pid].eats == wired.processes[pid].eats
+            assert plain.processes[pid].state == wired.processes[pid].state
+        assert plain.delivered == wired.delivered
+        assert plain.step_count == wired.step_count
+
+    def test_wire_run_is_safe(self):
+        topo, _, wired = run_pair()
+        assert neighbours_both_eating(topo, wired.processes) == ()
+        assert any(wired.processes[p].eats > 0 for p in topo.nodes)
+
+    def test_no_garbage_on_clean_links(self):
+        _, _, wired = run_pair(steps=500)
+        for channel in wired.channels():
+            assert channel.decoder.garbage_bytes == 0
+            assert channel.malformed_frames == 0
+
+
+class TestFaultMirroring:
+    def test_inject_garbage_is_absorbed(self):
+        channel = WireChannel(0, 1, 8)
+        channel.inject_garbage(b"\x00\x01\x02 not a frame \x03")
+        assert channel.empty
+        assert channel.decoder.garbage_bytes > 0
+        assert channel.send(("ping",))
+        assert channel.deliver().payload == ("ping",)
+
+    def test_garbage_split_with_real_traffic(self):
+        channel = WireChannel(0, 1, 8)
+        channel.inject_garbage(bytes(range(48)))
+        channel.send(("fork", (0, 1), True))
+        channel.inject_garbage(bytes(range(48)))
+        channel.send(("request", (0, 1)))
+        delivered = [channel.deliver().payload for _ in range(len(channel))]
+        assert delivered == [("fork", (0, 1), True), ("request", (0, 1))]
+
+    def test_corrupt_respects_capacity(self):
+        rng = random.Random(5)
+        channel = WireChannel(0, 1, 4)
+        channel.corrupt(rng, lambda r: ("junk", r.randrange(10)))
+        assert len(channel) <= channel.capacity
+        for message in channel.peek_all():
+            assert message.src == 0 and message.dst == 1
+
+    def test_capacity_overflow_still_counted(self):
+        channel = WireChannel(0, 1, 2)
+        assert channel.send(("a",)) and channel.send(("b",))
+        assert not channel.send(("c",))
+        assert channel.dropped == 1
+        assert len(channel) == 2

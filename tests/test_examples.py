@@ -61,3 +61,9 @@ class TestMediumExamples:
         run_example("message_passing_demo.py")
         out = capsys.readouterr().out
         assert "safe and live over message passing" in out
+
+    def test_live_cluster_demo(self, capsys):
+        run_example("live_cluster_demo.py")
+        out = capsys.readouterr().out
+        assert "maliciously crashed" in out
+        assert "no neighbouring lock holders" in out
