@@ -961,11 +961,20 @@ def cmd_node(args: argparse.Namespace) -> int:
 
 
 def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
-    from .net import ClusterConfig
+    from .net import ClusterConfig, RestartPolicy
 
     spec = args.topology or f"ring:{args.nodes}"
     if args.nodes < 2 and not args.topology:
         raise SystemExit("--nodes must be >= 2")
+    restart = None
+    if args.restart_policy != "off":
+        if args.max_restarts < 1:
+            raise SystemExit("--max-restarts must be >= 1 with a restart policy")
+        restart = RestartPolicy(
+            max_restarts=args.max_restarts,
+            delay_s=args.restart_delay,
+            arbitrary_state=args.restart_policy == "arbitrary",
+        )
     return ClusterConfig(
         topology=parse_topology(spec),
         topology_spec=spec,
@@ -976,6 +985,7 @@ def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
         partitions=args.partitions,
         malicious_crashes=args.malicious,
         host=args.host,
+        restart=restart,
     )
 
 
@@ -1001,6 +1011,13 @@ def _print_cluster_summary(result) -> None:
     print()
     if result.killed:
         print(f"  maliciously crashed: {', '.join(result.killed)}")
+    if result.restarts:
+        restarted = ", ".join(
+            f"{node}×{count}" for node, count in sorted(result.restarts.items())
+        )
+        print(f"  restarted: {restarted}")
+    for node, elapsed in sorted(result.convergence_s.items()):
+        print(f"  convergence: {node} re-granted {elapsed:.3f}s after restart")
 
 
 def _write_cluster_artefacts(args, result, *, extra_header=None) -> None:
@@ -1303,6 +1320,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="partition/heal windows to schedule")
         cp.add_argument("--malicious", type=int, default=1,
                         help="malicious crashes (garbage burst, then halt)")
+        cp.add_argument("--restart-policy", dest="restart_policy",
+                        choices=("off", "fresh", "arbitrary"), default="off",
+                        help="relaunch crashed nodes: 'fresh' boots clean "
+                        "state, 'arbitrary' boots seeded-random state (the "
+                        "stabilization theorem's restart setting)")
+        cp.add_argument("--max-restarts", type=int, default=1,
+                        dest="max_restarts",
+                        help="relaunches allowed per crashed node")
+        cp.add_argument("--restart-delay", type=float, default=0.5,
+                        dest="restart_delay",
+                        help="seconds of downtime before a relaunch")
         cp.add_argument("--metrics-out", default=None, dest="metrics_out",
                         metavar="PATH", help="write cluster metrics JSONL")
         cp.add_argument("--events-out", default=None, dest="events_out",

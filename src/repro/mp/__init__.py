@@ -14,6 +14,10 @@
 
 from .channel import Channel
 from .diners_mp import (
+    TAG_ACK,
+    TAG_FORK,
+    TAG_MISSING,
+    TAG_REQUEST,
     DinersMpProcess,
     build_diners,
     eating_now,
@@ -28,6 +32,10 @@ from .node import MpContext, MpProcess
 
 __all__ = [
     "Channel",
+    "TAG_ACK",
+    "TAG_FORK",
+    "TAG_MISSING",
+    "TAG_REQUEST",
     "DinersMpProcess",
     "build_diners",
     "eating_now",

@@ -21,9 +21,35 @@ has unbounded failure locality — which is exactly why the paper's §4 calls
 fork collection "cumbersome" and prefers the priority-based scheme); a
 malicious crash can forge forks, but only on its own incident edges, so
 every simultaneous-eating pair it causes includes the faulty process.  The
-fork layer is not self-stabilizing (duplicated or lost forks persist); the
-stabilizing ingredient of §4 is the handshake layer, built and validated in
-:mod:`repro.mp.handshake`.
+bare fork layer is not self-stabilizing (duplicated or lost forks persist);
+the stabilizing ingredient of §4 is the handshake layer, built and
+validated in :mod:`repro.mp.handshake`.
+
+**Repair mode** (``repair=True``) transplants the handshake's counter idea
+into the fork layer so the protocol survives lossy channels and restarts
+from arbitrary state — the live cluster needs this, since a single dropped
+``fork``/``request`` frame otherwise destroys the edge token forever:
+
+* every frame carries a per-edge transfer counter; each endpoint keeps the
+  highest counter it has used or accepted (``edge_c``), and a fork frame is
+  honoured only when its counter exceeds it, so stale duplicates are inert;
+* a surrendered fork is retransmitted every ``resend_every`` ticks until
+  the peer acknowledges it (``ack`` frame, or any frame proving the peer's
+  counter advanced past the transfer);
+* a hungry process that spent its request token re-sends the request every
+  ``resend_every`` ticks — fabricated request tokens are benign because
+  possession is a boolean and only forks gate eating;
+* a request arriving at an endpoint that neither holds the fork nor has a
+  transfer in flight proves the edge's fork token is lost (the requester is
+  fork-less by definition, and forks only move between the two endpoints):
+  the canonical *earlier* endpoint regenerates the fork, dirty, with a
+  fresh counter that invalidates any stale copy; the later endpoint
+  instead echoes a request so the earlier endpoint's rule fires.
+
+With ``repair=False`` (the default, used by the in-process simulator over
+reliable channels) the wire format and behaviour are exactly the classic
+two-field frames, preserving the strict one-token-per-edge invariants the
+property tests pin down.
 """
 
 from __future__ import annotations
@@ -41,6 +67,9 @@ E = DinerState.EATING.value
 
 TAG_FORK = "fork"
 TAG_REQUEST = "request"
+TAG_ACK = "ack"  #: repair mode only: acknowledges a counted fork transfer.
+TAG_MISSING = "missing"  #: repair mode only: "I can't serve your request —
+#: I don't hold the fork either"; trips the earlier endpoint's regeneration.
 
 
 def edge_key(p: Pid, q: Pid) -> Tuple[str, str]:
@@ -62,6 +91,13 @@ class DinersMpProcess(MpProcess):
     eat_ticks:
         How many of its own ticks a meal lasts before the process exits;
         keeps meals finite, as the problem statement requires.
+    repair:
+        Enable the stabilizing edge repair documented in the module
+        docstring (counted transfers, retransmission, fork regeneration).
+        Off by default: the simulator's reliable channels don't need it
+        and the strict token-conservation invariants assume bare frames.
+    resend_every:
+        Repair mode's retransmission period, in own ticks.
     """
 
     def __init__(
@@ -72,10 +108,14 @@ class DinersMpProcess(MpProcess):
         needs: Callable[[], bool] | None = None,
         eat_ticks: int = 1,
         seed: int = 0,
+        repair: bool = False,
+        resend_every: int = 8,
     ) -> None:
         super().__init__(pid)
         if eat_ticks < 1:
             raise ValueError("eat_ticks must be positive")
+        if resend_every < 1:
+            raise ValueError("resend_every must be positive")
         self._topology = topology
         self._needs = needs if needs is not None else (lambda: True)
         self._eat_ticks = eat_ticks
@@ -84,26 +124,44 @@ class DinersMpProcess(MpProcess):
         self.state: str = T
         self.eats = 0
         self._eating_remaining = 0
+        self.repair = repair
+        self.resend_every = resend_every
         self.holds_fork: Dict[Pid, bool] = {}
         self.fork_clean: Dict[Pid, bool] = {}
         self.holds_request: Dict[Pid, bool] = {}
         #: request already sent and not yet answered, per neighbour —
-        #: suppresses useless retransmission storms (retransmit anyway on
-        #: tick when still hungry, since requests can be dropped).
+        #: suppresses useless retransmission storms (repair mode
+        #: retransmits on a timer anyway, since requests can be dropped).
+        #: highest transfer counter used or accepted per edge (repair mode).
+        self.edge_c: Dict[Pid, int] = {}
+        #: counter of an unacknowledged outbound fork transfer, per edge.
+        self._fork_resend: Dict[Pid, int | None] = {}
+        self._earlier: Dict[Pid, bool] = {}
+        self._ticks = 0
+        self._last_repair_send: Dict[Pid, int] = {}
+        self._yield_count: Dict[Pid, int] = {}
         for q in topology.neighbors(pid):
             earlier = order[pid] < order[q]
             self.holds_fork[q] = earlier
             self.fork_clean[q] = False  # all forks start dirty
             self.holds_request[q] = not earlier
+            self.edge_c[q] = 0
+            self._fork_resend[q] = None
+            self._earlier[q] = earlier
 
     # ----------------------------------------------------------- protocol
 
     def on_message(self, ctx: MpContext, src: Pid, payload: Tuple) -> None:
         if (
             not isinstance(payload, tuple)
-            or len(payload) != 2
+            or len(payload) < 2
             or payload[1] != edge_key(self.pid, src)
         ):
+            return  # junk
+        if self.repair:
+            self._on_repair_message(ctx, src, payload)
+            return
+        if len(payload) != 2:
             return  # junk
         tag = payload[0]
         if tag == TAG_FORK:
@@ -113,7 +171,85 @@ class DinersMpProcess(MpProcess):
             self.holds_request[src] = True
             self._maybe_surrender(ctx, src)
 
+    def _on_repair_message(self, ctx: MpContext, src: Pid, payload: Tuple) -> None:
+        """Repair-mode dispatch: frames are ``(tag, key, counter)``."""
+        if (
+            len(payload) != 3
+            or not isinstance(payload[2], int)
+            or isinstance(payload[2], bool)
+            or payload[2] < 0
+        ):
+            return  # junk
+        tag, _, c = payload
+        pending = self._fork_resend.get(src)
+        acked = pending is not None and c >= pending
+        if tag == TAG_ACK:
+            if acked:
+                self._fork_resend[src] = None
+            return
+        if tag == TAG_FORK:
+            if c > self.edge_c[src]:
+                self.edge_c[src] = c
+                self.holds_fork[src] = True
+                self.fork_clean[src] = True
+                if acked:
+                    self._fork_resend[src] = None
+            # Ack every fork frame — fresh, duplicate, or stale — so the
+            # sender's retransmission stops even when the first ack drops.
+            ctx.send(src, (TAG_ACK, edge_key(self.pid, src), c))
+            return
+        if tag == TAG_MISSING:
+            # The peer received our request but holds no fork and has no
+            # transfer in flight; if we are fork-less too, the edge's fork
+            # token is lost.  Only the canonical earlier endpoint
+            # regenerates (a single deterministic regenerator can't race
+            # itself), dirty, with a counter that invalidates stale copies.
+            # Request-token state is deliberately untouched: this frame is
+            # a report, not a request, so no surrender obligation arises.
+            if (
+                self._earlier[src]
+                and not self.holds_fork[src]
+                and pending is None
+                and c >= self.edge_c[src]
+            ):
+                self.edge_c[src] = c + 1
+                self.holds_fork[src] = True
+                self.fork_clean[src] = False
+            elif c > self.edge_c[src]:
+                self.edge_c[src] = c
+            return
+        if tag != TAG_REQUEST:
+            return  # junk
+        stale = c < self.edge_c[src]
+        if acked:
+            self._fork_resend[src] = None
+        if c > self.edge_c[src]:
+            self.edge_c[src] = c
+        self.holds_request[src] = True
+        self._maybe_surrender(ctx, src)
+        if (
+            stale
+            or self.holds_fork[src]
+            or self._fork_resend.get(src) is not None
+        ):
+            return
+        # The requester is fork-less by definition, we are fork-less with
+        # no transfer in flight, and the counter proves the request is not
+        # a stale crossing: the edge's fork token is lost.  The earlier
+        # endpoint regenerates the fork, dirty, so the pending request is
+        # honoured on the spot; the later endpoint reports back so the
+        # earlier endpoint's :data:`TAG_MISSING` rule fires instead.
+        if self._earlier[src]:
+            self.edge_c[src] += 1
+            self.holds_fork[src] = True
+            self.fork_clean[src] = False
+            self._maybe_surrender(ctx, src)
+        else:
+            ctx.send(src, (TAG_MISSING, edge_key(self.pid, src), self.edge_c[src]))
+
     def on_tick(self, ctx: MpContext) -> None:
+        if self.repair:
+            self._repair_tick(ctx)
         if self.state == T and self._needs():
             self.state = H
         if self.state == E:
@@ -124,8 +260,9 @@ class DinersMpProcess(MpProcess):
         if self.state == H:
             for q in ctx.neighbors:
                 if not self.holds_fork[q] and self.holds_request[q]:
-                    if ctx.send(q, (TAG_REQUEST, edge_key(self.pid, q))):
+                    if ctx.send(q, self._request_payload(q)):
                         self.holds_request[q] = False
+                        self._last_repair_send[q] = self._ticks
                 self._maybe_surrender(ctx, q)
             if all(self.holds_fork[q] for q in ctx.neighbors):
                 self.state = E
@@ -138,6 +275,60 @@ class DinersMpProcess(MpProcess):
             for q in ctx.neighbors:
                 self._maybe_surrender(ctx, q)
 
+    def _repair_tick(self, ctx: MpContext) -> None:
+        """Periodic retransmission: unacked fork transfers always, spent
+        request tokens while hungry.  Runs in every state — a fork handed
+        over just before eating must still be delivered.
+
+        Also breaks precedence cycles.  Classic Chandy–Misra keeps the
+        clean/dirty priority graph acyclic, but frame loss and fork
+        regeneration re-orient edges independently, so a cycle of hungry
+        processes each defending one clean fork can form and deadlock.
+        Repair falls back to the statically acyclic node order: a *later*
+        endpoint that has starved ``8 * resend_every`` ticks on a clean,
+        requested fork dirties it (yielding priority to the earlier
+        endpoint), and a thinking process — which has no claim at all —
+        dirties such a fork immediately."""
+        self._ticks += 1
+        for q in ctx.neighbors:
+            if (
+                self.holds_fork[q]
+                and self.fork_clean[q]
+                and self.holds_request[q]
+                and self.state != E
+            ):
+                if self.state == T:
+                    self.fork_clean[q] = False
+                elif not self._earlier[q]:
+                    self._yield_count[q] = self._yield_count.get(q, 0) + 1
+                    if self._yield_count[q] >= 8 * self.resend_every:
+                        self.fork_clean[q] = False
+                        self._yield_count[q] = 0
+            else:
+                self._yield_count[q] = 0
+            last = self._last_repair_send.get(q)
+            if last is not None and self._ticks - last < self.resend_every:
+                continue
+            pending = self._fork_resend.get(q)
+            key = edge_key(self.pid, q)
+            if pending is not None:
+                if ctx.send(q, (TAG_FORK, key, pending)):
+                    self._last_repair_send[q] = self._ticks
+            elif (
+                self.state == H
+                and not self.holds_fork[q]
+                and not self.holds_request[q]
+            ):
+                # The request token was spent (or lost with the frame);
+                # fabricating a replacement is safe — possession is a
+                # boolean at the receiver and requests never gate eating.
+                if ctx.send(q, (TAG_REQUEST, key, self.edge_c[q])):
+                    self._last_repair_send[q] = self._ticks
+
+    def _request_payload(self, q: Pid) -> Tuple:
+        key = edge_key(self.pid, q)
+        return (TAG_REQUEST, key, self.edge_c[q]) if self.repair else (TAG_REQUEST, key)
+
     def _maybe_surrender(self, ctx: MpContext, q: Pid) -> None:
         """Send the fork to ``q`` when obliged: request held, fork dirty,
         not eating."""
@@ -147,7 +338,14 @@ class DinersMpProcess(MpProcess):
             and not self.fork_clean.get(q, True)
             and self.holds_request.get(q, False)
         ):
-            if ctx.send(q, (TAG_FORK, edge_key(self.pid, q))):
+            if self.repair:
+                c = self.edge_c[q] + 1
+                if ctx.send(q, (TAG_FORK, edge_key(self.pid, q), c)):
+                    self.edge_c[q] = c
+                    self.holds_fork[q] = False
+                    self._fork_resend[q] = c
+                    self._last_repair_send[q] = self._ticks
+            elif ctx.send(q, (TAG_FORK, edge_key(self.pid, q))):
                 self.holds_fork[q] = False
 
     def _exit(self, ctx: MpContext) -> None:
@@ -165,11 +363,20 @@ class DinersMpProcess(MpProcess):
             self.holds_fork[q] = rng.random() < 0.5
             self.fork_clean[q] = rng.random() < 0.5
             self.holds_request[q] = rng.random() < 0.5
+        if self.repair:
+            for q in list(self.edge_c):
+                self.edge_c[q] = rng.randrange(8)
+                self._fork_resend[q] = (
+                    rng.randrange(8) if rng.random() < 0.3 else None
+                )
+                self._last_repair_send.pop(q, None)
 
     def random_payload(self, rng: random.Random) -> Tuple:
         neighbors = self._topology.neighbors(self.pid)
         q = neighbors[rng.randrange(len(neighbors))]
         tag = rng.choice((TAG_FORK, TAG_REQUEST, "junk"))
+        if self.repair:
+            return (tag, edge_key(self.pid, q), rng.randrange(16))
         return (tag, edge_key(self.pid, q))
 
 
@@ -179,11 +386,19 @@ def build_diners(
     needs: Callable[[], bool] | None = None,
     eat_ticks: int = 1,
     seed: int = 0,
+    repair: bool = False,
+    resend_every: int = 8,
 ) -> Dict[Pid, DinersMpProcess]:
     """One :class:`DinersMpProcess` per node, ready for an ``MpEngine``."""
     return {
         pid: DinersMpProcess(
-            pid, topology, needs=needs, eat_ticks=eat_ticks, seed=seed + i
+            pid,
+            topology,
+            needs=needs,
+            eat_ticks=eat_ticks,
+            seed=seed + i,
+            repair=repair,
+            resend_every=resend_every,
         )
         for i, pid in enumerate(topology.nodes)
     }

@@ -33,7 +33,9 @@ from .cluster import (
     ClusterConfig,
     ClusterResult,
     ClusterSupervisor,
+    RestartPolicy,
     cluster_metrics,
+    merge_counters,
     read_cluster_events,
     run_cluster,
     write_cluster_events,
@@ -51,6 +53,7 @@ from .codec import (
     hello_fields,
 )
 from .lock import (
+    DEFAULT_ACQUIRE_TIMEOUT,
     LockClient,
     LockError,
     SoakResult,
@@ -73,7 +76,9 @@ __all__ = [
     "ClusterConfig",
     "ClusterResult",
     "ClusterSupervisor",
+    "RestartPolicy",
     "cluster_metrics",
+    "merge_counters",
     "read_cluster_events",
     "run_cluster",
     "write_cluster_events",
@@ -87,6 +92,7 @@ __all__ = [
     "encode_hello",
     "encode_message",
     "hello_fields",
+    "DEFAULT_ACQUIRE_TIMEOUT",
     "LockClient",
     "LockError",
     "SoakResult",

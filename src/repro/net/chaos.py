@@ -50,10 +50,10 @@ class FaultEvent:
     """One scheduled discrete fault."""
 
     at_s: float  #: seconds after cluster start
-    kind: str  #: ``partition`` | ``heal`` | ``malicious-crash``
+    kind: str  #: ``partition`` | ``heal`` | ``malicious-crash`` | ``restart``
     #: Links affected (for partitions) or the crashing node's outgoing links.
     links: Tuple[Link, ...] = ()
-    node: Optional[Pid] = None  #: the crashing node (malicious-crash only)
+    node: Optional[Pid] = None  #: the crashing/restarting node
     #: Garbage burst for a malicious crash, per affected link.
     garbage: Tuple[bytes, ...] = ()
 
@@ -110,6 +110,8 @@ def build_schedule(
     malicious_crashes: int = 1,
     flaky_links: float = 0.5,
     max_delay_s: float = 0.02,
+    restarts: int = 0,
+    restart_delay_s: float = 0.5,
 ) -> ChaosSchedule:
     """Derive the fault plan deterministically from ``seed``.
 
@@ -120,7 +122,10 @@ def build_schedule(
       random node bipartition for a window inside the middle 60 % of the
       run, paired with its ``heal``;
     * ``malicious_crashes`` nodes crash maliciously in the last third of
-      the run: one garbage burst per outgoing link, then the node halts.
+      the run: one garbage burst per outgoing link, then the node halts;
+    * with ``restarts > 0``, every crashed node gets a ``restart`` event
+      ``restart_delay_s`` later (capped so recovery fits in the run) —
+      the stabilization theorem's restart-into-arbitrary-state setting.
 
     Pure function of its arguments — the reproducibility tests compare two
     builds structurally.
@@ -171,15 +176,25 @@ def build_schedule(
             bytes(rng.randrange(256) for _ in range(rng.randint(16, 128)))
             for _ in out
         )
+        crash_at = rng.uniform(0.65, 0.8) * duration_s
         events.append(
             FaultEvent(
-                at_s=rng.uniform(0.65, 0.8) * duration_s,
+                at_s=crash_at,
                 kind="malicious-crash",
                 links=out,
                 node=node,
                 garbage=garbage,
             )
         )
+        if restarts > 0:
+            events.append(
+                FaultEvent(
+                    at_s=min(crash_at + restart_delay_s, duration_s * 0.9),
+                    kind="restart",
+                    links=out,
+                    node=node,
+                )
+            )
     events.sort(key=lambda e: (e.at_s, e.kind))
     return ChaosSchedule(
         seed=seed,
@@ -289,6 +304,11 @@ class LinkProxy:
                 except (ConnectionError, OSError):
                     pass
             dst_writer.close()
+            # Close the source side too: when the destination dies (or the
+            # link is killed), the source must see EOF so its reconnect
+            # loop re-dials — otherwise a restarted destination would sit
+            # behind a silently dead pipe forever.
+            writer.close()
 
     def _note(self, kind: str) -> None:
         if self._on_fault is not None:
@@ -307,6 +327,15 @@ class LinkProxy:
                 pass
         self._note("malicious-garbage")
 
+    def revive(self) -> None:
+        """Un-sever a killed link so a restarted node can use it again.
+
+        The proxy's listening socket never closed; clearing ``_killed``
+        lets fresh connections (from the relaunched source node) forward
+        normally, under the same link profile as before.
+        """
+        self._killed = False
+
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -324,11 +353,12 @@ class ChaosController:
     """
 
     def __init__(self, schedule: ChaosSchedule, *, on_fault=None,
-                 on_crash=None) -> None:
+                 on_crash=None, on_restart=None) -> None:
         self.schedule = schedule
         self.proxies: Dict[Link, LinkProxy] = {}
         self._on_fault = on_fault  # callable(event: FaultEvent)
         self._on_crash = on_crash  # async callable(node)
+        self._on_restart = on_restart  # async callable(node)
         self.applied: List[FaultEvent] = []
 
     def register(self, proxy: LinkProxy) -> None:
@@ -362,6 +392,13 @@ class ChaosController:
                     await proxy.kill(garbage)
             if self._on_crash is not None and event.node is not None:
                 await self._on_crash(event.node)
+        elif event.kind == "restart":
+            for link in event.links:
+                proxy = self.proxies.get(link)
+                if proxy is not None:
+                    proxy.revive()
+            if self._on_restart is not None and event.node is not None:
+                await self._on_restart(event.node)
         self.applied.append(event)
         if self._on_fault is not None:
             self._on_fault(event)

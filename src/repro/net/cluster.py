@@ -41,6 +41,23 @@ EVENT_SOURCES = ("cluster-events", "soak-events")
 
 
 @dataclass(frozen=True)
+class RestartPolicy:
+    """How the supervisor relaunches a maliciously crashed node.
+
+    ``arbitrary_state=True`` boots the replacement with randomized local
+    protocol state drawn from a seeded RNG — the paper's §3 stabilization
+    theorem says the system must converge from *any* state, so recovery
+    need not (and, as a test of the claim, deliberately does not) restore
+    a checkpoint.  Session state (client demand, held leases) is empty at
+    boot regardless: it died with the old server's connections.
+    """
+
+    max_restarts: int = 1  #: relaunches allowed per node
+    delay_s: float = 0.5  #: downtime between halt and relaunch
+    arbitrary_state: bool = True  #: randomize the replacement's state
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Everything that defines one live-cluster run."""
 
@@ -55,6 +72,8 @@ class ClusterConfig:
     partitions: int = 1
     malicious_crashes: int = 1
     host: str = "127.0.0.1"
+    #: ``None`` leaves crashed nodes down for the rest of the run.
+    restart: Optional[RestartPolicy] = None
 
 
 @dataclass
@@ -71,6 +90,10 @@ class ClusterResult:
     schedule: Optional[Dict[str, Any]] = None
     killed: List[str] = field(default_factory=list)
     chunk_faults: Dict[str, int] = field(default_factory=dict)
+    restarts: Dict[str, int] = field(default_factory=dict)
+    #: Seconds from a node's relaunch to its first client-matched grant —
+    #: the run's observed convergence deadline, per restarted node.
+    convergence_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_grants(self) -> int:
@@ -95,6 +118,14 @@ class ClusterSupervisor:
         self.controller: Optional[ChaosController] = None
         self.killed: List[Pid] = []
         self.chunk_faults: Dict[str, int] = {}
+        self.restarts: Dict[Pid, int] = {}
+        self.convergence_s: Dict[str, float] = {}
+        #: repr(pid) -> relaunch time, cleared at the first post-restart
+        #: client-matched grant (the convergence signal).
+        self._awaiting_convergence: Dict[str, float] = {}
+        #: Counters of retired (pre-restart) server incarnations.
+        self._retired_counters: Dict[str, Dict[str, int]] = {}
+        self._crash_reported: set = set()
         self._t0: Optional[float] = None
         self._chaos_task: Optional[asyncio.Task] = None
         self._monitor_task: Optional[asyncio.Task] = None
@@ -113,6 +144,21 @@ class ClusterSupervisor:
         if extra:
             row["detail"] = extra
         self.events.append(row)
+        # Convergence watch: a restarted node has re-stabilized (for the
+        # service's purposes) at its first grant that answers a real client
+        # acquire — corrupted-state "eats" carry no request id and do not
+        # count.  Pop before emitting; _emit re-enters this collector.
+        if (
+            kind == NetEventKind.GRANT.value
+            and row["node"] in self._awaiting_convergence
+            and extra.get("req") is not None
+        ):
+            restarted_at = self._awaiting_convergence.pop(row["node"])
+            elapsed = round(max(0.0, row["t"] - restarted_at), 6)
+            self.convergence_s[row["node"]] = elapsed
+            self._emit(
+                NetEventKind.CONVERGENCE, event.pid, {"elapsed_s": elapsed}
+            )
 
     def _emit(self, kind: NetEventKind, pid: Pid | None, detail: dict) -> None:
         loop = asyncio.get_running_loop()
@@ -126,7 +172,7 @@ class ClusterSupervisor:
         if cfg.lock_service:
             return LockDinerProcess(pid, cfg.topology, seed=cfg.seed + index)
         return DinersMpProcess(
-            pid, cfg.topology, eat_ticks=2, seed=cfg.seed + index
+            pid, cfg.topology, eat_ticks=2, seed=cfg.seed + index, repair=True
         )
 
     async def start(self, duration_s: float) -> None:
@@ -147,6 +193,7 @@ class ClusterSupervisor:
             self.nodes[pid] = node
             await node.start_listening()
 
+        policy = cfg.restart
         if cfg.chaos:
             self.schedule = build_schedule(
                 cfg.topology,
@@ -154,6 +201,8 @@ class ClusterSupervisor:
                 duration_s=duration_s,
                 partitions=cfg.partitions,
                 malicious_crashes=cfg.malicious_crashes,
+                restarts=0 if policy is None else policy.max_restarts,
+                restart_delay_s=0.5 if policy is None else policy.delay_s,
             )
         else:
             self.schedule = ChaosSchedule(seed=cfg.seed, duration_s=duration_s)
@@ -161,6 +210,7 @@ class ClusterSupervisor:
             self.schedule,
             on_fault=self._on_scheduled_fault,
             on_crash=self._kill_node,
+            on_restart=self._restart_node,
         )
 
         for p in cfg.topology.nodes:
@@ -232,16 +282,79 @@ class ClusterSupervisor:
         self.killed.append(pid)
         await node.stop()
 
+    async def _restart_node(self, pid: Pid) -> None:
+        """Relaunch a halted node under the configured restart policy.
+
+        The replacement listens on the *same* port (neighbour proxies dial
+        it by address), hosts a fresh process — randomized to an arbitrary
+        state when the policy says so — and re-dials its outgoing chaos
+        proxies, which the controller revived just before calling here.
+        """
+        cfg = self.config
+        policy = cfg.restart
+        if policy is None or policy.max_restarts <= 0:
+            return
+        old = self.nodes.get(pid)
+        if old is None or old._running:
+            return
+        if self.restarts.get(pid, 0) >= policy.max_restarts:
+            return
+        count = self.restarts.get(pid, 0) + 1
+        index = list(cfg.topology.nodes).index(pid)
+        process = self._build_process(pid, index)
+        if policy.arbitrary_state:
+            rng = random.Random(f"{cfg.seed}:restart:{pid!r}:{count}")
+            corrupt = getattr(process, "corrupt", None)
+            if corrupt is not None:
+                corrupt(rng)
+        self._retired_counters[repr(pid)] = merge_counters(
+            self._retired_counters.get(repr(pid), {}), old.counters()
+        )
+        node = NodeServer(
+            pid,
+            cfg.topology,
+            process,
+            host=cfg.host,
+            port=old.port or 0,
+            tick_interval=cfg.tick_interval,
+            bus=self.bus,
+            t0=self._t0,
+            epoch=count,
+        )
+        for _ in range(20):
+            try:
+                await node.start_listening()
+                break
+            except OSError:
+                await asyncio.sleep(0.05)  # old socket still in TIME_WAIT
+        else:
+            return  # port never came free; the node stays down
+        self.nodes[pid] = node
+        self.restarts[pid] = count
+        self._crash_reported.discard(pid)
+        peers = {
+            q: (cfg.host, self.proxies[(pid, q)].port)
+            for q in cfg.topology.neighbors(pid)
+        }
+        await node.connect_peers(peers)
+        loop = asyncio.get_running_loop()
+        restarted_at = round(loop.time() - self._t0, 6)
+        self._awaiting_convergence[repr(pid)] = restarted_at
+        self._emit(
+            NetEventKind.NODE_RESTART,
+            pid,
+            {"epoch": count, "arbitrary": policy.arbitrary_state},
+        )
+
     async def _monitor(self) -> None:
         """Liveness watchdog: report nodes whose tick loop died."""
-        reported: set = set()
         while True:
             await asyncio.sleep(0.2)
             for pid, node in self.nodes.items():
                 task = node._tick_task
                 dead = task is not None and task.done()
-                if dead and pid not in reported:
-                    reported.add(pid)
+                if dead and pid not in self._crash_reported:
+                    self._crash_reported.add(pid)
                     expected = pid in self.killed
                     self._emit(
                         NetEventKind.CRASH_DETECT,
@@ -253,18 +366,43 @@ class ClusterSupervisor:
 
     def result(self, duration_s: float) -> ClusterResult:
         cfg = self.config
+        counters = {
+            repr(p): merge_counters(
+                self._retired_counters.get(repr(p), {}), n.counters()
+            )
+            for p, n in self.nodes.items()
+        }
         return ClusterResult(
             topology_spec=cfg.topology_spec,
             seed=cfg.seed,
             duration_s=duration_s,
             mode="soak" if cfg.lock_service else "run",
             nodes=[repr(p) for p in cfg.topology.nodes],
-            counters={repr(p): n.counters() for p, n in self.nodes.items()},
+            counters=counters,
             events=sorted(self.events, key=lambda e: (e["t"], e["event"])),
             schedule=None if self.schedule is None else self.schedule.describe(),
             killed=[repr(p) for p in self.killed],
             chunk_faults=dict(self.chunk_faults),
+            restarts={repr(p): n for p, n in self.restarts.items()},
+            convergence_s=dict(self.convergence_s),
         )
+
+
+def merge_counters(
+    older: Dict[str, int], newer: Dict[str, int]
+) -> Dict[str, int]:
+    """Fold a retired server incarnation's counters into its successor's.
+
+    Everything is additive except ``epoch``, which identifies the latest
+    incarnation rather than accumulating.
+    """
+    merged = dict(older)
+    for key, value in newer.items():
+        if key == "epoch":
+            merged[key] = max(merged.get(key, 0), value)
+        else:
+            merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 async def run_cluster(
@@ -295,6 +433,11 @@ def cluster_metrics(result: ClusterResult) -> MetricsRegistry:
     registry.counter("cluster/garbage_bytes").inc(result.total_garbage_bytes)
     registry.gauge("cluster/nodes").set(len(result.nodes))
     registry.gauge("cluster/killed").set(len(result.killed))
+    registry.counter("cluster/restarts").inc(sum(result.restarts.values()))
+    for node in sorted(result.convergence_s):
+        registry.gauge(f"cluster/convergence_s/{node}").set(
+            result.convergence_s[node]
+        )
     for kind in sorted(result.chunk_faults):
         registry.counter(f"chaos/chunk_faults/{kind}").inc(
             result.chunk_faults[kind]
@@ -382,6 +525,8 @@ def write_cluster_events(path: Path | str, result: ClusterResult) -> Path:
         **artefact_header(result, source),
         "schedule": result.schedule,
         "killed": result.killed,
+        "restarts": result.restarts,
+        "convergence_s": result.convergence_s,
     }
     tmp = path.with_name(path.name + ".tmp")
     with tmp.open("w", encoding="utf-8") as handle:

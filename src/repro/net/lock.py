@@ -24,93 +24,317 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..sim.topology import Topology
-from .codec import Decoder, T_REQ, T_RSP, encode_frame, encode_hello
+from ..obs.events import NetEventKind
+from ..sim.topology import Pid, Topology
+from ..sim.trace import TraceEvent
+from .codec import Decoder, Frame, T_REQ, T_RSP, encode_frame, encode_hello
 from .cluster import ClusterConfig, ClusterResult, ClusterSupervisor
+
+#: An acquire over a dead or silently partitioned link must fail, not
+#: hang forever — the default is deliberately finite.
+DEFAULT_ACQUIRE_TIMEOUT = 30.0
 
 
 class LockError(RuntimeError):
     """The client lost its node or got a refusal."""
 
 
-class LockClient:
-    """A TCP client of one node's lock service."""
+@dataclass
+class _Pending:
+    """One in-flight request: its future and when it was issued."""
 
-    def __init__(self, host: str, port: int, *, client_id: str = "client") -> None:
+    future: asyncio.Future
+    at: float
+
+
+class LockClient:
+    """A reconnecting TCP client of one node's lock service.
+
+    When the link drops (node crash, transport error, watchdog abort)
+    every pending request fails fast with the real cause, and — with
+    ``reconnect=True`` — a background task re-dials with exponential
+    backoff plus jitter.  Request ids are prefixed with the connection
+    *epoch* (bumped on every successful dial), so an id from a previous
+    life can never collide with one from the current connection: a
+    replayed ``acquire`` cannot double-grant.  A watchdog fails pending
+    requests over a link that stalls *without* closing (a silent
+    partition) instead of letting them hang, and a grant that arrives
+    after its acquire gave up is released immediately so the node never
+    holds a meal open on behalf of nobody.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: str = "client",
+        reconnect: bool = True,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+        stall_timeout_s: float = 5.0,
+        bus=None,
+        obs_pid: Optional[Pid] = None,
+        t0: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
-        self._reader: Optional[asyncio.StreamReader] = None
+        self.reconnect = reconnect
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.stall_timeout_s = stall_timeout_s
+        self._bus = bus
+        self._obs_pid = obs_pid
+        self._obs_seq = 0
+        self._t0 = t0
+        self._rng = rng if rng is not None else random.Random(client_id)
         self._writer: Optional[asyncio.StreamWriter] = None
         self._read_task: Optional[asyncio.Task] = None
-        self._pending: Dict[Tuple[str, Any], asyncio.Future] = {}
+        self._reconnect_task: Optional[asyncio.Task] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._pending: Dict[Tuple[str, Any], _Pending] = {}
+        self._connected = asyncio.Event()
         self._next_id = 0
+        self._last_rx = 0.0
+        self._closed = False
+        self.epoch = 0
+        self.reconnects = 0
+        self.orphan_grants = 0
+        self.junk_frames = 0
+        self.last_error: Optional[BaseException] = None
+
+    # ----------------------------------------------------------- lifecycle
 
     async def connect(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
-        self._writer.write(encode_hello(self.client_id, role="client"))
-        self._read_task = asyncio.create_task(self._read_loop())
+        """Dial the node; raises ``OSError`` when it cannot be reached.
 
-    async def _read_loop(self) -> None:
+        The first connection is explicit so callers see immediate
+        failure; with ``reconnect=True`` every later drop re-dials in the
+        background.
+        """
+        await self._open()
+        if self._watchdog_task is None:
+            self._watchdog_task = asyncio.create_task(self._watchdog())
+
+    async def _open(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        loop = asyncio.get_running_loop()
+        self._writer = writer
+        self.epoch += 1
+        self._last_rx = loop.time()
+        writer.write(encode_hello(self.client_id, role="client"))
+        self._read_task = asyncio.create_task(self._read_loop(reader))
+        self._connected.set()
+
+    async def close(self) -> None:
+        self._closed = True
+        self._connected.clear()
+        tasks = [
+            t
+            for t in (self._read_task, self._reconnect_task, self._watchdog_task)
+            if t is not None
+        ]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_pending(LockError("client closed"))
+        if self._writer is not None:
+            self._writer.close()
+
+    # ----------------------------------------------------------- transport
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         decoder = Decoder()
+        cause: Optional[BaseException] = None
         try:
             while True:
-                data = await self._reader.read(4096)
+                data = await reader.read(4096)
                 if not data:
+                    cause = ConnectionError("connection closed by peer")
                     break
+                self._last_rx = asyncio.get_running_loop().time()
                 for frame in decoder.feed(data):
-                    if frame.type != T_RSP or not isinstance(frame.body, dict):
-                        continue
-                    key = (str(frame.body.get("op")), frame.body.get("id"))
-                    future = self._pending.pop(key, None)
-                    if future is not None and not future.done():
-                        future.set_result(frame.body)
-        except (ConnectionError, asyncio.CancelledError):
-            pass
+                    self._handle_frame(frame)
+        except (ConnectionError, OSError) as exc:
+            cause = exc
+        except asyncio.CancelledError:
+            cause = ConnectionError("client closing")
+            raise
+        except Exception as exc:  # a poison frame must not kill us silently
+            cause = exc
+            self.last_error = exc
         finally:
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(LockError("connection lost"))
-            self._pending.clear()
+            self._connected.clear()
+            writer, self._writer = self._writer, None
+            if writer is not None:
+                writer.close()
+            self._fail_pending(LockError(f"connection lost: {cause}"))
+            if self.reconnect and not self._closed:
+                self._reconnect_task = asyncio.create_task(
+                    self._reconnect_loop(cause)
+                )
 
-    def _request(self, op: str, req_id: Any) -> asyncio.Future:
-        if self._writer is None or self._writer.is_closing():
+    def _handle_frame(self, frame: Frame) -> None:
+        if frame.type != T_RSP or not isinstance(frame.body, dict):
+            self.junk_frames += 1
+            return
+        body = frame.body
+        key = (str(body.get("op")), body.get("id"))
+        entry = self._pending.pop(key, None)
+        if entry is not None and not entry.future.done():
+            entry.future.set_result(body)
+        elif body.get("op") == "acquire" and body.get("ok"):
+            # A grant nobody is waiting for: our acquire timed out (or the
+            # epoch turned over).  Hand it straight back, or the node
+            # would hold the meal open forever on behalf of nobody.
+            self.orphan_grants += 1
+            self._send_frame("release", body.get("id"))
+
+    async def _reconnect_loop(self, cause: Optional[BaseException]) -> None:
+        backoff = self.backoff_s
+        while not self._closed:
+            # Full jitter keeps a fleet of clients from re-dialing in
+            # lockstep after a node restart.
+            await asyncio.sleep(backoff * (0.5 + self._rng.random()))
+            try:
+                await self._open()
+            except OSError as exc:
+                self.last_error = exc
+                backoff = min(backoff * 2, self.max_backoff_s)
+                continue
+            self.reconnects += 1
+            self._publish(
+                NetEventKind.CLIENT_RECONNECT,
+                {"epoch": self.epoch, "after": str(cause)},
+            )
+            return
+
+    async def _watchdog(self) -> None:
+        """Fail pending requests over a silently stalled link.
+
+        A chaos partition can stop all traffic without closing the TCP
+        connection; the read loop then never observes EOF and pending
+        futures would hang forever.  When a request has waited
+        ``stall_timeout_s`` with nothing at all received in that window,
+        declare the link dead: fail the futures and abort the transport
+        so the reconnect path takes over.
+        """
+        interval = max(0.05, self.stall_timeout_s / 4)
+        while not self._closed:
+            await asyncio.sleep(interval)
+            if not self._pending:
+                continue
+            now = asyncio.get_running_loop().time()
+            oldest = min(p.at for p in self._pending.values())
+            if (
+                now - oldest >= self.stall_timeout_s
+                and now - self._last_rx >= self.stall_timeout_s
+            ):
+                self._fail_pending(LockError("connection stalled (watchdog)"))
+                writer = self._writer
+                if writer is not None:
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    else:
+                        writer.close()
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for entry in pending.values():
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+
+    def _send_frame(self, op: str, req_id: Any) -> None:
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            return
+        try:
+            writer.write(encode_frame(T_REQ, {"op": op, "id": req_id}))
+        except (ConnectionError, OSError):
+            pass
+
+    def _publish(self, kind: NetEventKind, detail: Dict[str, Any]) -> None:
+        if self._bus is None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        t = 0.0 if self._t0 is None else round(loop.time() - self._t0, 6)
+        self._obs_seq += 1
+        self._bus.publish(
+            TraceEvent(self._obs_seq, kind, self._obs_pid, {"t": t, **detail})
+        )
+
+    # ------------------------------------------------------------ requests
+
+    def _request(
+        self, op: str, req_id: Any = None
+    ) -> Tuple[Any, asyncio.Future]:
+        writer = self._writer
+        if writer is None or writer.is_closing():
             raise LockError("not connected")
-        future = asyncio.get_running_loop().create_future()
-        self._pending[(op, req_id)] = future
-        self._writer.write(encode_frame(T_REQ, {"op": op, "id": req_id}))
-        return future
+        loop = asyncio.get_running_loop()
+        allocate = req_id is None
+        if allocate:
+            req_id = f"{self.client_id}.{self.epoch}.{self._next_id + 1}"
+        future = loop.create_future()
+        self._pending[(op, req_id)] = _Pending(future, loop.time())
+        try:
+            writer.write(encode_frame(T_REQ, {"op": op, "id": req_id}))
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop((op, req_id), None)
+            raise LockError(f"send failed: {exc}") from exc
+        if allocate:
+            # Burn the sequence number only once the request is on the
+            # wire: a refused send must not leave an id gap that skews
+            # grant/release audits across reconnects.
+            self._next_id += 1
+        return req_id, future
 
-    async def acquire(self, *, timeout: Optional[float] = None) -> Any:
+    async def acquire(
+        self, *, timeout: Optional[float] = DEFAULT_ACQUIRE_TIMEOUT
+    ) -> Any:
         """Block until this node's philosopher eats on our behalf.
 
         Returns the request id (pass it to :meth:`release`).  Raises
         ``asyncio.TimeoutError`` if the node cannot be granted in time —
-        under chaos that is a legitimate outcome, not a bug.
+        under chaos that is a legitimate outcome, not a bug — and
+        :class:`LockError` when the connection is lost mid-request (the
+        caller decides whether to retry; a silent retry here could
+        double-acquire if the lost response was a grant).
         """
-        self._next_id += 1
-        req_id = self._next_id
-        future = self._request("acquire", req_id)
-        body = await asyncio.wait_for(future, timeout)
-        if not body.get("ok"):
-            raise LockError(f"acquire refused: {body!r}")
-        return req_id
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            remaining = None if deadline is None else deadline - loop.time()
+            if remaining is not None and remaining <= 0:
+                raise asyncio.TimeoutError("acquire timed out")
+            if self.reconnect:
+                await asyncio.wait_for(self._connected.wait(), remaining)
+                remaining = None if deadline is None else deadline - loop.time()
+            try:
+                req_id, future = self._request("acquire")
+            except LockError:
+                if not self.reconnect or self._closed:
+                    raise
+                await asyncio.sleep(0.01)  # connection flapped; re-await it
+                continue
+            body = await asyncio.wait_for(future, remaining)
+            if not body.get("ok"):
+                raise LockError(f"acquire refused: {body!r}")
+            return req_id
 
     async def release(self, req_id: Any, *, timeout: Optional[float] = 5.0) -> None:
-        future = self._request("release", req_id)
+        _, future = self._request("release", req_id)
         await asyncio.wait_for(future, timeout)
-
-    async def close(self) -> None:
-        if self._read_task is not None:
-            self._read_task.cancel()
-            try:
-                await self._read_task
-            except (asyncio.CancelledError, Exception):
-                pass
-        if self._writer is not None:
-            self._writer.close()
 
 
 # ------------------------------------------------------------------- safety
@@ -201,6 +425,7 @@ class ClientStats:
     released: int = 0
     timeouts: int = 0
     errors: int = 0
+    reconnects: int = 0
     latencies_s: List[float] = field(default_factory=list)
 
 
@@ -239,32 +464,38 @@ async def _client_loop(
     except OSError:
         stats.errors += 1
         return
-    while True:
-        remaining = stop_at - loop.time()
-        if remaining <= 0.05:
-            break
-        started = loop.time()
-        try:
-            req_id = await client.acquire(
-                timeout=min(acquire_timeout, remaining)
-            )
-        except asyncio.TimeoutError:
-            stats.timeouts += 1
-            break  # starved (chaos can legitimately do this); stop asking
-        except (LockError, OSError):
-            stats.errors += 1
-            break
-        stats.acquired += 1
-        stats.latencies_s.append(round(loop.time() - started, 6))
-        await asyncio.sleep(rng.uniform(0.3, 1.0) * hold_s)
-        try:
-            await client.release(req_id)
-            stats.released += 1
-        except (asyncio.TimeoutError, LockError, OSError):
-            stats.errors += 1
-            break
-        await asyncio.sleep(rng.uniform(0.2, 0.8) * hold_s)
-    await client.close()
+    try:
+        while True:
+            remaining = stop_at - loop.time()
+            if remaining <= 0.05:
+                break
+            started = loop.time()
+            try:
+                req_id = await client.acquire(
+                    timeout=min(acquire_timeout, remaining)
+                )
+            except asyncio.TimeoutError:
+                stats.timeouts += 1
+                continue  # starved for now (chaos can do this); keep asking
+            except (LockError, OSError):
+                # The node may be down pending a restart — stay in the loop
+                # so a relaunched node sees fresh demand and can re-grant.
+                stats.errors += 1
+                await asyncio.sleep(min(0.1, max(0.0, stop_at - loop.time())))
+                continue
+            stats.acquired += 1
+            stats.latencies_s.append(round(loop.time() - started, 6))
+            await asyncio.sleep(rng.uniform(0.3, 1.0) * hold_s)
+            try:
+                await client.release(req_id)
+                stats.released += 1
+            except (asyncio.TimeoutError, LockError, OSError):
+                stats.errors += 1
+                continue
+            await asyncio.sleep(rng.uniform(0.2, 0.8) * hold_s)
+    finally:
+        stats.reconnects = client.reconnects
+        await client.close()
 
 
 async def soak(
@@ -289,7 +520,15 @@ async def soak(
             stat = ClientStats(node=repr(pid))
             stats.append(stat)
             client = LockClient(
-                config.host, node.port, client_id=f"client-{i}"
+                config.host,
+                node.port,
+                client_id=f"client-{i}",
+                stall_timeout_s=acquire_timeout,
+                max_backoff_s=0.5,
+                bus=supervisor.bus,
+                obs_pid=pid,
+                t0=supervisor._t0,
+                rng=random.Random(config.seed * 7919 + i),
             )
             client_tasks.append(
                 asyncio.create_task(

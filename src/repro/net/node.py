@@ -95,7 +95,12 @@ class LockDinerProcess(DinersMpProcess):
 
     def __init__(self, pid: Pid, topology: Topology, *, seed: int = 0) -> None:
         super().__init__(
-            pid, topology, needs=lambda: self.demand > 0, eat_ticks=2, seed=seed
+            pid,
+            topology,
+            needs=lambda: self.demand > 0,
+            eat_ticks=2,
+            seed=seed,
+            repair=True,  # real links drop frames; see diners_mp docstring
         )
         self.demand = 0
         self.holding = False
@@ -143,6 +148,7 @@ class NodeServer:
         tick_interval: float = 0.01,
         bus: EventBus | None = None,
         t0: float | None = None,
+        epoch: int = 0,
     ) -> None:
         if pid not in topology:
             raise ValueError(f"{pid!r} is not in the topology")
@@ -153,6 +159,8 @@ class NodeServer:
         self.requested_port = port
         self.tick_interval = tick_interval
         self.bus = bus
+        #: 0 for a node's first launch; bumped by the supervisor on restart.
+        self.epoch = epoch
         self.port: Optional[int] = None
         self._t0 = t0
         self._server: asyncio.base_events.Server | None = None
@@ -164,8 +172,13 @@ class NodeServer:
         self._prev_state: Optional[str] = None
         #: FIFO of ``(writer, request_id)`` acquires awaiting a grant.
         self._waiters: List[Tuple[asyncio.StreamWriter, Any]] = []
-        #: Highest accepted per-source message sequence number.
-        self._last_seen: Dict[Pid, int] = {}
+        #: Connection currently holding the lock — its death releases the
+        #: lease, else the meal stays topped up forever and starves the
+        #: neighbourhood.
+        self._holder: Optional[asyncio.StreamWriter] = None
+        #: Open inbound connections, closed on :meth:`stop` so peers and
+        #: clients observe the halt instead of a silent zombie socket.
+        self._conns: set = set()
         # ---- counters surfaced as metrics by the supervisor
         self.msgs_in = 0
         self.msgs_out = 0
@@ -207,7 +220,10 @@ class NodeServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._running = True
-        self.publish(NetEventKind.NODE_START, {"port": self.port})
+        detail: Dict[str, Any] = {"port": self.port}
+        if self.epoch:
+            detail["epoch"] = self.epoch
+        self.publish(NetEventKind.NODE_START, detail)
         return self.port
 
     async def connect_peers(self, peers: Dict[Pid, Address]) -> None:
@@ -243,6 +259,9 @@ class NodeServer:
             if link.writer is not None:
                 link.writer.close()
                 link.writer = None
+        for conn in list(self._conns):
+            conn.close()
+        self._conns.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -262,7 +281,7 @@ class NodeServer:
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, 0.5)
                 continue
-            backoff = 0.05
+            opened_at = asyncio.get_running_loop().time()
             writer.write(encode_hello(repr(self.pid)))
             link.writer = writer
             self.publish(NetEventKind.CONN_OPEN, {"peer": repr(q)})
@@ -277,6 +296,15 @@ class NodeServer:
                 writer.close()
                 if self._running:
                     self.publish(NetEventKind.CONN_LOST, {"peer": repr(q)})
+            # A connection that died at birth means the far side is down
+            # (the chaos proxy accepts, then fails to reach a dead node):
+            # back off instead of re-dialling in a tight storm.
+            if asyncio.get_running_loop().time() - opened_at >= 1.0:
+                backoff = 0.05
+            elif self._running:
+                link.retries += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 0.5)
 
     def send_message(self, dst: Pid, payload: Tuple) -> bool:
         """Write one framed message toward ``dst``; False if the link is down."""
@@ -317,6 +345,12 @@ class NodeServer:
         is_client = False
         reported_garbage = 0
         reported_resyncs = 0
+        # Highest accepted per-source sequence number, scoped to THIS
+        # connection: duplication/reordering only happen inside one proxied
+        # stream, and a restarted peer (fresh counters) arrives on a fresh
+        # connection — per-node tracking would drop its messages as stale.
+        last_seen: Dict[Pid, int] = {}
+        self._conns.add(writer)
         try:
             while self._running:
                 data = await reader.read(4096)
@@ -347,16 +381,23 @@ class NodeServer:
                     elif frame.type == T_REQ and is_client:
                         self._handle_request(frame, writer)
                     elif frame.type == T_MSG:
-                        self._handle_peer_message(frame)
+                        self._handle_peer_message(frame, last_seen)
                     else:
                         self.junk_frames += 1
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self._conns.discard(writer)
             self._waiters = [(w, r) for (w, r) in self._waiters if w is not writer]
+            if self._holder is writer:
+                self._holder = None
+                if isinstance(self.process, LockDinerProcess):
+                    self.process.release()
             writer.close()
 
-    def _handle_peer_message(self, frame: Frame) -> None:
+    def _handle_peer_message(
+        self, frame: Frame, last_seen: Dict[Pid, int]
+    ) -> None:
         message = decode_message(frame)
         body = frame.body if isinstance(frame.body, dict) else {}
         if message is None or message.dst != self.pid:
@@ -368,10 +409,10 @@ class NodeServer:
             return
         seq = body.get("seq")
         if isinstance(seq, int):
-            if seq <= self._last_seen.get(src, 0):
+            if seq <= last_seen.get(src, 0):
                 self.stale_frames += 1  # duplicate or reordered-behind
                 return
-            self._last_seen[src] = seq
+            last_seen[src] = seq
         self.msgs_in += 1
         self.publish(NetEventKind.RECV, {"src": repr(src)})
         self.process.on_message(self._ctx, src, message.payload)
@@ -389,6 +430,7 @@ class NodeServer:
             self._waiters.append((writer, req_id))
         elif op == "release" and isinstance(process, LockDinerProcess):
             process.release()
+            self._holder = None
             self._respond(writer, {"op": "release", "id": req_id, "ok": True})
         else:
             self._respond(
@@ -430,6 +472,7 @@ class NodeServer:
             if self._waiters and isinstance(self.process, LockDinerProcess):
                 writer, req_id = self._waiters.pop(0)
                 self.process.grant_taken()
+                self._holder = writer
                 self._respond(
                     writer, {"op": "acquire", "id": req_id, "ok": True}
                 )
@@ -455,4 +498,5 @@ class NodeServer:
             "grants": self.grants,
             "releases": self.releases,
             "eats": getattr(self.process, "eats", 0),
+            "epoch": self.epoch,
         }

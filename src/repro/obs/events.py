@@ -52,3 +52,6 @@ class NetEventKind(enum.Enum):
     GRANT = "net-grant"  #: The lock service granted an acquire (entered eating).
     RELEASE = "net-release"  #: The lock service released (exited eating).
     CRASH_DETECT = "net-crash-detect"  #: The supervisor saw a node die.
+    NODE_RESTART = "net-node-restart"  #: A crashed node was relaunched.
+    CLIENT_RECONNECT = "net-client-reconnect"  #: A lock client re-established its link.
+    CONVERGENCE = "net-convergence"  #: A restarted node issued its first client grant.

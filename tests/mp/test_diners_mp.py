@@ -1,8 +1,14 @@
 """Unit tests for message-passing diners (Chandy–Misra fork collection)."""
 
+import random
+
 import pytest
 
 from repro.mp import (
+    TAG_ACK,
+    TAG_FORK,
+    TAG_MISSING,
+    TAG_REQUEST,
     MpEngine,
     build_diners,
     eating_now,
@@ -190,3 +196,218 @@ class TestForkConservation:
                     if m.payload == ("request", key)
                 )
                 assert held + in_flight == 1
+
+
+class LossyCtx:
+    """Drives a process directly; drops a fraction of sends."""
+
+    def __init__(self, pid, topo, queues, rng, loss):
+        self.pid = pid
+        self.neighbors = topo.neighbors(pid)
+        self._queues = queues
+        self._rng = rng
+        self._loss = loss
+
+    def send(self, dst, payload):
+        if self._rng.random() < self._loss:
+            return True  # the frame is lost in transit, not at the sender
+        self._queues[dst].append((self.pid, payload))
+        return True
+
+
+def run_lossy(topo, procs, steps, *, loss=0.15, seed=42, corrupt_at=None):
+    rng = random.Random(seed)
+    queues = {p: [] for p in topo.nodes}
+    ctxs = {p: LossyCtx(p, topo, queues, rng, loss) for p in topo.nodes}
+    violations = []
+    for step in range(steps):
+        for p in topo.nodes:
+            inbox, queues[p] = queues[p], []
+            for src, payload in inbox:
+                procs[p].on_message(ctxs[p], src, payload)
+            procs[p].on_tick(ctxs[p])
+        for pair in neighbours_both_eating(topo, procs):
+            violations.append((step, pair))
+        if corrupt_at is not None and step == corrupt_at:
+            procs[corrupt_at_pid(topo)].corrupt(random.Random(7))
+    return violations
+
+
+def corrupt_at_pid(topo):
+    return list(topo.nodes)[0]
+
+
+class TestRepairMode:
+    """The stabilizing edge repair the live cluster runs with: counted
+    fork transfers, retransmission, regeneration, cycle breaking."""
+
+    def test_liveness_under_loss(self):
+        """Without repair a single dropped token frame deadlocks the ring;
+        with repair everyone keeps eating at a healthy rate."""
+        topo = ring(3)
+        procs = build_diners(topo, repair=True, eat_ticks=2)
+        violations = run_lossy(topo, procs, 10_000)
+        assert not violations
+        assert all(p.eats > 50 for p in procs.values()), {
+            p: procs[p].eats for p in topo.nodes
+        }
+
+    def test_bare_mode_deadlocks_under_loss(self):
+        """Control: the classic protocol starves once tokens are lost —
+        this is the failure repair mode exists to fix."""
+        topo = ring(3)
+        procs = build_diners(topo, repair=False, eat_ticks=2)
+        run_lossy(topo, procs, 10_000)
+        assert min(p.eats for p in procs.values()) < 10
+
+    def test_converges_after_corruption(self):
+        """Restart-from-arbitrary-state: corrupt one node mid-run; the
+        system must return to everyone eating (the §3 stabilization claim
+        exercised at the fork layer)."""
+        topo = ring(3)
+        procs = build_diners(topo, repair=True, eat_ticks=2)
+        run_lossy(topo, procs, 5_000)
+        corrupted = corrupt_at_pid(topo)
+        procs[corrupted].corrupt(random.Random(7))
+        before = {p: procs[p].eats for p in topo.nodes}
+        violations = run_lossy(topo, procs, 5_000, seed=43)
+        assert all(procs[p].eats > before[p] for p in topo.nodes)
+        # Transient violations are allowed, but only on the corrupted
+        # node's own edges (the paper's containment property).
+        assert all(corrupted in pair for _, pair in violations)
+
+    def test_fork_regeneration_by_earlier_endpoint(self):
+        """A request arriving at a fork-less earlier endpoint with a fresh
+        counter regenerates the fork, dirty, and serves the requester."""
+        topo = line(2)
+        procs = build_diners(topo, repair=True)
+        sent = []
+
+        class Ctx:
+            pid = 0
+            neighbors = topo.neighbors(0)
+
+            def send(self, dst, payload):
+                sent.append((dst, payload))
+                return True
+
+        p0 = procs[0]
+        p0.holds_fork[1] = False  # the fork token is lost
+        p0.state = "T"
+        p0.on_message(Ctx(), 1, (TAG_REQUEST, edge_key(0, 1), 0))
+        forks = [pl for _, pl in sent if pl[0] == TAG_FORK]
+        assert forks, sent
+        assert forks[0][2] > 0  # fresh counter invalidates stale copies
+        assert not p0.holds_fork[1]  # regenerated and surrendered
+
+    def test_later_endpoint_reports_missing(self):
+        """The later endpoint cannot regenerate; it reports back so the
+        earlier endpoint's rule fires."""
+        topo = line(2)
+        procs = build_diners(topo, repair=True)
+        sent = []
+
+        class Ctx:
+            pid = 1
+            neighbors = topo.neighbors(1)
+
+            def send(self, dst, payload):
+                sent.append((dst, payload))
+                return True
+
+        p1 = procs[1]
+        assert not p1.holds_fork[0]
+        p1.on_message(Ctx(), 0, (TAG_REQUEST, edge_key(0, 1), 0))
+        assert any(pl[0] == TAG_MISSING for _, pl in sent), sent
+        assert not p1.holds_fork[0]
+
+    def test_stale_fork_rejected_and_acked(self):
+        """A duplicate fork frame with an old counter must not resurrect
+        the fork, but is still acknowledged so retransmission stops."""
+        topo = line(2)
+        procs = build_diners(topo, repair=True)
+        sent = []
+
+        class Ctx:
+            pid = 1
+            neighbors = topo.neighbors(1)
+
+            def send(self, dst, payload):
+                sent.append((dst, payload))
+                return True
+
+        p1 = procs[1]
+        p1.edge_c[0] = 5
+        p1.holds_fork[0] = False
+        p1.on_message(Ctx(), 0, (TAG_FORK, edge_key(0, 1), 3))
+        assert not p1.holds_fork[0]
+        assert (0, (TAG_ACK, edge_key(0, 1), 3)) in sent
+
+    def test_surrendered_fork_retransmits_until_acked(self):
+        topo = line(2)
+        procs = build_diners(topo, repair=True, resend_every=2)
+        sent = []
+
+        class Ctx:
+            pid = 0
+            neighbors = topo.neighbors(0)
+
+            def send(self, dst, payload):
+                sent.append((dst, payload))
+                return True
+
+        p0 = procs[0]
+        p0.on_message(Ctx(), 1, (TAG_REQUEST, edge_key(0, 1), 0))
+        first = [pl for _, pl in sent if pl[0] == TAG_FORK]
+        assert first and p0._fork_resend[1] == first[0][2]
+        sent.clear()
+        for _ in range(6):
+            p0.on_tick(Ctx())
+        resends = [pl for _, pl in sent if pl[0] == TAG_FORK]
+        assert resends and all(pl[2] == first[0][2] for pl in resends)
+        p0.on_message(Ctx(), 1, (TAG_ACK, edge_key(0, 1), first[0][2]))
+        assert p0._fork_resend[1] is None
+        sent.clear()
+        for _ in range(6):
+            p0.on_tick(Ctx())
+        assert not [pl for _, pl in sent if pl[0] == TAG_FORK]
+
+    def test_repair_frames_are_three_fields(self):
+        """Repair mode rejects bare two-field frames as junk (a malicious
+        burst must not trip regeneration without a counter)."""
+        topo = line(2)
+        procs = build_diners(topo, repair=True)
+
+        class Ctx:
+            pid = 1
+            neighbors = topo.neighbors(1)
+
+            def send(self, dst, payload):
+                return True
+
+        p1 = procs[1]
+        p1.on_message(Ctx(), 0, (TAG_FORK, edge_key(0, 1)))
+        assert not p1.holds_fork[0]
+        p1.on_message(Ctx(), 0, (TAG_FORK, edge_key(0, 1), True))
+        assert not p1.holds_fork[0]
+        p1.on_message(Ctx(), 0, (TAG_FORK, edge_key(0, 1), -1))
+        assert not p1.holds_fork[0]
+
+    def test_legacy_wire_shape_unchanged(self):
+        """repair=False keeps the classic two-field frames bit-for-bit."""
+        topo = line(2)
+        procs = build_diners(topo)
+        sent = []
+
+        class Ctx:
+            pid = 1
+            neighbors = topo.neighbors(1)
+
+            def send(self, dst, payload):
+                sent.append(payload)
+                return True
+
+        p1 = procs[1]
+        p1.state = "H"
+        p1.on_tick(Ctx())
+        assert (TAG_REQUEST, edge_key(0, 1)) in sent

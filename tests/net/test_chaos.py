@@ -74,3 +74,29 @@ class TestShape:
         )
         assert s.events == ()
         assert s.profiles == {}
+
+
+class TestRestartSchedule:
+    def test_no_restarts_by_default(self):
+        assert not [e for e in schedule().events if e.kind == "restart"]
+
+    def test_restart_follows_each_malicious_crash(self):
+        s = schedule(malicious_crashes=2, restarts=1, restart_delay_s=0.4)
+        crashes = {e.node: e for e in s.events if e.kind == "malicious-crash"}
+        restarts = {e.node: e for e in s.events if e.kind == "restart"}
+        assert set(restarts) == set(crashes) and len(crashes) == 2
+        for node, r in restarts.items():
+            c = crashes[node]
+            assert r.at_s > c.at_s
+            assert r.at_s <= s.duration_s * 0.9
+            assert set(r.links) == set(c.links)
+
+    def test_restart_schedule_is_deterministic(self):
+        a = schedule(restarts=1).describe()
+        b = schedule(restarts=1).describe()
+        assert a == b
+
+    def test_restart_sorts_after_its_crash_at_same_instant(self):
+        s = schedule(malicious_crashes=1, restarts=1, restart_delay_s=60.0)
+        kinds = [e.kind for e in s.events if e.kind in ("malicious-crash", "restart")]
+        assert kinds == ["malicious-crash", "restart"]

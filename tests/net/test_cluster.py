@@ -153,3 +153,62 @@ class TestCli:
         assert events.exists()
         header, _, _ = read_cluster_events(events)
         assert json.dumps(header)  # JSON-clean all the way down
+
+
+class TestCrashRestartDrill:
+    """The recovery tentpole end to end: a seeded soak whose malicious
+    crash is followed by a relaunch into randomized-arbitrary state; the
+    run must stay safe and the restarted node must grant again."""
+
+    @pytest.fixture(scope="class")
+    def drill(self):
+        from repro.net import RestartPolicy, soak
+
+        config = make_config(
+            seed=7,
+            lock_service=True,
+            chaos=True,
+            restart=RestartPolicy(max_restarts=1, delay_s=0.3, arbitrary_state=True),
+        )
+        return asyncio.run(soak(config, 6.0, hold_s=0.02, acquire_timeout=2.0))
+
+    def test_safe_with_zero_neighbour_violations(self, drill):
+        assert drill.violations == []
+
+    def test_restart_happened_and_was_recorded(self, drill):
+        assert sum(drill.cluster.restarts.values()) >= 1
+        assert drill.cluster.killed, "the drill needs a malicious crash"
+        restart_events = [
+            e for e in drill.cluster.events if e["event"] == "net-node-restart"
+        ]
+        assert restart_events
+        assert restart_events[0]["detail"]["arbitrary"] is True
+        assert restart_events[0]["detail"]["epoch"] == 1
+
+    def test_restarted_node_regrants_and_convergence_is_measured(self, drill):
+        assert drill.cluster.convergence_s, "no post-restart client grant"
+        for node, elapsed in drill.cluster.convergence_s.items():
+            assert node in drill.cluster.restarts
+            assert 0.0 <= elapsed < 6.0
+            restart_t = next(
+                e["t"]
+                for e in drill.cluster.events
+                if e["event"] == "net-node-restart" and e["node"] == node
+            )
+            regrants = [
+                e
+                for e in drill.cluster.events
+                if e["event"] == "net-grant"
+                and e["node"] == node
+                and e["t"] > restart_t
+                and e.get("detail", {}).get("req") is not None
+            ]
+            assert regrants, "convergence implies a client-matched grant"
+
+    def test_convergence_metric_exported(self, drill):
+        from repro.net import cluster_metrics
+
+        registry = cluster_metrics(drill.cluster)
+        snap = registry.snapshot()
+        assert snap["cluster/restarts"]["value"] >= 1
+        assert any(n.startswith("cluster/convergence_s/") for n in snap)

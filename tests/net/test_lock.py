@@ -1,8 +1,20 @@
-"""Lock-service semantics: the safety audit, and a small live soak."""
+"""Lock-service semantics: the safety audit, a small live soak, and
+regression tests for the client's failure paths."""
 
 import asyncio
+import math
 
-from repro.net import ClusterConfig, hold_intervals, neighbour_violations, soak
+import pytest
+
+from repro.net import (
+    DEFAULT_ACQUIRE_TIMEOUT,
+    ClusterConfig,
+    LockClient,
+    LockError,
+    hold_intervals,
+    neighbour_violations,
+    soak,
+)
 from repro.sim import ring
 
 
@@ -71,5 +83,126 @@ class TestLiveSoak:
         result = asyncio.run(soak(config, 1.5, hold_s=0.02))
         assert result.safe, result.violations
         assert sum(c.acquired for c in result.clients) > 0
-        assert all(c.errors == 0 for c in result.clients)
+        survivors = [c for c in result.clients if c.node not in result.cluster.killed]
+        assert all(c.errors == 0 for c in survivors)
         assert result.cluster.mode == "soak"
+
+
+async def start_silent_server():
+    """A peer that accepts and reads but never answers: from the client's
+    point of view this is exactly a silent partition — the TCP connection
+    stays open while every request disappears into the void."""
+
+    async def swallow(reader, writer):
+        try:
+            while await reader.read(4096):
+                pass
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(swallow, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+class _ExplodingWriter:
+    """Stands in for a StreamWriter whose socket just died under us."""
+
+    def is_closing(self):
+        return False
+
+    def write(self, data):
+        raise ConnectionResetError("wire gone")
+
+
+class TestClientResilience:
+    def test_default_acquire_timeout_is_finite(self):
+        # acquire() must never hang forever by default: a silent partition
+        # would otherwise wedge the caller with no exception at all.
+        assert DEFAULT_ACQUIRE_TIMEOUT is not None
+        assert math.isfinite(DEFAULT_ACQUIRE_TIMEOUT)
+        assert DEFAULT_ACQUIRE_TIMEOUT > 0
+
+    def test_acquire_over_silent_partition_fails_via_watchdog(self):
+        async def scenario():
+            server, port = await start_silent_server()
+            client = LockClient(
+                "127.0.0.1", port, reconnect=False, stall_timeout_s=0.3
+            )
+            await client.connect()
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            try:
+                with pytest.raises(LockError, match="stalled"):
+                    # Generous acquire budget: the *watchdog* must be the
+                    # thing that unblocks us, long before the timeout.
+                    await client.acquire(timeout=30.0)
+                return loop.time() - t0
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        elapsed = asyncio.run(scenario())
+        assert elapsed < 5.0
+
+    def test_acquire_timeout_caps_a_stalled_request(self):
+        async def scenario():
+            server, port = await start_silent_server()
+            client = LockClient(
+                "127.0.0.1", port, reconnect=True, stall_timeout_s=30.0
+            )
+            await client.connect()
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.acquire(timeout=0.4)
+                return loop.time() - t0
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        elapsed = asyncio.run(scenario())
+        assert elapsed < 5.0
+
+    def test_request_id_not_burned_when_send_fails(self):
+        async def scenario():
+            client = LockClient("127.0.0.1", 1, reconnect=False)
+            client._writer = _ExplodingWriter()
+            before = client._next_id
+            with pytest.raises(LockError, match="send failed"):
+                client._request("acquire")
+            # The refused send must leave no trace: same next id (no gap
+            # in the grant/release audit trail) and no ghost pending entry.
+            assert client._next_id == before
+            assert client._pending == {}
+
+        asyncio.run(scenario())
+
+    def test_ids_are_epoch_prefixed_across_reconnects(self):
+        async def scenario():
+            server, port = await start_silent_server()
+            client = LockClient(
+                "127.0.0.1", port, client_id="c", reconnect=False
+            )
+            await client.connect()
+            try:
+                first, _ = client._request("acquire")
+                assert first == "c.1.1"
+                # Kill the link, then re-dial: the epoch must bump so ids
+                # from the old life can never collide with new ones.
+                client._writer.close()
+                await asyncio.sleep(0.05)  # let the read loop observe EOF
+                await client._open()
+                second, _ = client._request("acquire")
+                assert second == "c.2.2"
+                assert client.epoch == 2
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
