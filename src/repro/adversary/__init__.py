@@ -1,0 +1,56 @@
+"""The adversary subsystem: adaptive scheduling, Byzantine subversion,
+coverage-guided chaos fuzzing.
+
+The chaos layer (:mod:`repro.net.chaos`) draws its fault plan from a seed
+*before* the run; everything here reacts to the run itself while staying
+replayable:
+
+* :mod:`repro.adversary.strategies` — state-reading daemon strategies for
+  the shared-memory simulator (plug into
+  :class:`~repro.sim.scheduler.StrategyDaemon`), e.g. starving the head of
+  the longest waiting chain as it moves;
+* :mod:`repro.adversary.byzantine` — the beyond-the-model fault: a
+  "crashed" process that keeps emitting protocol-shaped frames instead of
+  halting, for both the message-passing engine and the live cluster;
+* :mod:`repro.adversary.feedback` — a :class:`~repro.net.chaos.ChaosController`
+  subclass that reads the cluster's obs event stream and aims partitions,
+  replays, and heals at the most vulnerable node, recording every decision
+  as a static, replayable schedule;
+* :mod:`repro.adversary.corpus` — the versioned schedule-file format that
+  ``repro fuzz`` writes and ``repro cluster soak --schedule-file`` replays;
+* :mod:`repro.adversary.fuzz` — the coverage-guided fuzzing loop scoring
+  mutated schedules by novel behaviour signatures on the deterministic
+  message-passing engine.
+"""
+
+from .byzantine import ByzantineDinerProcess, subvert
+from .corpus import (
+    SCHEDULE_FORMAT_VERSION,
+    ScheduleDoc,
+    read_schedule,
+    schedule_from_doc,
+    schedule_to_doc,
+    write_schedule,
+)
+from .feedback import FeedbackChaosController
+from .fuzz import FuzzLimits, FuzzResult, evaluate_schedule, mutate_schedule, run_fuzz
+from .strategies import ChainStarveStrategy, longest_waiting_chain
+
+__all__ = [
+    "ByzantineDinerProcess",
+    "ChainStarveStrategy",
+    "FeedbackChaosController",
+    "FuzzLimits",
+    "FuzzResult",
+    "SCHEDULE_FORMAT_VERSION",
+    "ScheduleDoc",
+    "evaluate_schedule",
+    "longest_waiting_chain",
+    "mutate_schedule",
+    "read_schedule",
+    "run_fuzz",
+    "schedule_from_doc",
+    "schedule_to_doc",
+    "subvert",
+    "write_schedule",
+]

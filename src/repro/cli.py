@@ -15,6 +15,7 @@ Subcommands
 ``bench``      run the performance benchmark suite; write/compare BENCH files
 ``node``       serve one live cluster node (asyncio TCP daemon)
 ``cluster``    run/soak a live N-node cluster with chaos on localhost
+``fuzz``       coverage-guided chaos-schedule fuzzing; writes a corpus
 
 Observability: ``run``, ``stabilize``, and ``locality`` accept ``--trace``
 (record the run as versioned JSONL) and ``--metrics-out`` (write the
@@ -42,6 +43,8 @@ Examples
     python -m repro bench --compare benchmarks/BENCH_baseline.json BENCH_now.json
     python -m repro cluster run --topology ring:3 --seed 1 --duration 5
     python -m repro cluster soak --nodes 5 --seed 7 --duration 10
+    python -m repro fuzz --topology ring:4 --seed 1 --budget 60 --corpus-dir corpus
+    python -m repro cluster soak --schedule-file corpus/ring4-s1-r0.json
 """
 
 from __future__ import annotations
@@ -963,9 +966,26 @@ def cmd_node(args: argparse.Namespace) -> int:
 def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
     from .net import ClusterConfig, RestartPolicy
 
-    spec = args.topology or f"ring:{args.nodes}"
-    if args.nodes < 2 and not args.topology:
-        raise SystemExit("--nodes must be >= 2")
+    loaded = None
+    if getattr(args, "schedule_file", None):
+        from .adversary.corpus import read_schedule
+
+        try:
+            loaded = read_schedule(args.schedule_file)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        # The file is the experiment: topology, seed, duration, and the
+        # complete fault plan all come from it, never from other flags.
+        spec = loaded.topology_spec
+        topology = loaded.topology
+        seed = loaded.schedule.seed
+        args.duration = loaded.schedule.duration_s
+    else:
+        spec = args.topology or f"ring:{args.nodes}"
+        if args.nodes < 2 and not args.topology:
+            raise SystemExit("--nodes must be >= 2")
+        topology = parse_topology(spec)
+        seed = args.seed
     restart = None
     if args.restart_policy != "off":
         if args.max_restarts < 1:
@@ -975,10 +995,24 @@ def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
             delay_s=args.restart_delay,
             arbitrary_state=args.restart_policy == "arbitrary",
         )
+    elif loaded is not None:
+        # A replayed plan that schedules restarts must be allowed to
+        # execute them, or the replay silently runs a different experiment.
+        restart_counts: dict = {}
+        for event in loaded.schedule.events:
+            if event.kind == "restart":
+                key = repr(event.node)
+                restart_counts[key] = restart_counts.get(key, 0) + 1
+        if restart_counts:
+            restart = RestartPolicy(
+                max_restarts=max(restart_counts.values()),
+                delay_s=0.0,
+                arbitrary_state=True,
+            )
     return ClusterConfig(
-        topology=parse_topology(spec),
+        topology=topology,
         topology_spec=spec,
-        seed=args.seed,
+        seed=seed,
         tick_interval=args.tick_interval,
         lock_service=lock_service,
         chaos=not args.no_chaos,
@@ -986,6 +1020,10 @@ def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
         malicious_crashes=args.malicious,
         host=args.host,
         restart=restart,
+        schedule=None if loaded is None else loaded.schedule,
+        byzantine=getattr(args, "byzantine", 0),
+        adaptive=getattr(args, "adaptive", False),
+        adaptive_interval=getattr(args, "adaptive_interval", 0.4),
     )
 
 
@@ -1011,6 +1049,8 @@ def _print_cluster_summary(result) -> None:
     print()
     if result.killed:
         print(f"  maliciously crashed: {', '.join(result.killed)}")
+    if result.byzantine:
+        print(f"  byzantine (never halted): {', '.join(result.byzantine)}")
     if result.restarts:
         restarted = ", ".join(
             f"{node}×{count}" for node, count in sorted(result.restarts.items())
@@ -1081,6 +1121,16 @@ def cmd_cluster_soak(args: argparse.Namespace) -> int:
                 f"    {violation.node_a} ∦ {violation.node_b}: "
                 f"[{violation.overlap_start:.3f}, {violation.overlap_end:.3f}]s"
             )
+        blamed = result.blamed
+        print(f"  attribution: blames {', '.join(blamed) or 'nobody'}", end="")
+        if result.byzantine:
+            match = sorted(blamed) == sorted(result.byzantine)
+            print(
+                f" (byzantine set {'matches' if match else 'MISMATCHES'}: "
+                f"{', '.join(result.byzantine)})"
+            )
+        else:
+            print()
     _write_cluster_artefacts(
         args,
         cluster,
@@ -1098,6 +1148,38 @@ def cmd_cluster_soak(args: argparse.Namespace) -> int:
             print(f"  progress: FAILED — no grants at {', '.join(starved)}")
             status = 1
     return status
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .adversary.fuzz import FuzzLimits, run_fuzz
+
+    say = (lambda msg: None) if args.quiet else print
+    result = run_fuzz(
+        args.topology,
+        seed=args.seed,
+        budget=args.budget,
+        duration_s=args.duration,
+        jobs=args.jobs,
+        keep=args.keep,
+        corpus_dir=args.corpus_dir,
+        limits=FuzzLimits(steps=args.steps, sample_every=args.sample_every),
+        byzantine=args.byzantine,
+        minimise_budget=args.minimise_budget,
+        progress=say,
+    )
+    print(
+        f"fuzz {result.topology_spec} seed={result.seed}: "
+        f"{result.executed} runs, {result.coverage} distinct signatures"
+    )
+    for rank, entry in enumerate(result.entries[: args.keep]):
+        print(
+            f"  #{rank}: score={entry.score:.0f} "
+            f"signature={list(entry.signature)} "
+            f"events={len(entry.schedule.events)} ({entry.origin})"
+        )
+    for path in result.written:
+        print(f"corpus: {path}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1331,6 +1413,23 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--restart-delay", type=float, default=0.5,
                         dest="restart_delay",
                         help="seconds of downtime before a relaunch")
+        cp.add_argument("--byzantine", type=int, default=0,
+                        help="nodes subverted at 'crash' time to keep "
+                        "emitting protocol-shaped frames instead of halting "
+                        "(the beyond-the-model fault; expect violations "
+                        "attributed to the subverted node)")
+        cp.add_argument("--adaptive", action="store_true",
+                        help="drive chaos with the feedback adversary: it "
+                        "watches the event stream and aims partitions/"
+                        "replays at the most vulnerable node")
+        cp.add_argument("--adaptive-interval", type=float, default=0.4,
+                        dest="adaptive_interval",
+                        help="seconds between adaptive-adversary decisions")
+        cp.add_argument("--schedule-file", default=None, dest="schedule_file",
+                        metavar="PATH",
+                        help="replay this exact corpus schedule file "
+                        "(topology, seed, duration and fault plan all come "
+                        "from the file; see `repro fuzz`)")
         cp.add_argument("--metrics-out", default=None, dest="metrics_out",
                         metavar="PATH", help="write cluster metrics JSONL")
         cp.add_argument("--events-out", default=None, dest="events_out",
@@ -1356,6 +1455,46 @@ def build_parser() -> argparse.ArgumentParser:
                     dest="require_progress",
                     help="also exit 1 if any surviving node never granted")
     cp.set_defaults(fn=cmd_cluster_soak)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided chaos-schedule fuzzing; write worst finds "
+        "as a replayable corpus",
+        description="Mutate seeded fault schedules, execute each candidate "
+        "on the deterministic message-passing engine, and keep every "
+        "schedule whose behaviour signature (waiting-chain shape, "
+        "exclusion-overlap trajectory, starvation/convergence buckets) is "
+        "new.  Fully deterministic for a fixed seed+budget: two runs write "
+        "byte-identical corpus files.  Replay a find with "
+        "`repro cluster soak --schedule-file <file>`.",
+    )
+    p.add_argument("--topology", default="ring:4",
+                   help="spec the schedules target (e.g. ring:4, grid:3:3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=int, default=40,
+                   help="candidate executions (seed schedules included)")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="scheduled duration of each candidate, in seconds "
+                   "(mapped onto engine steps; no wall-clock involved)")
+    p.add_argument("--steps", type=int, default=4000,
+                   help="engine steps per candidate execution")
+    p.add_argument("--sample-every", type=int, default=25, dest="sample_every",
+                   help="steps between behaviour samples")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel evaluation workers (result-invariant)")
+    p.add_argument("--keep", type=int, default=3,
+                   help="top signatures to minimise and write")
+    p.add_argument("--corpus-dir", default=None, dest="corpus_dir",
+                   metavar="DIR", help="write kept schedules here")
+    p.add_argument("--byzantine", action="store_true",
+                   help="include a beyond-the-model seed schedule (its "
+                   "finds violate safety on live replay by design)")
+    p.add_argument("--minimise-budget", type=int, default=24,
+                   dest="minimise_budget",
+                   help="extra evaluations per kept entry for shrinking")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-round progress lines")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("report", help="run the experiment suite, emit markdown")
     p.add_argument("--full", action="store_true")

@@ -176,6 +176,25 @@ class MpEngine:
             self._malicious_budget[pid] = havoc_steps
             self._emit(MpEventKind.MALICE_BEGIN, pid, havoc_steps)
 
+    def restart(self, pid: Pid, *, rng: random.Random | None = None) -> None:
+        """Relaunch a halted process in place.
+
+        With ``rng`` the process restarts into *arbitrary* local state (its
+        :meth:`~repro.mp.node.MpProcess.corrupt` is invoked) — the paper's
+        stabilization setting, and the simulator twin of the live cluster's
+        :class:`~repro.net.cluster.RestartPolicy` with
+        ``arbitrary_state=True``.  Without ``rng`` the process resumes with
+        whatever state it halted in.  Channel contents are untouched: junk
+        a malicious crash left in flight stays in flight.
+        """
+        if self.is_alive(pid):
+            raise SimulationError(f"restart of a live process {pid!r}")
+        self._alive[pid] = True
+        self._malicious_budget.pop(pid, None)
+        if rng is not None:
+            self.processes[pid].corrupt(rng)
+        self._emit(MpEventKind.RESTART, pid, rng is not None)
+
     def transient_fault(self, pids: Iterable[Pid] | None = None) -> None:
         """Corrupt process states and channel contents arbitrarily."""
         targets = tuple(self.topology.nodes if pids is None else pids)

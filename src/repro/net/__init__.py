@@ -21,12 +21,14 @@ the in-process simulator and onto real asyncio TCP sockets:
 """
 
 from .chaos import (
+    EVENT_KINDS,
     ChaosController,
     ChaosSchedule,
     FaultEvent,
     LinkProfile,
     LinkProxy,
     build_schedule,
+    validate_schedule,
 )
 from .cluster import (
     EVENT_SOURCES,
@@ -58,6 +60,7 @@ from .lock import (
     LockError,
     SoakResult,
     Violation,
+    attribute_violations,
     hold_intervals,
     neighbour_violations,
     soak,
@@ -72,6 +75,8 @@ __all__ = [
     "LinkProfile",
     "LinkProxy",
     "build_schedule",
+    "validate_schedule",
+    "EVENT_KINDS",
     "EVENT_SOURCES",
     "ClusterConfig",
     "ClusterResult",
@@ -97,6 +102,7 @@ __all__ = [
     "LockError",
     "SoakResult",
     "Violation",
+    "attribute_violations",
     "hold_intervals",
     "neighbour_violations",
     "soak",

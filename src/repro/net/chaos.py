@@ -25,13 +25,31 @@ from __future__ import annotations
 
 import asyncio
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.topology import Pid, Topology
 
 #: Directed link identifier: ``(src_pid, dst_pid)``.
 Link = Tuple[Pid, Pid]
+
+#: Every fault kind a schedule may carry.  ``byzantine-crash`` is the
+#: *beyond-the-model* fault: the node keeps emitting protocol-shaped frames
+#: instead of halting (the paper's tolerance boundary, see
+#: :mod:`repro.adversary.byzantine`).  ``replay`` re-injects captured frames
+#: on a link — the adaptive adversary's third actuator.
+EVENT_KINDS = frozenset(
+    ("partition", "heal", "malicious-crash", "byzantine-crash", "restart",
+     "replay")
+)
+
+#: Fault kinds that leave the named node crashed (a later ``restart`` may
+#: legally target it).  A byzantine node never halts, so it is *not* here.
+_CRASH_KINDS = frozenset(("malicious-crash",))
+
+#: How many recently forwarded chunks a proxy retains for replay.
+CAPTURE_DEPTH = 32
 
 
 @dataclass(frozen=True)
@@ -86,6 +104,12 @@ class ChaosSchedule:
             e.node for e in self.events if e.kind == "malicious-crash"
         )
 
+    @property
+    def byzantine_nodes(self) -> Tuple[Pid, ...]:
+        return tuple(
+            e.node for e in self.events if e.kind == "byzantine-crash"
+        )
+
     def describe(self) -> Dict[str, Any]:
         """JSON-ready audit record, embedded in soak artefacts."""
         return {
@@ -101,6 +125,49 @@ class ChaosSchedule:
         }
 
 
+def validate_schedule(schedule: ChaosSchedule) -> None:
+    """Reject structurally impossible fault plans.
+
+    Raises ``ValueError`` when an event kind is unknown, an event lies
+    outside the run window, or — the bug this guards against — a
+    ``restart`` targets a node with *no earlier crash entry*: the
+    controller would revive links of a node that never went down, silently
+    turning the plan into a different experiment.  :func:`build_schedule`
+    and every schedule-file loader call this, so hand-edited or mutated
+    schedules fail loudly instead of replaying something else.
+    """
+    crashed_at: Dict[Pid, float] = {}
+    for event in schedule.events:
+        if event.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+        if not 0.0 <= event.at_s <= schedule.duration_s:
+            raise ValueError(
+                f"{event.kind} at {event.at_s}s lies outside the "
+                f"{schedule.duration_s}s run"
+            )
+        if event.kind in _CRASH_KINDS:
+            if event.node is None:
+                raise ValueError(f"{event.kind} without a node")
+            crashed_at[event.node] = event.at_s
+        elif event.kind == "byzantine-crash":
+            if event.node is None:
+                raise ValueError("byzantine-crash without a node")
+        elif event.kind == "restart":
+            if event.node is None:
+                raise ValueError("restart without a node")
+            when = crashed_at.get(event.node)
+            if when is None or when > event.at_s:
+                raise ValueError(
+                    f"restart of {event.node!r} at {event.at_s}s has no "
+                    "prior crash entry"
+                )
+        if event.garbage and len(event.garbage) != len(event.links):
+            raise ValueError(
+                f"{event.kind} at {event.at_s}s: {len(event.garbage)} "
+                f"garbage bursts for {len(event.links)} links"
+            )
+
+
 def build_schedule(
     topology: Topology,
     *,
@@ -112,6 +179,7 @@ def build_schedule(
     max_delay_s: float = 0.02,
     restarts: int = 0,
     restart_delay_s: float = 0.5,
+    byzantine: int = 0,
 ) -> ChaosSchedule:
     """Derive the fault plan deterministically from ``seed``.
 
@@ -125,10 +193,17 @@ def build_schedule(
       the run: one garbage burst per outgoing link, then the node halts;
     * with ``restarts > 0``, every crashed node gets a ``restart`` event
       ``restart_delay_s`` later (capped so recovery fits in the run) —
-      the stabilization theorem's restart-into-arbitrary-state setting.
+      the stabilization theorem's restart-into-arbitrary-state setting;
+    * ``byzantine`` further nodes suffer the *beyond-finite* fault in the
+      middle of the run: instead of halting after its arbitrary steps, the
+      node keeps emitting protocol-shaped frames forever.  The paper's
+      malicious-crash model ends with a halt, so these runs are expected
+      to violate neighbour exclusion at the faulty node — the boundary
+      demonstrated, not asserted.
 
     Pure function of its arguments — the reproducibility tests compare two
-    builds structurally.
+    builds structurally.  The result always passes
+    :func:`validate_schedule`.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
@@ -170,6 +245,16 @@ def build_schedule(
         )
     crash_candidates = list(nodes)
     rng.shuffle(crash_candidates)
+    for node in crash_candidates[malicious_crashes:malicious_crashes + byzantine]:
+        out = tuple((p, q) for (p, q) in links if p == node)
+        events.append(
+            FaultEvent(
+                at_s=rng.uniform(0.35, 0.55) * duration_s,
+                kind="byzantine-crash",
+                links=out,
+                node=node,
+            )
+        )
     for node in crash_candidates[:malicious_crashes]:
         out = tuple((p, q) for (p, q) in links if p == node)
         garbage = tuple(
@@ -196,12 +281,14 @@ def build_schedule(
                 )
             )
     events.sort(key=lambda e: (e.at_s, e.kind))
-    return ChaosSchedule(
+    schedule = ChaosSchedule(
         seed=seed,
         duration_s=duration_s,
         profiles=profiles,
         events=tuple(events),
     )
+    validate_schedule(schedule)
+    return schedule
 
 
 # ------------------------------------------------------------------ proxies
@@ -240,6 +327,12 @@ class LinkProxy:
         self.port: int | None = None
         self.chunks_forwarded = 0
         self.chunks_dropped = 0
+        #: Ring buffer of recently forwarded chunks; :meth:`replay` feeds on
+        #: it.  Byte chunks, not frames — the adversary replays what it saw
+        #: on the wire, and the receiver's decoder + sequence numbers must
+        #: absorb the stale copies.
+        self.captured: Deque[bytes] = deque(maxlen=CAPTURE_DEPTH)
+        self.chunks_replayed = 0
 
     async def start(self, host: str = "127.0.0.1") -> int:
         self._server = await asyncio.start_server(self._handle, host, 0)
@@ -293,6 +386,7 @@ class LinkProxy:
                 for piece in out:
                     dst_writer.write(piece)
                     self.chunks_forwarded += 1
+                    self.captured.append(piece)
                 await dst_writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -313,6 +407,32 @@ class LinkProxy:
     def _note(self, kind: str) -> None:
         if self._on_fault is not None:
             self._on_fault(kind, self.link)
+
+    async def replay(self, count: int = CAPTURE_DEPTH) -> int:
+        """Re-inject up to ``count`` captured chunks toward the destination.
+
+        The adaptive adversary's frame-replay actuator: stale frames carry
+        stale per-link sequence numbers, so a correct receiver discards
+        them — but a protocol relying on "each frame arrives once" would
+        double-grant a fork here.  Returns the number of chunks written
+        (0 when the link is down, severed, or has seen no traffic).
+        """
+        writer = self._dst_writer
+        if writer is None or self._killed or self.partitioned:
+            return 0
+        chunks = list(self.captured)[-count:]
+        written = 0
+        try:
+            for chunk in chunks:
+                writer.write(chunk)
+                written += 1
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        if written:
+            self.chunks_replayed += written
+            self._note("replay")
+        return written
 
     async def kill(self, garbage: bytes = b"") -> None:
         """Malicious-crash tail: spray ``garbage`` at the destination, then
@@ -353,12 +473,13 @@ class ChaosController:
     """
 
     def __init__(self, schedule: ChaosSchedule, *, on_fault=None,
-                 on_crash=None, on_restart=None) -> None:
+                 on_crash=None, on_restart=None, on_byzantine=None) -> None:
         self.schedule = schedule
         self.proxies: Dict[Link, LinkProxy] = {}
         self._on_fault = on_fault  # callable(event: FaultEvent)
         self._on_crash = on_crash  # async callable(node)
         self._on_restart = on_restart  # async callable(node)
+        self._on_byzantine = on_byzantine  # async callable(node)
         self.applied: List[FaultEvent] = []
 
     def register(self, proxy: LinkProxy) -> None:
@@ -392,6 +513,16 @@ class ChaosController:
                     await proxy.kill(garbage)
             if self._on_crash is not None and event.node is not None:
                 await self._on_crash(event.node)
+        elif event.kind == "byzantine-crash":
+            # No link action: the node is subverted, not severed — it keeps
+            # talking protocol-shaped frames through healthy proxies.
+            if self._on_byzantine is not None and event.node is not None:
+                await self._on_byzantine(event.node)
+        elif event.kind == "replay":
+            for link in event.links:
+                proxy = self.proxies.get(link)
+                if proxy is not None:
+                    await proxy.replay()
         elif event.kind == "restart":
             for link in event.links:
                 proxy = self.proxies.get(link)

@@ -74,6 +74,21 @@ class ClusterConfig:
     host: str = "127.0.0.1"
     #: ``None`` leaves crashed nodes down for the rest of the run.
     restart: Optional[RestartPolicy] = None
+    #: Play this exact fault plan instead of deriving one from ``seed`` —
+    #: the corpus-replay path (``repro cluster soak --schedule-file``).
+    #: Overrides ``chaos``/``partitions``/``malicious_crashes``.
+    schedule: Optional[ChaosSchedule] = None
+    #: Nodes suffering the *beyond-finite* fault: at "crash" time they are
+    #: subverted to keep emitting protocol-shaped frames instead of
+    #: halting.  Expected to violate neighbour exclusion at the subverted
+    #: node — the paper's boundary, demonstrated.
+    byzantine: int = 0
+    #: Drive chaos through the adaptive adversary
+    #: (:class:`repro.adversary.feedback.FeedbackChaosController`): the
+    #: controller watches the obs stream and aims partitions/replays at
+    #: the most vulnerable node on this cadence.
+    adaptive: bool = False
+    adaptive_interval: float = 0.4
 
 
 @dataclass
@@ -89,6 +104,7 @@ class ClusterResult:
     events: List[Dict[str, Any]] = field(default_factory=list)
     schedule: Optional[Dict[str, Any]] = None
     killed: List[str] = field(default_factory=list)
+    byzantine: List[str] = field(default_factory=list)
     chunk_faults: Dict[str, int] = field(default_factory=dict)
     restarts: Dict[str, int] = field(default_factory=dict)
     #: Seconds from a node's relaunch to its first client-matched grant —
@@ -117,6 +133,7 @@ class ClusterSupervisor:
         self.schedule: Optional[ChaosSchedule] = None
         self.controller: Optional[ChaosController] = None
         self.killed: List[Pid] = []
+        self.byzantine: List[Pid] = []
         self.chunk_faults: Dict[str, int] = {}
         self.restarts: Dict[Pid, int] = {}
         self.convergence_s: Dict[str, float] = {}
@@ -144,6 +161,11 @@ class ClusterSupervisor:
         if extra:
             row["detail"] = extra
         self.events.append(row)
+        # The adaptive adversary (when configured) reads the same stream
+        # the artefacts record — no privileged state channel.
+        observe = getattr(self.controller, "observe", None)
+        if observe is not None:
+            observe(row)
         # Convergence watch: a restarted node has re-stabilized (for the
         # service's purposes) at its first grant that answers a real client
         # acquire — corrupted-state "eats" carry no request id and do not
@@ -194,7 +216,9 @@ class ClusterSupervisor:
             await node.start_listening()
 
         policy = cfg.restart
-        if cfg.chaos:
+        if cfg.schedule is not None:
+            self.schedule = cfg.schedule
+        elif cfg.chaos:
             self.schedule = build_schedule(
                 cfg.topology,
                 seed=cfg.seed,
@@ -203,15 +227,33 @@ class ClusterSupervisor:
                 malicious_crashes=cfg.malicious_crashes,
                 restarts=0 if policy is None else policy.max_restarts,
                 restart_delay_s=0.5 if policy is None else policy.delay_s,
+                byzantine=cfg.byzantine,
             )
         else:
             self.schedule = ChaosSchedule(seed=cfg.seed, duration_s=duration_s)
-        self.controller = ChaosController(
-            self.schedule,
-            on_fault=self._on_scheduled_fault,
-            on_crash=self._kill_node,
-            on_restart=self._restart_node,
-        )
+        if cfg.adaptive:
+            # Deferred import: repro.adversary.feedback imports net.chaos.
+            from ..adversary.feedback import FeedbackChaosController
+
+            self.controller = FeedbackChaosController(
+                self.schedule,
+                cfg.topology,
+                seed=cfg.seed,
+                interval_s=cfg.adaptive_interval,
+                on_fault=self._on_scheduled_fault,
+                on_crash=self._kill_node,
+                on_restart=self._restart_node,
+                on_byzantine=self._subvert_node,
+                on_decision=self._on_adversary_decision,
+            )
+        else:
+            self.controller = ChaosController(
+                self.schedule,
+                on_fault=self._on_scheduled_fault,
+                on_crash=self._kill_node,
+                on_restart=self._restart_node,
+                on_byzantine=self._subvert_node,
+            )
 
         for p in cfg.topology.nodes:
             for q in cfg.topology.neighbors(p):
@@ -274,6 +316,13 @@ class ClusterSupervisor:
     def _on_chunk_fault(self, kind: str, link) -> None:
         self.chunk_faults[kind] = self.chunk_faults.get(kind, 0) + 1
 
+    def _on_adversary_decision(self, event, reason: str) -> None:
+        self._emit(
+            NetEventKind.ADVERSARY,
+            event.node,
+            {"kind": event.kind, "reason": reason, "links": len(event.links)},
+        )
+
     async def _kill_node(self, pid: Pid) -> None:
         """The halt half of a malicious crash: the node simply stops."""
         node = self.nodes.get(pid)
@@ -281,6 +330,23 @@ class ClusterSupervisor:
             return
         self.killed.append(pid)
         await node.stop()
+
+    async def _subvert_node(self, pid: Pid) -> None:
+        """The beyond-finite fault: swap the node's process for a Byzantine
+        double that claims the lock forever and forges fork frames.  The
+        server keeps running — from outside, the node "crashed" but never
+        went quiet."""
+        node = self.nodes.get(pid)
+        if node is None or not node._running:
+            return
+        from ..adversary.byzantine import subvert  # deferred: import cycle
+
+        try:
+            node.process = subvert(node.process)
+        except TypeError:
+            return  # not a diner process; nothing to subvert
+        self.byzantine.append(pid)
+        self._emit(NetEventKind.BYZANTINE, pid, {})
 
     async def _restart_node(self, pid: Pid) -> None:
         """Relaunch a halted node under the configured restart policy.
@@ -382,6 +448,7 @@ class ClusterSupervisor:
             events=sorted(self.events, key=lambda e: (e["t"], e["event"])),
             schedule=None if self.schedule is None else self.schedule.describe(),
             killed=[repr(p) for p in self.killed],
+            byzantine=[repr(p) for p in self.byzantine],
             chunk_faults=dict(self.chunk_faults),
             restarts={repr(p): n for p, n in self.restarts.items()},
             convergence_s=dict(self.convergence_s),
@@ -433,6 +500,7 @@ def cluster_metrics(result: ClusterResult) -> MetricsRegistry:
     registry.counter("cluster/garbage_bytes").inc(result.total_garbage_bytes)
     registry.gauge("cluster/nodes").set(len(result.nodes))
     registry.gauge("cluster/killed").set(len(result.killed))
+    registry.gauge("cluster/byzantine").set(len(result.byzantine))
     registry.counter("cluster/restarts").inc(sum(result.restarts.values()))
     for node in sorted(result.convergence_s):
         registry.gauge(f"cluster/convergence_s/{node}").set(
@@ -525,6 +593,7 @@ def write_cluster_events(path: Path | str, result: ClusterResult) -> Path:
         **artefact_header(result, source),
         "schedule": result.schedule,
         "killed": result.killed,
+        "byzantine": result.byzantine,
         "restarts": result.restarts,
         "convergence_s": result.convergence_s,
     }

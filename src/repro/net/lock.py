@@ -413,6 +413,31 @@ def neighbour_violations(
     return violations
 
 
+def attribute_violations(violations: Sequence[Violation]) -> List[str]:
+    """Smallest (greedy) set of nodes whose exclusion clears every overlap.
+
+    The fault-attribution step of the Byzantine-boundary demonstration:
+    forged forks exist only on the faulty node's own incident edges, so
+    every violation pair it causes includes it — the node appearing in the
+    most violations is the culprit, and removing it (repeatedly, if several
+    nodes misbehave) empties the list.  Ties break alphabetically so the
+    audit is deterministic.
+    """
+    remaining = list(violations)
+    blamed: List[str] = []
+    while remaining:
+        counts: Dict[str, int] = {}
+        for v in remaining:
+            counts[v.node_a] = counts.get(v.node_a, 0) + 1
+            counts[v.node_b] = counts.get(v.node_b, 0) + 1
+        worst = max(sorted(counts), key=lambda n: counts[n])
+        blamed.append(worst)
+        remaining = [
+            v for v in remaining if worst not in (v.node_a, v.node_b)
+        ]
+    return blamed
+
+
 # --------------------------------------------------------------------- soak
 
 
@@ -437,10 +462,20 @@ class SoakResult:
     clients: List[ClientStats]
     violations: List[Violation]
     intervals: Dict[str, List[Tuple[float, float]]]
+    #: Nodes subverted into Byzantine mode during the run (repr'd).  They
+    #: stay *inside* the audit — their violations are the demonstration —
+    #: and :attr:`blamed` should recover exactly this set from the
+    #: violation pairs alone.
+    byzantine: List[str] = field(default_factory=list)
 
     @property
     def safe(self) -> bool:
         return not self.violations
+
+    @property
+    def blamed(self) -> List[str]:
+        """Fault attribution: see :func:`attribute_violations`."""
+        return attribute_violations(self.violations)
 
     @property
     def nodes_with_grants(self) -> int:
@@ -562,4 +597,5 @@ async def soak(
         clients=stats,
         violations=violations,
         intervals=intervals,
+        byzantine=list(result.byzantine),
     )

@@ -28,6 +28,9 @@ class MpEventKind(enum.Enum):
     CRASH = "mp-crash"  #: A process halted.
     MALICE_BEGIN = "mp-malice-begin"  #: A malicious crash began its arbitrary phase.
     TRANSIENT = "mp-transient"  #: A transient fault corrupted states/channels.
+    RESTART = "mp-restart"  #: A halted process was relaunched in place.
+    BYZANTINE = "mp-byzantine"  #: A process was subverted: it keeps talking
+    #: protocol-shaped frames instead of halting (beyond the paper's model).
 
 
 class NetEventKind(enum.Enum):
@@ -55,3 +58,6 @@ class NetEventKind(enum.Enum):
     NODE_RESTART = "net-node-restart"  #: A crashed node was relaunched.
     CLIENT_RECONNECT = "net-client-reconnect"  #: A lock client re-established its link.
     CONVERGENCE = "net-convergence"  #: A restarted node issued its first client grant.
+    BYZANTINE = "net-byzantine"  #: A "crashed" node was subverted and keeps
+    #: emitting protocol-shaped frames instead of halting.
+    ADVERSARY = "net-adversary"  #: The adaptive adversary took a decision.

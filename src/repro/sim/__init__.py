@@ -42,9 +42,11 @@ from .network import ProcessStatus, System
 from .process import ActionDef, Algorithm, ProcessView
 from .scheduler import (
     AdversarialDaemon,
+    AdversaryStrategy,
     Daemon,
     RoundDaemon,
     RoundRobinDaemon,
+    StrategyDaemon,
     WeaklyFairDaemon,
     starve_target,
 )
@@ -113,9 +115,11 @@ __all__ = [
     "ProcessView",
     # scheduler
     "AdversarialDaemon",
+    "AdversaryStrategy",
     "Daemon",
     "RoundDaemon",
     "RoundRobinDaemon",
+    "StrategyDaemon",
     "WeaklyFairDaemon",
     "starve_target",
     # topology

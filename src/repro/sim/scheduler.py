@@ -243,6 +243,73 @@ class AdversarialDaemon(Daemon):
         self._ledger.reset()
 
 
+class AdversaryStrategy(ABC):
+    """A *state-reading* adversary policy, pluggable into :class:`StrategyDaemon`.
+
+    Where :class:`AdversarialDaemon` scores each ``(pid, action)`` pair in
+    isolation, a strategy sees the whole :class:`~repro.sim.network.System`
+    every selection and may keep memory between selections — enough to
+    chase moving targets such as "the head of the longest waiting chain".
+    Implementations must derive every decision from the passed ``rng`` plus
+    the observed state, so a run is replayable from its seed.
+    """
+
+    @abstractmethod
+    def choose(
+        self,
+        system: "System",
+        enabled: Sequence[Choice],
+        step: int,
+        rng: random.Random,
+    ) -> Choice:
+        """Pick one of ``enabled`` (guaranteed non-empty)."""
+
+    def reset(self) -> None:
+        """Forget accumulated targeting state (start of a new run)."""
+
+
+class StrategyDaemon(Daemon):
+    """The adaptive-adversary seam: a daemon driven by an
+    :class:`AdversaryStrategy`, with the same patience escape hatch as
+    :class:`AdversarialDaemon` so schedules stay weakly fair unless the
+    experiment explicitly removes the guarantee (``patience=None``).
+    """
+
+    def __init__(
+        self, strategy: AdversaryStrategy, *, patience: int | None = 256
+    ) -> None:
+        if patience is not None and patience < 1:
+            raise SchedulingError("patience must be at least 1 (or None)")
+        self.strategy = strategy
+        self.patience = patience
+        self._ledger = _FairnessLedger()
+
+    def select(
+        self,
+        system: "System",
+        enabled: Sequence[Choice],
+        step: int,
+        rng: random.Random,
+    ) -> Choice:
+        self._ledger.observe(enabled)
+        if self.patience is not None:
+            age, oldest = self._ledger.oldest(enabled)
+            if age >= self.patience:
+                self._ledger.fired(oldest)
+                return oldest
+        choice = self.strategy.choose(system, enabled, step, rng)
+        if choice not in enabled:
+            raise SchedulingError(
+                f"strategy chose a non-enabled action {choice!r}"
+            )
+        self._ledger.fired(choice)
+        return choice
+
+    def reset(self) -> None:
+        self._ledger.reset()
+        self.strategy.reset()
+
+
 def starve_target(target: Pid) -> ScoreFn:
     """An adversary score that delays ``target`` as long as possible.
 

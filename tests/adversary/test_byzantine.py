@@ -1,0 +1,114 @@
+"""The malicious-crash *boundary*, demonstrated.
+
+The paper tolerates crashes whose arbitrary phase is **finite**.  A
+byzantine diner never leaves that phase: it keeps emitting protocol-shaped
+fork frames forever.  These tests show (a) the bare protocol then violates
+neighbour exclusion, (b) every violating pair contains the byzantine node
+— so (c) excluding it restores a safe system, which is exactly the
+attribution argument :func:`repro.net.attribute_violations` automates.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import ByzantineDinerProcess, subvert
+from repro.mp import MpEngine
+from repro.mp.diners_mp import build_diners, neighbours_both_eating
+from repro.net import attribute_violations
+from repro.net.lock import Violation
+from repro.sim import ring
+
+
+def overlap_pairs(seed=4, n=4, warmup=150, steps=600):
+    """Run diners, subvert node 0 mid-run, collect overlapping pairs."""
+    topo = ring(n)
+    procs = build_diners(topo, eat_ticks=2, seed=seed, repair=True)
+    engine = MpEngine(topo, procs, seed=seed)
+    for _ in range(warmup):
+        engine.step()
+    byz = topo.nodes[0]
+    engine.processes[byz] = subvert(engine.processes[byz], seed=seed)
+    pairs = set()
+    for _ in range(steps):
+        engine.step()
+        pairs.update(neighbours_both_eating(topo, engine.processes))
+    return topo, byz, pairs
+
+
+class TestBoundaryDemonstration:
+    def test_bare_protocol_violates_exclusion(self):
+        _, _, pairs = overlap_pairs()
+        assert pairs  # the byzantine node *does* break safety
+
+    def test_every_violation_includes_the_byzantine_node(self):
+        _, byz, pairs = overlap_pairs()
+        for p, q in pairs:
+            assert byz in (p, q)
+
+    def test_excluding_the_byzantine_node_restores_safety(self):
+        _, byz, pairs = overlap_pairs()
+        clean = [pair for pair in pairs if byz not in pair]
+        assert clean == []
+
+    def test_repair_counters_fence_non_incident_edges(self):
+        # Forged fork frames land only on the byzantine node's own edges;
+        # a node two hops away never even sees one.
+        topo, byz, _ = overlap_pairs(n=5)
+        far = topo.nodes[2]
+        assert not topo.are_neighbors(byz, far)
+
+
+class TestSubvert:
+    def test_preserves_identity_and_counters(self):
+        topo = ring(3)
+        procs = build_diners(topo, seed=1, repair=True)
+        original = procs[topo.nodes[1]]
+        original.edge_c = dict(original.edge_c)
+        byz = subvert(original, seed=7)
+        assert isinstance(byz, ByzantineDinerProcess)
+        assert byz.pid == original.pid
+
+    def test_rejects_non_diner_processes(self):
+        with pytest.raises(TypeError):
+            subvert(object())
+
+    def test_deaf_and_always_eating(self):
+        topo = ring(3)
+        procs = build_diners(topo, seed=2, repair=True)
+        engine = MpEngine(topo, procs, seed=2)
+        byz = subvert(engine.processes[topo.nodes[0]])
+        engine.processes[topo.nodes[0]] = byz
+        for _ in range(50):
+            engine.step()
+        assert byz.state == "E"
+        assert byz.forged > 0
+
+
+class TestAttribution:
+    def v(self, a, b):
+        return Violation(a, b, 0.0, 1.0)
+
+    def test_single_culprit_recovered(self):
+        violations = [self.v("0", "1"), self.v("0", "2"), self.v("0", "3")]
+        assert attribute_violations(violations) == ["0"]
+
+    def test_empty_stream_blames_nobody(self):
+        assert attribute_violations([]) == []
+
+    def test_two_culprits_recovered(self):
+        violations = [
+            self.v("0", "1"),
+            self.v("0", "2"),
+            self.v("4", "3"),
+            self.v("4", "5"),
+        ]
+        assert sorted(attribute_violations(violations)) == ["0", "4"]
+
+    def test_ties_break_alphabetically(self):
+        assert attribute_violations([self.v("1", "0")]) == ["0"]
+
+    def test_engine_run_is_attributed_to_the_byzantine_node(self):
+        _, byz, pairs = overlap_pairs()
+        violations = [Violation(repr(p), repr(q), 0.0, 1.0) for p, q in pairs]
+        assert attribute_violations(violations) == [repr(byz)]

@@ -1,0 +1,197 @@
+"""The corpus schedule-file contract: versioned, canonical, validated."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adversary import (
+    SCHEDULE_FORMAT_VERSION,
+    read_schedule,
+    schedule_from_doc,
+    schedule_to_doc,
+    write_schedule,
+)
+from repro.net import build_schedule
+from repro.sim import ring
+
+
+def sample_schedule(seed=3, **kwargs):
+    kwargs.setdefault("restarts", 1)
+    return build_schedule(ring(4), seed=seed, duration_s=6.0, **kwargs)
+
+
+class TestRoundTrip:
+    def test_doc_and_back_preserves_structure(self):
+        # ``at_s`` is canonicalised to 6 decimals on write, so compare
+        # structure plus a second round trip being an exact fixed point.
+        schedule = sample_schedule()
+        loaded = schedule_from_doc(
+            schedule_to_doc(schedule, topology_spec="ring:4")
+        )
+        assert loaded.topology_spec == "ring:4"
+        assert loaded.schedule.seed == schedule.seed
+        assert loaded.schedule.duration_s == schedule.duration_s
+        assert loaded.schedule.profiles == schedule.profiles
+        assert len(loaded.schedule.events) == len(schedule.events)
+        for got, want in zip(loaded.schedule.events, schedule.events):
+            assert got.kind == want.kind
+            assert got.links == want.links
+            assert got.node == want.node
+            assert got.garbage == want.garbage
+            assert abs(got.at_s - want.at_s) < 1e-6
+
+    def test_second_round_trip_is_exact(self):
+        schedule = sample_schedule()
+        once = schedule_from_doc(
+            schedule_to_doc(schedule, topology_spec="ring:4")
+        ).schedule
+        twice = schedule_from_doc(
+            schedule_to_doc(once, topology_spec="ring:4")
+        ).schedule
+        assert twice == once
+
+    def test_garbage_bytes_survive_json(self, tmp_path):
+        schedule = sample_schedule(malicious_crashes=2)
+        assert any(e.garbage for e in schedule.events)
+        path = write_schedule(
+            tmp_path / "s.json", schedule, topology_spec="ring:4"
+        )
+        loaded = read_schedule(path).schedule
+        assert [e.garbage for e in loaded.events] == [
+            e.garbage for e in schedule.events
+        ]
+
+    def test_meta_is_carried_but_not_interpreted(self, tmp_path):
+        path = write_schedule(
+            tmp_path / "s.json",
+            sample_schedule(),
+            topology_spec="ring:4",
+            meta={"score": 12.5, "signature": [1, 2, 3]},
+        )
+        loaded = read_schedule(path)
+        assert loaded.meta["score"] == 12.5
+        assert loaded.meta["signature"] == [1, 2, 3]
+
+    def test_file_is_self_contained(self, tmp_path):
+        # The replayer reconstructs the graph from the file, never from
+        # CLI flags: topology comes back as the real object.
+        path = write_schedule(
+            tmp_path / "s.json", sample_schedule(), topology_spec="ring:4"
+        )
+        loaded = read_schedule(path)
+        assert len(loaded.topology) == 4
+
+
+class TestCanonicalBytes:
+    def test_write_is_deterministic(self, tmp_path):
+        schedule = sample_schedule()
+        a = write_schedule(tmp_path / "a.json", schedule, topology_spec="ring:4")
+        b = write_schedule(tmp_path / "b.json", schedule, topology_spec="ring:4")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_sorted_keys_and_trailing_newline(self, tmp_path):
+        path = write_schedule(
+            tmp_path / "s.json", sample_schedule(), topology_spec="ring:4"
+        )
+        text = path.read_text()
+        assert text.endswith("\n")
+        doc = json.loads(text)
+        assert list(doc) == sorted(doc)
+        assert doc["format"] == SCHEDULE_FORMAT_VERSION
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        write_schedule(
+            tmp_path / "s.json", sample_schedule(), topology_spec="ring:4"
+        )
+        assert [p.name for p in tmp_path.iterdir()] == ["s.json"]
+
+
+class TestValidationOnRead:
+    def good_doc(self):
+        return schedule_to_doc(sample_schedule(), topology_spec="ring:4")
+
+    def test_unsupported_format_is_refused(self):
+        doc = self.good_doc()
+        doc["format"] = SCHEDULE_FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported schedule format"):
+            schedule_from_doc(doc)
+
+    def test_missing_topology_is_refused(self):
+        doc = self.good_doc()
+        del doc["topology"]
+        with pytest.raises(ValueError, match="topology"):
+            schedule_from_doc(doc)
+
+    def test_unknown_node_is_refused(self):
+        doc = self.good_doc()
+        doc["events"].append(
+            {"at_s": 1.0, "kind": "restart", "links": [], "node": "99"}
+        )
+        with pytest.raises(ValueError, match="not in the document's topology"):
+            schedule_from_doc(doc)
+
+    def test_orphan_restart_is_refused(self):
+        # The validate_schedule regression, exercised through the loader:
+        # a hand-edited corpus entry reviving a node that never crashed
+        # must fail before a cluster boots.
+        doc = schedule_to_doc(
+            sample_schedule(restarts=0, malicious_crashes=0),
+            topology_spec="ring:4",
+        )
+        doc["events"].append(
+            {"at_s": 1.0, "kind": "restart", "links": [], "node": "0"}
+        )
+        with pytest.raises(ValueError, match="no prior crash"):
+            schedule_from_doc(doc)
+
+    def test_unknown_kind_is_refused(self):
+        doc = self.good_doc()
+        doc["events"].append({"at_s": 1.0, "kind": "meteor", "links": []})
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            schedule_from_doc(doc)
+
+    def test_read_wraps_errors_with_the_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="broken.json"):
+            read_schedule(path)
+
+
+class TestCommittedCorpus:
+    """The checked-in ``corpus/`` stays loadable and honestly named.
+
+    Replaying each entry under a live soak is the CI ``fuzz-smoke`` job's
+    duty; tier-1 only guards the cheap invariants a hand-edit could break.
+    """
+
+    def corpus_files(self):
+        root = Path(__file__).resolve().parents[2] / "corpus"
+        return sorted(root.glob("*.json"))
+
+    def test_corpus_is_not_empty(self):
+        assert self.corpus_files()
+
+    def test_every_entry_loads_and_validates(self):
+        for path in self.corpus_files():
+            loaded = read_schedule(path)  # validate_schedule runs inside
+            assert loaded.schedule.events
+
+    def test_filenames_match_their_contents(self):
+        for path in self.corpus_files():
+            loaded = read_schedule(path)
+            slug = loaded.topology_spec.replace(":", "")
+            assert path.name.startswith(f"{slug}-s")
+
+    def test_entries_carry_fuzzer_provenance(self):
+        for path in self.corpus_files():
+            meta = read_schedule(path).meta
+            assert "signature" in meta and "fuzz" in meta
+
+    def test_no_byzantine_entries_are_committed(self):
+        # Byzantine schedules violate safety *by design* on live replay;
+        # CI replays this corpus asserting zero violations, so they are
+        # banned here and demonstrated in tests instead.
+        for path in self.corpus_files():
+            kinds = {e.kind for e in read_schedule(path).schedule.events}
+            assert "byzantine-crash" not in kinds

@@ -1,0 +1,158 @@
+"""The adaptive live-cluster adversary, unit-tested on synthetic obs rows.
+
+No sockets: rows are fed straight into ``observe`` and decisions are
+checked as pure functions of (observed state, seeded RNG) — the property
+that makes an adaptive run replayable.
+"""
+
+import asyncio
+
+from repro.adversary import FeedbackChaosController
+from repro.net import EVENT_KINDS, build_schedule, validate_schedule
+from repro.sim import ring
+
+
+def controller(seed=1, **kwargs):
+    topo = ring(4)
+    schedule = build_schedule(
+        topo, seed=seed, duration_s=10.0, partitions=0, malicious_crashes=0
+    )
+    return FeedbackChaosController(schedule, topo, seed=seed, **kwargs)
+
+
+def grant(node, t):
+    return {"event": "net-grant", "node": node, "t": t}
+
+
+def release(node, t):
+    return {"event": "net-release", "node": node, "t": t}
+
+
+def restart(node, t):
+    return {"event": "net-node-restart", "node": node, "t": t}
+
+
+def converged(node, t):
+    return {"event": "net-convergence", "node": node, "t": t}
+
+
+class TestObserve:
+    def test_grant_marks_holding(self):
+        c = controller()
+        c.observe(grant("1", 0.5))
+        assert "1" not in c.waiting_chain()
+
+    def test_release_resumes_waiting(self):
+        c = controller()
+        c.observe(grant("1", 0.5))
+        c.observe(release("1", 0.9))
+        assert "1" in c.waiting_chain()
+
+    def test_rows_without_node_are_ignored(self):
+        c = controller()
+        c.observe({"event": "net-grant", "t": 1.0})  # no crash, no effect
+        assert c.waiting_chain()
+
+
+class TestWaitingChain:
+    def test_head_is_the_longest_waiter(self):
+        c = controller()
+        # Everyone starts waiting at 0.0; node 2 waited longest after
+        # these releases (earlier release time = longer wait).
+        for node, t in (("0", 3.0), ("1", 2.0), ("2", 1.0), ("3", 2.5)):
+            c.observe(grant(node, t - 0.5))
+            c.observe(release(node, t))
+        assert c.waiting_chain()[0] == "2"
+
+    def test_chain_follows_waiting_neighbours(self):
+        c = controller()
+        chain = c.waiting_chain()
+        # ring:4 — consecutive chain members must be ring neighbours.
+        for a, b in zip(chain, chain[1:]):
+            assert abs(int(a) - int(b)) in (1, 3)
+
+    def test_holders_are_not_in_the_chain(self):
+        c = controller()
+        c.observe(grant("0", 1.0))
+        assert "0" not in c.waiting_chain()
+
+
+class TestDecide:
+    def test_converging_restarter_is_partitioned_first(self):
+        c = controller()
+        c.observe(restart("2", 1.0))
+        events = c.decide(2.0)
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind == "partition"
+        assert repr(event.node) == "2"
+        # Its heal is pending, scheduled hold_s later.
+        assert len(c._pending_heals) == 1
+        assert c._pending_heals[0].kind == "heal"
+        assert c._pending_heals[0].at_s > event.at_s
+
+    def test_convergence_clears_the_priority_target(self):
+        c = controller()
+        c.observe(restart("2", 1.0))
+        c.observe(converged("2", 1.5))
+        events = c.decide(2.0)
+        # With nobody mid-restart the decision reverts to the chain head.
+        assert events
+        assert c.reasons[-1].startswith("chain-head")
+
+    def test_decisions_use_known_kinds_inside_the_window(self):
+        c = controller()
+        for t in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0, 12.0):
+            for event in c.decide(t):
+                assert event.kind in EVENT_KINDS
+                assert 0.0 <= event.at_s <= c.schedule.duration_s
+
+    def test_deterministic_for_a_seed(self):
+        def run(seed):
+            c = controller(seed=seed)
+            c.observe(release("1", 0.2))
+            c.observe(release("3", 0.4))
+            out = []
+            for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+                out.extend(e.describe() for e in c.decide(t))
+            return out
+
+        assert run(7) == run(7)
+
+    def test_replay_targets_only_inbound_links(self):
+        # Drive decisions until a replay appears; its links must all end
+        # at the targeted node (frames are replayed *into* it).
+        c = controller(seed=3)
+        for t in [0.5 * i for i in range(1, 40)]:
+            for event in c.decide(t):
+                if event.kind == "replay":
+                    assert event.links
+                    assert all(b == event.node for _, b in event.links)
+                    return
+        raise AssertionError("no replay decision in 40 tries")
+
+
+class TestAsSchedule:
+    def test_applied_events_become_a_valid_static_plan(self):
+        c = controller()
+        c.observe(restart("1", 0.5))
+
+        async def drive():
+            # Apply a planned-style crash first so the improvised events
+            # land in ``applied`` the same way a live run records them.
+            for event in c.decide(1.0):
+                await c.apply(event)
+            for event in list(c._pending_heals):
+                c._pending_heals.remove(event)
+                await c.apply(event)
+
+        asyncio.run(drive())
+        replayable = c.as_schedule()
+        assert replayable.events  # partition + heal at least
+        validate_schedule(replayable)
+        assert replayable.seed == c.schedule.seed
+        assert replayable.duration_s == c.schedule.duration_s
+
+    def test_max_decisions_is_a_budget_not_a_crash(self):
+        c = controller(max_decisions=0)
+        assert c.max_decisions == 0

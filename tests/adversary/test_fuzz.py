@@ -1,0 +1,146 @@
+"""The coverage-guided fuzzer: determinism, mutation validity, corpus
+emission.  Budgets here are tiny — the point is the contracts, not finds.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import FuzzLimits, evaluate_schedule, run_fuzz
+from repro.adversary.fuzz import minimise_schedule, mutate_schedule
+from repro.net import build_schedule, validate_schedule
+from repro.sim import ring
+
+FAST = FuzzLimits(steps=800, sample_every=20)
+
+
+def sample_schedule(seed=5):
+    return build_schedule(ring(3), seed=seed, duration_s=4.0, restarts=1)
+
+
+class TestEvaluate:
+    def test_deterministic(self):
+        schedule = sample_schedule()
+        a = evaluate_schedule(schedule, ring(3), limits=FAST)
+        b = evaluate_schedule(schedule, ring(3), limits=FAST)
+        assert a == b
+
+    def test_signature_shape(self):
+        outcome = evaluate_schedule(sample_schedule(), ring(3), limits=FAST)
+        assert len(outcome.signature) == 7
+        assert all(isinstance(x, int) for x in outcome.signature)
+        assert outcome.score >= 0.0
+
+    def test_metrics_cover_the_run(self):
+        outcome = evaluate_schedule(sample_schedule(), ring(3), limits=FAST)
+        assert outcome.metrics["samples"] > 0
+        assert outcome.metrics["min_eats"] >= 0
+
+
+class TestMutation:
+    def test_mutants_always_validate(self):
+        topo = ring(3)
+        schedule = sample_schedule()
+        for seed in range(24):
+            mutant = mutate_schedule(schedule, topo, random.Random(seed))
+            validate_schedule(mutant)  # must never raise
+            assert mutant.duration_s == schedule.duration_s
+
+    def test_mutation_actually_changes_something(self):
+        topo = ring(3)
+        schedule = sample_schedule()
+        changed = sum(
+            1
+            for seed in range(24)
+            if mutate_schedule(schedule, topo, random.Random(seed)) != schedule
+        )
+        assert changed > 12  # identity fallback is the exception
+
+    def test_minimise_preserves_the_signature(self):
+        topo = ring(3)
+        schedule = sample_schedule()
+        outcome = evaluate_schedule(schedule, topo, limits=FAST)
+        smaller, evals = minimise_schedule(
+            schedule, topo, outcome.signature, limits=FAST, budget=8
+        )
+        assert evals <= 8
+        kept = evaluate_schedule(smaller, topo, limits=FAST)
+        assert kept.signature == outcome.signature
+        assert len(smaller.events) <= len(schedule.events)
+
+
+class TestRunFuzz:
+    def fuzz(self, corpus_dir=None, seed=3, jobs=1):
+        return run_fuzz(
+            "ring:3",
+            seed=seed,
+            budget=8,
+            duration_s=4.0,
+            jobs=jobs,
+            keep=2,
+            corpus_dir=corpus_dir,
+            limits=FAST,
+            minimise_budget=4,
+        )
+
+    def test_budget_is_respected(self):
+        result = self.fuzz()
+        assert result.executed == 8
+        assert result.coverage >= 1
+
+    def test_corpus_files_are_byte_identical_across_runs(self, tmp_path):
+        a = self.fuzz(corpus_dir=tmp_path / "a")
+        b = self.fuzz(corpus_dir=tmp_path / "b")
+        assert [p.name for p in a.written] == [p.name for p in b.written]
+        assert a.written  # something was kept
+        for pa, pb in zip(a.written, b.written):
+            assert pa.read_bytes() == pb.read_bytes()
+
+    def test_jobs_do_not_change_the_result(self, tmp_path):
+        serial = self.fuzz(corpus_dir=tmp_path / "serial", jobs=1)
+        parallel = self.fuzz(corpus_dir=tmp_path / "par", jobs=4)
+        for pa, pb in zip(serial.written, parallel.written):
+            assert pa.read_bytes() == pb.read_bytes()
+
+    def test_written_schedules_replay_through_the_evaluator(self, tmp_path):
+        from repro.adversary import read_schedule
+
+        result = self.fuzz(corpus_dir=tmp_path)
+        for path in result.written:
+            loaded = read_schedule(path)
+            outcome = evaluate_schedule(
+                loaded.schedule, loaded.topology, limits=FAST
+            )
+            assert list(outcome.signature) == loaded.meta["signature"]
+
+    def test_different_seeds_explore_differently(self, tmp_path):
+        a = self.fuzz(corpus_dir=tmp_path / "s3", seed=3)
+        b = self.fuzz(corpus_dir=tmp_path / "s4", seed=4)
+        bytes_a = b"".join(p.read_bytes() for p in a.written)
+        bytes_b = b"".join(p.read_bytes() for p in b.written)
+        assert bytes_a != bytes_b
+
+    def test_byzantine_mode_is_opt_in(self):
+        clean = self.fuzz()
+        spiked = run_fuzz(
+            "ring:3",
+            seed=3,
+            budget=8,
+            duration_s=4.0,
+            keep=2,
+            limits=FAST,
+            byzantine=True,
+            minimise_budget=4,
+        )
+        assert all(
+            all(e.kind != "byzantine-crash" for e in entry.schedule.events)
+            for entry in clean.entries
+        )
+        assert any(
+            any(e.kind == "byzantine-crash" for e in entry.schedule.events)
+            for entry in spiked.entries
+        )
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_fuzz("ring:3", budget=0)

@@ -1,0 +1,58 @@
+"""Live byzantine boundary: a soak whose "crashed" node never halts.
+
+The cluster-level twin of ``tests/adversary/test_byzantine.py``: one node
+is subverted at its scheduled crash time and keeps emitting protocol
+frames.  The audit must (a) observe real neighbour-exclusion violations,
+(b) attribute every one of them to the subverted node, and (c) report a
+system that is safe once that node is excluded — the failing-then-excluded
+reading of the paper's malicious-crash model.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import ClusterConfig, neighbour_violations, soak
+from repro.sim import ring
+
+
+@pytest.fixture(scope="module")
+def byzantine_soak():
+    config = ClusterConfig(
+        topology=ring(3),
+        topology_spec="ring:3",
+        seed=5,
+        tick_interval=0.005,
+        lock_service=True,
+        chaos=True,
+        partitions=0,
+        malicious_crashes=0,
+        byzantine=1,
+    )
+    return asyncio.run(soak(config, 6.0, hold_s=0.02))
+
+
+class TestByzantineSoak:
+    def test_one_node_was_subverted(self, byzantine_soak):
+        assert len(byzantine_soak.cluster.byzantine) == 1
+
+    def test_safety_is_violated(self, byzantine_soak):
+        assert byzantine_soak.violations
+
+    def test_blame_lands_on_the_subverted_node(self, byzantine_soak):
+        assert byzantine_soak.blamed == byzantine_soak.cluster.byzantine
+        byz = byzantine_soak.cluster.byzantine[0]
+        for v in byzantine_soak.violations:
+            assert byz in (v.node_a, v.node_b)
+
+    def test_soak_result_mirrors_cluster_result(self, byzantine_soak):
+        assert byzantine_soak.byzantine == byzantine_soak.cluster.byzantine
+
+    def test_excluding_the_culprit_clears_the_audit(self, byzantine_soak):
+        result = byzantine_soak
+        remaining = neighbour_violations(
+            ring(3),
+            result.intervals,
+            exclude=result.byzantine + result.cluster.killed,
+        )
+        assert remaining == []

@@ -1,6 +1,11 @@
 """Chaos schedules are reproducible, bounded, and well-formed."""
 
-from repro.net import build_schedule
+from dataclasses import replace
+
+import pytest
+
+from repro.net import build_schedule, validate_schedule
+from repro.net.chaos import FaultEvent
 from repro.sim import grid, ring
 
 
@@ -100,3 +105,92 @@ class TestRestartSchedule:
         s = schedule(malicious_crashes=1, restarts=1, restart_delay_s=60.0)
         kinds = [e.kind for e in s.events if e.kind in ("malicious-crash", "restart")]
         assert kinds == ["malicious-crash", "restart"]
+
+
+class TestValidateSchedule:
+    """The orphan-restart regression: ``build_schedule`` used to be able
+    to emit (and loaders to accept) a restart for a node with no prior
+    crash entry, silently reviving links of a node that never went down."""
+
+    def test_every_built_schedule_validates(self):
+        for seed in range(6):
+            validate_schedule(
+                schedule(seed=seed, restarts=1, malicious_crashes=2)
+            )
+            validate_schedule(schedule(seed=seed, byzantine=1))
+
+    def test_orphan_restart_is_rejected(self):
+        s = schedule(restarts=0)
+        bad = replace(
+            s,
+            events=s.events
+            + (FaultEvent(at_s=1.0, kind="restart", node=99),),
+        )
+        with pytest.raises(ValueError, match="no prior crash"):
+            validate_schedule(bad)
+
+    def test_restart_before_its_crash_is_rejected(self):
+        events = (
+            FaultEvent(at_s=5.0, kind="malicious-crash", node=1),
+            FaultEvent(at_s=1.0, kind="restart", node=1),
+        )
+        bad = replace(schedule(restarts=0), events=events)
+        with pytest.raises(ValueError, match="no prior crash"):
+            validate_schedule(bad)
+
+    def test_restart_without_a_node_is_rejected(self):
+        bad = replace(
+            schedule(),
+            events=(FaultEvent(at_s=1.0, kind="restart"),),
+        )
+        with pytest.raises(ValueError, match="restart without a node"):
+            validate_schedule(bad)
+
+    def test_unknown_kind_is_rejected(self):
+        bad = replace(
+            schedule(), events=(FaultEvent(at_s=1.0, kind="meteor"),)
+        )
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            validate_schedule(bad)
+
+    def test_event_outside_the_run_window_is_rejected(self):
+        bad = replace(
+            schedule(), events=(FaultEvent(at_s=11.0, kind="partition"),)
+        )
+        with pytest.raises(ValueError, match="outside"):
+            validate_schedule(bad)
+
+    def test_garbage_burst_arity_must_match_links(self):
+        bad = replace(
+            schedule(),
+            events=(
+                FaultEvent(
+                    at_s=1.0,
+                    kind="malicious-crash",
+                    links=((0, 1), (0, 4)),
+                    node=0,
+                    garbage=(b"x",),
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="garbage bursts"):
+            validate_schedule(bad)
+
+
+class TestByzantineSchedules:
+    def test_byzantine_zero_leaves_the_plan_unchanged(self):
+        # The parameter must not perturb the rng stream of existing
+        # experiments: byzantine=0 reproduces the historical schedule.
+        assert schedule().describe() == schedule(byzantine=0).describe()
+
+    def test_byzantine_nodes_are_disjoint_from_malicious(self):
+        s = schedule(byzantine=1, malicious_crashes=2)
+        byz = {e.node for e in s.events if e.kind == "byzantine-crash"}
+        bad = {e.node for e in s.events if e.kind == "malicious-crash"}
+        assert len(byz) == 1
+        assert byz.isdisjoint(bad)
+
+    def test_byzantine_crash_is_deterministic(self):
+        a = schedule(byzantine=2).describe()
+        b = schedule(byzantine=2).describe()
+        assert a == b

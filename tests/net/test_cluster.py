@@ -212,3 +212,47 @@ class TestCrashRestartDrill:
         snap = registry.snapshot()
         assert snap["cluster/restarts"]["value"] >= 1
         assert any(n.startswith("cluster/convergence_s/") for n in snap)
+
+
+class TestTruncatedEventLog:
+    """``read_cluster_events`` on a log cut off mid-record — what a soak
+    killed partway through leaves on disk."""
+
+    def truncated(self, clean_result, tmp_path):
+        path = write_cluster_events(tmp_path / "run.events", clean_result)
+        lines = path.read_text().splitlines()
+        keep = len(lines) // 2
+        # Cut the next record in half: valid JSON prefix, unparseable tail.
+        path.write_text("\n".join(lines[:keep]) + "\n" + lines[keep][: len(lines[keep]) // 2])
+        return path, lines, keep
+
+    def test_header_and_prefix_survive(self, clean_result, tmp_path):
+        path, lines, keep = self.truncated(clean_result, tmp_path)
+        header, events, skipped = read_cluster_events(path)
+        assert header.get("kind") == "header"
+        assert header["topology"] == clean_result.topology_spec
+        assert len(events) == keep - 1  # every intact record, header aside
+        assert skipped == 1  # exactly the cut record
+
+    def test_events_keep_time_order(self, clean_result, tmp_path):
+        path, _, _ = self.truncated(clean_result, tmp_path)
+        _, events, _ = read_cluster_events(path)
+        times = [row["t"] for row in events]
+        assert times == sorted(times)
+
+    def test_truncated_mid_header_yields_no_events(self, clean_result, tmp_path):
+        path = write_cluster_events(tmp_path / "run.events", clean_result)
+        first = path.read_text().splitlines()[0]
+        path.write_text(first[: len(first) // 2])
+        header, events, skipped = read_cluster_events(path)
+        assert header == {} and events == [] and skipped == 1
+
+    def test_foreign_and_blank_lines_are_counted_not_fatal(
+        self, clean_result, tmp_path
+    ):
+        path = write_cluster_events(tmp_path / "run.events", clean_result)
+        with path.open("a") as handle:
+            handle.write('\n\n["a", "list", "row"]\n{"kind": "mystery"}\n')
+        _, events, skipped = read_cluster_events(path)
+        assert events  # the real records still parse
+        assert skipped == 2  # the list row and the unknown kind

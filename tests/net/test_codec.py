@@ -159,3 +159,69 @@ class TestMessageValidation:
 
     def test_payload_must_be_sequence(self):
         assert decode_message(Frame(T_MSG, {"src": 0, "dst": 1, "payload": 3})) is None
+
+
+class TestBoundarySplits:
+    """Resynchronisation when stream chunk boundaries land anywhere —
+    including inside the magic of a frame that follows garbage.  This is
+    exactly what a TCP read loop hands the decoder under the chaos proxy."""
+
+    def decoded(self, frames):
+        return [decode_message(f) for f in frames]
+
+    def expected(self):
+        return [
+            Message(0, 1, ("first",)),
+            Message(1, 0, ("second", 2)),
+            Message(2, 1, ("third", (3, 4))),
+        ]
+
+    def blob(self):
+        # Garbage between frames deliberately ends with a partial magic,
+        # so a split right after it looks like a frame start mid-chunk.
+        glue = JUNK[:7] + MAGIC[:1]
+        frames = [encode_message(m) for m in self.expected()]
+        return frames[0] + glue + frames[1] + glue + frames[2]
+
+    def test_every_split_position_decodes_identically(self):
+        blob = self.blob()
+        for cut in range(len(blob) + 1):
+            decoder = Decoder()
+            frames = decoder.feed(blob[:cut]) + decoder.feed(blob[cut:])
+            assert self.decoded(frames) == self.expected(), f"cut at {cut}"
+            assert decoder.garbage_bytes == 2 * (7 + 1)
+
+    def test_three_way_splits_around_the_glue(self):
+        blob = self.blob()
+        interesting = [0, 1, HEADER_SIZE - 1, HEADER_SIZE, len(blob) // 2]
+        for a in interesting:
+            for b in interesting:
+                lo, hi = min(a, b), max(a, b)
+                decoder = Decoder()
+                frames = (
+                    decoder.feed(blob[:lo])
+                    + decoder.feed(blob[lo:hi])
+                    + decoder.feed(blob[hi:])
+                )
+                assert self.decoded(frames) == self.expected()
+
+    def test_magic_straddling_a_chunk_boundary_resyncs(self):
+        # Garbage, then a frame whose magic is cut in half by the read
+        # boundary: the decoder must keep the half and resync, not drop it.
+        frame = encode_message(Message(0, 1, ("straddle",)))
+        decoder = Decoder()
+        assert decoder.feed(JUNK[:11] + frame[:1]) == []
+        frames = decoder.feed(frame[1:])
+        assert self.decoded(frames) == [Message(0, 1, ("straddle",))]
+        assert decoder.resyncs >= 1
+
+    def test_counters_are_split_invariant(self):
+        blob = self.blob()
+        reference = Decoder()
+        reference.feed(blob)
+        for cut in (1, 5, len(blob) // 3, len(blob) - 2):
+            decoder = Decoder()
+            decoder.feed(blob[:cut])
+            decoder.feed(blob[cut:])
+            assert decoder.frames_decoded == reference.frames_decoded
+            assert decoder.garbage_bytes == reference.garbage_bytes

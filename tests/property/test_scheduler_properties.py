@@ -1,0 +1,169 @@
+"""Property-based tests for the daemons' fairness and determinism.
+
+The paper's computations are maximal *weakly fair* interleavings; the
+daemons turn that model assumption into code.  These properties quantify
+over adversarially chosen enabledness sequences and check the two load-
+bearing guarantees: no continuously enabled action starves past the
+patience bound, and the adversarial daemons are pure functions of
+(scorer/strategy, seed, observed enabledness) — the replayability that
+the whole adversary subsystem builds on.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AdversarialDaemon, WeaklyFairDaemon
+from repro.sim.scheduler import _FairnessLedger
+
+
+class Act:
+    """Stub ActionDef: the ledger and daemons only read ``.name``."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"Act({self.name})"
+
+
+POOL = [(pid, Act(f"a{pid}")) for pid in range(5)]
+
+# One scheduling history: per round, which of the 5 pool entries are
+# enabled.  Entry 0 (the victim) is forced enabled in every round.
+histories = st.lists(
+    st.sets(st.integers(1, 4), max_size=4),
+    min_size=40,
+    max_size=80,
+).map(lambda rounds: [sorted(r | {0}) for r in rounds])
+
+seeds = st.integers(0, 10_000)
+
+
+def enabled_of(round_members):
+    return [POOL[i] for i in round_members]
+
+
+class TestWeaklyFairDaemon:
+    @given(histories, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_continuously_enabled_action_never_starves(self, history, seed):
+        """The hard weak-fairness bound: an action enabled at every
+        selection fires within ``patience`` + pool-size opportunities
+        (the slack is ties — several actions can reach the patience age
+        together and drain one per round)."""
+        patience = 5
+        daemon = WeaklyFairDaemon(patience=patience)
+        rng = random.Random(seed)
+        missed = 0
+        for step, members in enumerate(history):
+            choice = daemon.select(None, enabled_of(members), step, rng)
+            if choice[0] == 0:
+                missed = 0
+            else:
+                missed += 1
+            assert missed <= patience + len(POOL)
+
+    @given(histories, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_choice_is_always_enabled(self, history, seed):
+        daemon = WeaklyFairDaemon(patience=3)
+        rng = random.Random(seed)
+        for step, members in enumerate(history):
+            enabled = enabled_of(members)
+            assert daemon.select(None, enabled, step, rng) in enabled
+
+    @given(histories, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_for_a_seed(self, history, seed):
+        def trace():
+            daemon = WeaklyFairDaemon(patience=4)
+            rng = random.Random(seed)
+            return [
+                daemon.select(None, enabled_of(m), i, rng)
+                for i, m in enumerate(history)
+            ]
+
+        assert trace() == trace()
+
+
+class TestFairnessLedger:
+    @given(histories)
+    @settings(max_examples=30, deadline=None)
+    def test_only_currently_enabled_actions_age(self, history):
+        """Weak fairness protects *continuously* enabled actions: a round
+        of disablement must drop the age back to zero."""
+        ledger = _FairnessLedger()
+        for members in history:
+            enabled = enabled_of(members)
+            ledger.observe(enabled)
+            keys = {(pid, act.name) for pid, act in enabled}
+            assert set(ledger._ages) == keys
+
+    def test_age_grows_while_enabled_and_resets_on_fire(self):
+        ledger = _FairnessLedger()
+        enabled = enabled_of([0, 1])
+        for expected in (1, 2, 3):
+            ledger.observe(enabled)
+            age, _ = ledger.oldest(enabled_of([0]))
+            assert age == expected
+        ledger.fired(POOL[0])
+        ledger.observe(enabled)
+        age, _ = ledger.oldest(enabled_of([0]))
+        assert age == 1
+
+
+def spite_scorer(system, pid, action):
+    """A deterministic, state-free adversary score."""
+    return (pid * 7 + len(action.name)) % 5
+
+
+class TestAdversarialDaemon:
+    @given(histories, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_for_scorer_and_seed(self, history, seed):
+        """The replayability contract: same scorer, same seed, same
+        observed enabledness sequence — identical schedule."""
+
+        def trace():
+            daemon = AdversarialDaemon(spite_scorer, patience=6)
+            rng = random.Random(seed)
+            return [
+                daemon.select(None, enabled_of(m), i, rng)
+                for i, m in enumerate(history)
+            ]
+
+        assert trace() == trace()
+
+    @given(histories, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_patience_still_bounds_starvation(self, history, seed):
+        """Even a maximally spiteful scorer cannot starve a continuously
+        enabled action past the patience escape hatch."""
+        patience = 4
+        daemon = AdversarialDaemon(
+            lambda s, pid, a: 0.0 if pid == 0 else 1.0, patience=patience
+        )
+        rng = random.Random(seed)
+        missed = 0
+        for step, members in enumerate(history):
+            choice = daemon.select(None, enabled_of(members), step, rng)
+            missed = 0 if choice[0] == 0 else missed + 1
+            assert missed <= patience + len(POOL)
+
+    @given(histories)
+    @settings(max_examples=30, deadline=None)
+    def test_reset_restores_a_fresh_schedule(self, history):
+        daemon = AdversarialDaemon(spite_scorer, patience=6)
+
+        def trace():
+            rng = random.Random(0)
+            return [
+                daemon.select(None, enabled_of(m), i, rng)
+                for i, m in enumerate(history)
+            ]
+
+        first = trace()
+        daemon.reset()
+        assert trace() == first

@@ -397,3 +397,49 @@ class TestPerfCli:
         ]) == 0
         capsys.readouterr()
         assert plain.read_bytes() == timed.read_bytes()
+
+
+class TestFuzzCommand:
+    def fuzz_args(self, corpus_dir, seed=1):
+        return [
+            "fuzz", "--topology", "ring:3", "--seed", str(seed),
+            "--budget", "6", "--duration", "4.0", "--steps", "800",
+            "--sample-every", "20", "--keep", "1",
+            "--minimise-budget", "4", "--corpus-dir", str(corpus_dir),
+        ]
+
+    def test_fuzz_smoke(self, tmp_path, capsys):
+        assert main(self.fuzz_args(tmp_path / "c")) == 0
+        out = capsys.readouterr().out
+        assert "runs" in out and "signatures" in out
+        written = list((tmp_path / "c").glob("*.json"))
+        assert written
+        assert all(p.name.startswith("ring3-s1-r") for p in written)
+
+    def test_fuzz_is_deterministic_at_the_cli(self, tmp_path, capsys):
+        assert main(self.fuzz_args(tmp_path / "a")) == 0
+        assert main(self.fuzz_args(tmp_path / "b")) == 0
+        capsys.readouterr()
+        a = sorted((tmp_path / "a").glob("*.json"))
+        b = sorted((tmp_path / "b").glob("*.json"))
+        assert [p.name for p in a] == [p.name for p in b]
+        for pa, pb in zip(a, b):
+            assert pa.read_bytes() == pb.read_bytes()
+
+    def test_soak_replays_a_corpus_schedule(self, tmp_path, capsys):
+        assert main(self.fuzz_args(tmp_path / "c")) == 0
+        schedule_file = next((tmp_path / "c").glob("*.json"))
+        capsys.readouterr()
+        assert main([
+            "cluster", "soak", "--schedule-file", str(schedule_file),
+            "--tick-interval", "0.005",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "safety" in out
+
+    def test_schedule_file_must_exist(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", "soak",
+                "--schedule-file", "/nonexistent/corpus.json",
+            ])
