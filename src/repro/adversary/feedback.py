@@ -94,6 +94,10 @@ class FeedbackChaosController(ChaosController):
         }
         self._holding: Dict[str, float] = {}
         self._awaiting: Dict[str, float] = {}  # restarted, not yet converged
+        #: Most recent open lifecycle span per node (tracing runs only):
+        #: decisions name the span they struck, so the offline timeline can
+        #: line the adversary's moves up against the victim's own trace.
+        self._open_span: Dict[str, str] = {}
         self._pending_heals: List[FaultEvent] = []
         #: improvised events, in decision order (subset of ``applied``).
         self.decisions: List[FaultEvent] = []
@@ -121,6 +125,14 @@ class FeedbackChaosController(ChaosController):
             self._waiting_since[node] = t
         elif event == "net-convergence":
             self._awaiting.pop(node, None)
+        elif event == "net-span-open":
+            span = (row.get("detail") or {}).get("span")
+            if isinstance(span, str):
+                self._open_span[node] = span
+        elif event == "net-span-close":
+            span = (row.get("detail") or {}).get("span")
+            if self._open_span.get(node) == span:
+                self._open_span.pop(node, None)
 
     def waiting_chain(self) -> List[str]:
         """Longest-waiting head, extended greedily through waiting
@@ -168,6 +180,9 @@ class FeedbackChaosController(ChaosController):
         links = self._incident.get(target, ())
         if pid is None or not links:
             return []
+        span = self._open_span.get(target)
+        if span is not None:
+            reason = f"{reason} span:{span}"
         events: List[FaultEvent] = []
         if action == "partition":
             events.append(

@@ -16,6 +16,8 @@ Subcommands
 ``node``       serve one live cluster node (asyncio TCP daemon)
 ``cluster``    run/soak a live N-node cluster with chaos on localhost
 ``fuzz``       coverage-guided chaos-schedule fuzzing; writes a corpus
+``timeline``   merge span logs into one causal global order; attribute latency
+``top``        live terminal dashboard over a cluster's /metrics endpoint
 
 Observability: ``run``, ``stabilize``, and ``locality`` accept ``--trace``
 (record the run as versioned JSONL) and ``--metrics-out`` (write the
@@ -45,6 +47,10 @@ Examples
     python -m repro cluster soak --nodes 5 --seed 7 --duration 10
     python -m repro fuzz --topology ring:4 --seed 1 --budget 60 --corpus-dir corpus
     python -m repro cluster soak --schedule-file corpus/ring4-s1-r0.json
+    python -m repro cluster soak --nodes 3 --trace out/trace --events-out out/soak.events
+    python -m repro timeline out/trace --events out/soak.events --out out/timeline.jsonl
+    python -m repro cluster run --nodes 5 --duration 60 --metrics-port 9200
+    python -m repro top --port 9200
 """
 
 from __future__ import annotations
@@ -631,12 +637,152 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _span_paths(arguments) -> list:
+    """Expand directory arguments into their sorted ``spans-*.jsonl`` files
+    (the layout :class:`~repro.net.cluster.ClusterSupervisor` writes)."""
+    paths = []
+    for arg in arguments:
+        if os.path.isdir(arg):
+            found = sorted(
+                os.path.join(arg, name)
+                for name in os.listdir(arg)
+                if name.startswith("spans-") and name.endswith(".jsonl")
+            )
+            if not found:
+                raise SystemExit(f"{arg}: no spans-*.jsonl files in directory")
+            paths.extend(found)
+        else:
+            paths.append(arg)
+    return paths
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Merge per-node span logs into one happened-before-consistent global
+    timeline; verify causal consistency; attribute each grant's latency."""
+    from .obs import (
+        attribute_grants,
+        attribution_by_node,
+        causality_report,
+        merge_timeline,
+        read_spans,
+        reconstruct_violations,
+        write_timeline,
+    )
+    from .obs.tracing import SPANS_SOURCE
+
+    spans_by_node: dict = {}
+    for path in _span_paths(args.paths):
+        try:
+            span_file = read_spans(path)
+        except OSError as exc:
+            raise SystemExit(str(exc)) from None
+        if span_file.header.get("source") != SPANS_SOURCE and not span_file.spans:
+            raise SystemExit(f"{path}: not a span artefact")
+        for span in span_file.spans:
+            spans_by_node.setdefault(span.node, []).append(span)
+    entries = merge_timeline(spans_by_node)
+    total_spans = sum(len(spans) for spans in spans_by_node.values())
+    lo = entries[0].lc if entries else 0
+    hi = entries[-1].lc if entries else 0
+    print(
+        f"timeline: {len(spans_by_node)} nodes, {total_spans} spans, "
+        f"{len(entries)} entries, lc {lo}..{hi}"
+    )
+    report = causality_report(entries)
+    if report.ok:
+        print(f"causality: OK ({report.matched_messages} matched messages)")
+    else:
+        print(f"causality: CORRUPTED ({len(report.violations)} violations)")
+        for violation in report.violations[:10]:
+            print(f"  {violation}")
+    attributions = attribute_grants(spans_by_node)
+    for node, row in sorted(attribution_by_node(attributions).items()):
+        print(
+            f"  {node}: {row['grants']} grants, total {row['total_s']:.3f}s "
+            f"= queue {row['queue_s']:.3f}s + transfer {row['transfer_s']:.3f}s"
+            f" + retransmit {row['retransmit_s']:.3f}s "
+            f"({row['retransmits']} retransmits)"
+        )
+    if args.events:
+        from .net import read_cluster_events
+
+        try:
+            header, events, _ = read_cluster_events(args.events)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"{args.events}: {exc}") from None
+        spec = header.get("topology")
+        if not spec:
+            raise SystemExit(f"{args.events}: event log has no topology")
+        topology = parse_topology(spec)
+        end_t = float(header.get("duration_s") or 0.0)
+        reconstructed = reconstruct_violations(
+            topology,
+            events,
+            spans_by_node,
+            end_t=end_t,
+            exclude=header.get("killed") or (),
+            byzantine=header.get("byzantine") or (),
+        )
+        if not reconstructed:
+            print("violations: none reconstructed")
+        for row in reconstructed:
+            blame = ", ".join(row["byzantine"]) or "(no byzantine node)"
+            print(
+                f"violation: {row['node_a']} ∦ {row['node_b']} "
+                f"[{row['start']:.3f}, {row['end']:.3f}]s — {blame}"
+            )
+            for node, span_ids in sorted(row["spans"].items()):
+                print(f"  {node} spans open: {', '.join(span_ids) or '-'}")
+    if args.limit:
+        for entry in entries[: args.limit]:
+            detail = json.dumps(entry.detail, sort_keys=True)
+            print(
+                f"  lc={entry.lc} {entry.node} {entry.name}/{entry.ev} "
+                f"span={entry.span} {detail}"
+            )
+        remaining = len(entries) - args.limit
+        if remaining > 0:
+            print(f"  ... ({remaining} more entries)")
+    if args.out:
+        path = write_timeline(
+            args.out,
+            entries,
+            header={
+                "causality_ok": report.ok,
+                "matched_messages": report.matched_messages,
+            },
+        )
+        print(f"timeline artefact: {path}")
+    return 0 if report.ok else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a cluster's /metrics endpoint."""
+    from .obs import run_top
+
+    if not args.url and args.port is None:
+        raise SystemExit("--url or --port is required")
+    url = args.url or f"http://{args.host}:{args.port}/metrics"
+    try:
+        return run_top(
+            url,
+            interval_s=args.interval,
+            iterations=1 if args.once else None,
+            clear=not args.once,
+        )
+    except OSError as exc:
+        raise SystemExit(str(exc)) from None
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Summarise any of the repository's artefacts by sniffing the file.
 
-    Recognises metrics JSONL, campaign records, trace JSONL, and BENCH
-    JSON.  Anything else — including empty, binary, or truncated files —
-    exits nonzero with a one-line reason, never a traceback.
+    Recognises metrics JSONL, campaign records, trace JSONL, span logs,
+    merged timelines, cluster event logs, and BENCH JSON.  Anything else —
+    including empty, binary, or truncated files — exits nonzero with a
+    one-line reason, never a traceback.
     """
     try:
         return _stats(args.path)
@@ -697,6 +843,48 @@ def _stats(path: str) -> int:
             print(f"  {kind}: {counts[kind]}")
         if skipped:
             print(f"  skipped lines: {skipped} (truncated or foreign)")
+        return 0
+
+    # Span and timeline artefacts carry a ``source`` header too, so they
+    # must also be sniffed before the generic metrics branch.
+    span_file = _try_spans(path)
+    if span_file is not None:
+        spans = span_file.spans
+        closed = sum(1 for s in spans if s.closed)
+        events = sum(len(s.events) for s in spans)
+        print(f"span log: {len(spans)} spans ({closed} closed, "
+              f"{events} events)")
+        for key in ("node", "topology", "seed"):
+            if span_file.header.get(key) is not None:
+                print(f"  {key}: {span_file.header[key]}")
+        names: dict = {}
+        for span in spans:
+            names[span.name] = names.get(span.name, 0) + 1
+        for name in sorted(names):
+            print(f"  {name}: {names[name]} spans")
+        if span_file.skipped:
+            print(f"  skipped lines: {span_file.skipped} "
+                  "(truncated or foreign)")
+        return 0
+
+    timeline = _try_timeline(path)
+    if timeline is not None:
+        nodes = timeline.header.get("nodes") or sorted(
+            {e.node for e in timeline.entries}
+        )
+        print(f"timeline: {len(timeline.entries)} entries across "
+              f"{len(nodes)} nodes")
+        for key in ("causality_ok", "matched_messages"):
+            if timeline.header.get(key) is not None:
+                print(f"  {key}: {timeline.header[key]}")
+        kinds: dict = {}
+        for entry in timeline.entries:
+            kinds[entry.ev] = kinds.get(entry.ev, 0) + 1
+        for kind in sorted(kinds):
+            print(f"  {kind}: {kinds[kind]}")
+        if timeline.skipped:
+            print(f"  skipped lines: {timeline.skipped} "
+                  "(truncated or foreign)")
         return 0
 
     metrics = read_metrics(path)
@@ -773,6 +961,41 @@ def _try_cluster_events(path: str):
     ):
         return None
     return read_cluster_events(path)
+
+
+def _first_header(path: str):
+    """The file's first line as a parsed JSONL header dict, else ``None``
+    — shared sniffing primitive: foreign files cost one readline."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = json.loads(handle.readline())
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(first, dict) or first.get("kind") != "header":
+        return None
+    return first
+
+
+def _try_spans(path: str):
+    """The parsed span artefact, or ``None`` if ``path`` is not one."""
+    from .obs import read_spans
+    from .obs.tracing import SPANS_SOURCE
+
+    first = _first_header(path)
+    if first is None or first.get("source") != SPANS_SOURCE:
+        return None
+    return read_spans(path)
+
+
+def _try_timeline(path: str):
+    """The parsed timeline artefact, or ``None`` if ``path`` is not one."""
+    from .obs import read_timeline
+    from .obs.timeline import TIMELINE_SOURCE
+
+    first = _first_header(path)
+    if first is None or first.get("source") != TIMELINE_SOURCE:
+        return None
+    return read_timeline(path)
 
 
 def _try_bench(path: str):
@@ -1024,13 +1247,56 @@ def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
         byzantine=getattr(args, "byzantine", 0),
         adaptive=getattr(args, "adaptive", False),
         adaptive_interval=getattr(args, "adaptive_interval", 0.4),
+        trace_dir=getattr(args, "trace", None),
+        metrics_port=getattr(args, "metrics_port", None),
+        stream_events=getattr(args, "events_out", None),
     )
 
 
+def _run_interruptible(coro):
+    """``asyncio.run`` with SIGTERM/SIGINT routed to task cancellation.
+
+    The cluster entry points treat cancellation as an early, orderly
+    shutdown (teardown still runs, partial artefacts still flush), so a
+    killed soak keeps its event/span tail instead of dying mid-write.
+    """
+    import asyncio
+    import signal
+
+    async def _main():
+        task = asyncio.ensure_future(coro)
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, task.cancel)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-unix loop; KeyboardInterrupt still works
+        try:
+            return await task
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+
+    return asyncio.run(_main())
+
+
+def _print_metrics_url(args) -> None:
+    port = getattr(args, "metrics_port", None)
+    if port:
+        # Ephemeral (0) binds after the loop starts, so only a fixed port
+        # can be announced upfront for `repro top` to attach to.
+        print(f"metrics endpoint: http://{args.host}:{port}/metrics",
+              flush=True)
+
+
 def _print_cluster_summary(result) -> None:
+    interrupted = " (interrupted)" if result.interrupted else ""
     print(
         f"cluster {result.topology_spec} seed={result.seed}: "
         f"{result.mode} for {result.duration_s}s, {len(result.nodes)} nodes"
+        f"{interrupted}"
     )
     for node in result.nodes:
         c = result.counters.get(node, {})
@@ -1058,6 +1324,8 @@ def _print_cluster_summary(result) -> None:
         print(f"  restarted: {restarted}")
     for node, elapsed in sorted(result.convergence_s.items()):
         print(f"  convergence: {node} re-granted {elapsed:.3f}s after restart")
+    for path in result.trace_paths:
+        print(f"  spans: {path}")
 
 
 def _write_cluster_artefacts(args, result, *, extra_header=None) -> None:
@@ -1074,24 +1342,22 @@ def _write_cluster_artefacts(args, result, *, extra_header=None) -> None:
 
 
 def cmd_cluster_run(args: argparse.Namespace) -> int:
-    import asyncio
-
     from .net import run_cluster
 
     config = _cluster_config(args, lock_service=False)
-    result = asyncio.run(run_cluster(config, args.duration))
+    _print_metrics_url(args)
+    result = _run_interruptible(run_cluster(config, args.duration))
     _print_cluster_summary(result)
     _write_cluster_artefacts(args, result)
     return 0
 
 
 def cmd_cluster_soak(args: argparse.Namespace) -> int:
-    import asyncio
-
     from .net import soak
 
     config = _cluster_config(args, lock_service=True)
-    result = asyncio.run(
+    _print_metrics_url(args)
+    result = _run_interruptible(
         soak(
             config,
             args.duration,
@@ -1433,7 +1699,20 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--metrics-out", default=None, dest="metrics_out",
                         metavar="PATH", help="write cluster metrics JSONL")
         cp.add_argument("--events-out", default=None, dest="events_out",
-                        metavar="PATH", help="write the event-log artefact")
+                        metavar="PATH", help="write the event-log artefact "
+                        "(streamed line-by-line during the run, finalised "
+                        "atomically at teardown)")
+        cp.add_argument("--trace", default=None, metavar="DIR",
+                        help="causal tracing: stamp every frame with a "
+                        "Lamport clock + span id and write per-node "
+                        "spans-<node>.jsonl artefacts into DIR at teardown "
+                        "(merge offline with `repro timeline DIR`)")
+        cp.add_argument("--metrics-port", type=int, default=None,
+                        dest="metrics_port", metavar="PORT",
+                        help="serve live Prometheus text metrics at "
+                        "http://HOST:PORT/metrics while the cluster runs "
+                        "(watch with `repro top --port PORT`); implies "
+                        "tracing")
 
     cp = cluster_sub.add_parser(
         "run", help="always-hungry diners under chaos; report counters"
@@ -1495,6 +1774,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-round progress lines")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "timeline",
+        help="merge per-node span logs into one causal global timeline",
+        description="Read the spans-<node>.jsonl artefacts a traced "
+        "cluster run wrote (pass the --trace directory or the files "
+        "themselves, in any order), merge them into one happened-before-"
+        "consistent global order, verify causal consistency (a cycle or a "
+        "clock inversion means a corrupted trace; exit 1), and attribute "
+        "each grant's latency to queueing, fork transfer, or chaos-induced "
+        "retransmits.  With --events, the soak's neighbour-exclusion "
+        "violations are walked back to the spans open across them — a "
+        "byzantine violation is localised to the subverted node.  --out "
+        "writes a byte-stable timeline artefact.",
+    )
+    p.add_argument("paths", nargs="+",
+                   help="span JSONL files, or directories of spans-*.jsonl")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="the soak's event-log artefact (--events-out): "
+                   "reconstruct exclusion violations against the spans")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the merged timeline as canonical JSONL")
+    p.add_argument("--limit", type=int, default=0,
+                   help="also print the first N timeline entries")
+    p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a cluster's /metrics endpoint",
+        description="Poll the Prometheus text endpoint a cluster run "
+        "serves with --metrics-port, and render waiting-chain length, "
+        "hunger-latency percentiles, per-edge retransmit rates, and "
+        "per-node counters, refreshed in place until interrupted.",
+    )
+    p.add_argument("--url", default=None,
+                   help="full endpoint URL (overrides --host/--port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="the cluster's --metrics-port")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between refreshes")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen clear)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("report", help="run the experiment suite, emit markdown")
     p.add_argument("--full", action="store_true")

@@ -25,6 +25,7 @@ from collections import Counter
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
 
 from ..obs.events import MpEventKind
+from ..obs.tracing import LamportClock
 from ..sim.errors import DeadProcessError, SimulationError, UnknownProcessError
 from ..sim.topology import Pid, Topology
 from ..sim.trace import TraceEvent
@@ -110,6 +111,14 @@ class MpEngine:
         #: per-process delivered/tick counters for tests and metrics.
         self.counters: Counter = Counter()
         self._ages: Dict[Hashable, int] = {}
+        #: Per-process Lamport clocks, maintained by the engine itself:
+        #: ticked on every send/tick/havoc, merged (with the sender's value
+        #: at delivery time — an upper bound on its value at send time,
+        #: still happened-before-consistent) on every delivery.  Event
+        #: detail shapes are untouched, so replay byte-identity holds.
+        self.clocks: Dict[Pid, LamportClock] = {
+            p: LamportClock() for p in topology.nodes
+        }
 
     # ------------------------------------------------------------- access
 
@@ -127,6 +136,8 @@ class MpEngine:
         refused or lost.
         """
         accepted = self.channel(src, dst).send(payload)
+        if accepted:
+            self.clocks[src].tick()
         self._emit(
             MpEventKind.SEND if accepted else MpEventKind.DROP, src, dst
         )
@@ -244,6 +255,7 @@ class MpEngine:
             message = self._channels[detail].deliver()
             self.delivered += 1
             self.counters[("delivered", dst)] += 1
+            self.clocks[dst].merge(self.clocks[src].value)
             self._emit(MpEventKind.DELIVER, dst, src)
             if self._alive[dst]:
                 budget = self._malicious_budget.get(dst)
@@ -257,6 +269,7 @@ class MpEngine:
             pid = detail
             self.ticks += 1
             self.counters[("tick", pid)] += 1
+            self.clocks[pid].tick()
             budget = self._malicious_budget.get(pid)
             if budget is not None:
                 self._emit(MpEventKind.HAVOC, pid)

@@ -40,12 +40,14 @@ from .cluster import (
     merge_counters,
     read_cluster_events,
     run_cluster,
+    sanitize_node,
     write_cluster_events,
     write_cluster_metrics,
 )
 from .codec import (
     Decoder,
     Frame,
+    WIRE_TRACE_VERSION,
     WIRE_VERSION,
     CodecError,
     decode_message,
@@ -86,10 +88,12 @@ __all__ = [
     "merge_counters",
     "read_cluster_events",
     "run_cluster",
+    "sanitize_node",
     "write_cluster_events",
     "write_cluster_metrics",
     "Decoder",
     "Frame",
+    "WIRE_TRACE_VERSION",
     "WIRE_VERSION",
     "CodecError",
     "decode_message",

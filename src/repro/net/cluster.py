@@ -21,15 +21,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import random
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, TextIO
 
 from ..mp.diners_mp import DinersMpProcess
 from ..obs.bus import EventBus
 from ..obs.events import NetEventKind
-from ..obs.metrics import MetricsRegistry, write_metrics
+from ..obs.metrics import MetricsRegistry, percentile_of_sorted, write_metrics
+from ..obs.prom import PROM_CONTENT_TYPE, Sample, render_prometheus
+from ..obs.tracing import LamportClock, SpanRecorder, write_spans
 from ..sim.topology import Pid, Topology
 from ..sim.trace import TraceEvent
 from .chaos import ChaosController, ChaosSchedule, LinkProxy, build_schedule
@@ -89,6 +93,21 @@ class ClusterConfig:
     #: the most vulnerable node on this cadence.
     adaptive: bool = False
     adaptive_interval: float = 0.4
+    #: Write per-node span artefacts (``spans-<node>.jsonl``) here at
+    #: teardown; also enables causal tracing on every node server.
+    trace_dir: Optional[str] = None
+    #: Serve the live Prometheus ``/metrics`` endpoint on this port while
+    #: the cluster runs (0 = ephemeral); tracing is enabled too, since the
+    #: hunger-latency metrics are derived from span closes.
+    metrics_port: Optional[int] = None
+    #: Stream every collected event to this JSONL file as it happens, one
+    #: flushed line each — a SIGKILL mid-soak loses at most the last line,
+    #: not the whole artefact (the final atomic write replaces the file).
+    stream_events: Optional[str] = None
+
+    @property
+    def tracing(self) -> bool:
+        return self.trace_dir is not None or self.metrics_port is not None
 
 
 @dataclass
@@ -110,6 +129,11 @@ class ClusterResult:
     #: Seconds from a node's relaunch to its first client-matched grant —
     #: the run's observed convergence deadline, per restarted node.
     convergence_s: Dict[str, float] = field(default_factory=dict)
+    #: Per-node span artefacts written at teardown (tracing runs only).
+    trace_paths: List[str] = field(default_factory=list)
+    #: ``True`` when the run was cut short (SIGTERM/SIGINT) — the result
+    #: and artefacts cover the partial window.
+    interrupted: bool = False
 
     @property
     def total_grants(self) -> int:
@@ -146,6 +170,21 @@ class ClusterSupervisor:
         self._t0: Optional[float] = None
         self._chaos_task: Optional[asyncio.Task] = None
         self._monitor_task: Optional[asyncio.Task] = None
+        self._stopped = False
+        self.interrupted = False
+        # ---- causal tracing: one recorder + clock per node, shared by
+        # every incarnation (restarts extend the same span history).
+        self.tracers: Dict[str, SpanRecorder] = {}
+        self._clocks: Dict[str, LamportClock] = {}
+        self.trace_paths: List[str] = []
+        # ---- live telemetry state (fed by _collect from the obs stream)
+        self._hunger_waits: List[float] = []
+        self._waiting: Dict[str, int] = {}  # node -> open waiting spans
+        self._holding: set = set()
+        self._retired_edge_rtx: Dict[tuple, int] = {}
+        self._metrics_endpoint: Optional[_MetricsEndpoint] = None
+        self.metrics_port: Optional[int] = None
+        self._stream_handle: Optional[TextIO] = None
 
     # ---------------------------------------------------------- collection
 
@@ -161,6 +200,36 @@ class ClusterSupervisor:
         if extra:
             row["detail"] = extra
         self.events.append(row)
+        if self._stream_handle is not None:
+            try:
+                self._stream_handle.write(
+                    json.dumps({"kind": "event", **row},
+                               sort_keys=True, separators=(",", ":")) + "\n"
+                )
+                self._stream_handle.flush()
+            except (OSError, ValueError):
+                self._stream_handle = None  # disk gone; keep serving
+        # Live-telemetry watches (span lifecycles -> hunger latency and the
+        # waiting set the /metrics endpoint reports the chain length of).
+        node = row["node"]
+        if node is not None:
+            if kind == NetEventKind.SPAN_OPEN.value:
+                if extra.get("name") in ("acquire", "hunger"):
+                    self._waiting[node] = self._waiting.get(node, 0) + 1
+            elif kind == NetEventKind.SPAN_CLOSE.value:
+                if extra.get("name") in ("acquire", "hunger"):
+                    left = self._waiting.get(node, 0) - 1
+                    if left > 0:
+                        self._waiting[node] = left
+                    else:
+                        self._waiting.pop(node, None)
+                wait = extra.get("wait_s")
+                if isinstance(wait, (int, float)):
+                    self._hunger_waits.append(float(wait))
+            elif kind == NetEventKind.GRANT.value:
+                self._holding.add(node)
+            elif kind == NetEventKind.RELEASE.value:
+                self._holding.discard(node)
         # The adaptive adversary (when configured) reads the same stream
         # the artefacts record — no privileged state channel.
         observe = getattr(self.controller, "observe", None)
@@ -197,11 +266,47 @@ class ClusterSupervisor:
             pid, cfg.topology, eat_ticks=2, seed=cfg.seed + index, repair=True
         )
 
+    def _tracer_for(self, pid: Pid) -> Optional[SpanRecorder]:
+        if not self.config.tracing:
+            return None
+        key = repr(pid)
+        return self.tracers.setdefault(key, SpanRecorder(key))
+
+    def _clock_for(self, pid: Pid) -> Optional[LamportClock]:
+        if not self.config.tracing:
+            return None
+        key = repr(pid)
+        return self._clocks.setdefault(key, LamportClock())
+
+    def _open_stream(self, path_s: str) -> Optional[TextIO]:
+        path = Path(path_s)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            handle = path.open("w", encoding="utf-8")
+        except OSError:
+            return None
+        header = {
+            "format": EVENTS_FORMAT_VERSION,
+            "kind": "header",
+            "source": "soak-events" if self.config.lock_service
+            else "cluster-events",
+            "topology": self.config.topology_spec,
+            "seed": self.config.seed,
+            "provisional": True,  # the post-run write replaces this file
+        }
+        handle.write(
+            json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        handle.flush()
+        return handle
+
     async def start(self, duration_s: float) -> None:
         """Bring every node and proxy up; wire the peer address maps."""
         cfg = self.config
         loop = asyncio.get_running_loop()
         self._t0 = loop.time()
+        if cfg.stream_events is not None:
+            self._stream_handle = self._open_stream(cfg.stream_events)
         for i, pid in enumerate(cfg.topology.nodes):
             node = NodeServer(
                 pid,
@@ -211,9 +316,16 @@ class ClusterSupervisor:
                 tick_interval=cfg.tick_interval,
                 bus=self.bus,
                 t0=self._t0,
+                tracer=self._tracer_for(pid),
+                clock=self._clock_for(pid),
             )
             self.nodes[pid] = node
             await node.start_listening()
+        if cfg.metrics_port is not None:
+            self._metrics_endpoint = _MetricsEndpoint(
+                self, cfg.host, cfg.metrics_port
+            )
+            self.metrics_port = await self._metrics_endpoint.start()
 
         policy = cfg.restart
         if cfg.schedule is not None:
@@ -292,6 +404,9 @@ class ClusterSupervisor:
             await asyncio.sleep(remaining)
 
     async def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
         for task in (self._chaos_task, self._monitor_task):
             if task is not None:
                 task.cancel()
@@ -299,24 +414,72 @@ class ClusterSupervisor:
                     await task
                 except (asyncio.CancelledError, Exception):
                     pass
+        if self._metrics_endpoint is not None:
+            await self._metrics_endpoint.close()
+            self._metrics_endpoint = None
         for node in self.nodes.values():
             await node.stop()
         for proxy in self.proxies.values():
             await proxy.close()
+        if self._stream_handle is not None:
+            try:
+                self._stream_handle.flush()
+                os.fsync(self._stream_handle.fileno())
+                self._stream_handle.close()
+            except (OSError, ValueError):
+                pass
+            self._stream_handle = None
+        if self.config.trace_dir is not None:
+            for key in sorted(self.tracers):
+                path = (
+                    Path(self.config.trace_dir)
+                    / f"spans-{sanitize_node(key)}.jsonl"
+                )
+                write_spans(
+                    path,
+                    self.tracers[key],
+                    header={
+                        "topology": self.config.topology_spec,
+                        "seed": self.config.seed,
+                    },
+                )
+                self.trace_paths.append(str(path))
 
     # --------------------------------------------------------------- chaos
 
     def _on_scheduled_fault(self, event) -> None:
+        self._record_chaos_span(event)
         self._emit(
             NetEventKind.CHAOS,
             event.node,
             {"kind": event.kind, "links": len(event.links)},
         )
 
+    def _record_chaos_span(self, event) -> None:
+        """Stamp a chaos hit onto the victim's current span, so the offline
+        timeline can attribute latency the fault induced."""
+        if event.node is None:
+            return
+        key = repr(event.node)
+        tracer = self.tracers.get(key)
+        if tracer is None:
+            return
+        loop = asyncio.get_running_loop()
+        t = 0.0 if self._t0 is None else round(loop.time() - self._t0, 6)
+        tracer.event(
+            tracer.current(),
+            "chaos",
+            lc=self._clocks[key].tick(),
+            t=t,
+            detail={"kind": event.kind},
+        )
+
     def _on_chunk_fault(self, kind: str, link) -> None:
         self.chunk_faults[kind] = self.chunk_faults.get(kind, 0) + 1
 
     def _on_adversary_decision(self, event, reason: str) -> None:
+        # The applied fault itself reaches _on_scheduled_fault (and the
+        # victim's span) via on_fault; here we only log the decision.
         self._emit(
             NetEventKind.ADVERSARY,
             event.node,
@@ -376,6 +539,9 @@ class ClusterSupervisor:
         self._retired_counters[repr(pid)] = merge_counters(
             self._retired_counters.get(repr(pid), {}), old.counters()
         )
+        for peer, n in old.retransmits_by_peer.items():
+            edge = (repr(pid), peer)
+            self._retired_edge_rtx[edge] = self._retired_edge_rtx.get(edge, 0) + n
         node = NodeServer(
             pid,
             cfg.topology,
@@ -386,6 +552,10 @@ class ClusterSupervisor:
             bus=self.bus,
             t0=self._t0,
             epoch=count,
+            # Same recorder and clock as every previous incarnation: the
+            # node's causal history is one line, epochs tell spans apart.
+            tracer=self._tracer_for(pid),
+            clock=self._clock_for(pid),
         )
         for _ in range(20):
             try:
@@ -428,6 +598,101 @@ class ClusterSupervisor:
                         {"expected": expected},
                     )
 
+    # ------------------------------------------------------------ telemetry
+
+    def waiting_chain(self) -> List[str]:
+        """Longest-waiting head extended greedily through waiting
+        neighbours — the live approximation of the simulator's chain
+        probe, over nodes with an open acquire/hunger span and no grant."""
+        waiting = {
+            n for n, count in self._waiting.items()
+            if count > 0 and n not in self._holding
+        }
+        if not waiting:
+            return []
+        neighbors = {
+            repr(p): [repr(q) for q in self.config.topology.neighbors(p)]
+            for p in self.config.topology.nodes
+        }
+        chain = [min(waiting)]
+        seen = set(chain)
+        while True:
+            frontier = [
+                n for n in neighbors.get(chain[-1], ())
+                if n in waiting and n not in seen
+            ]
+            if not frontier:
+                return chain
+            chain.append(min(frontier))
+            seen.add(chain[-1])
+
+    def live_samples(self) -> List[Sample]:
+        """The /metrics sample set — everything ``repro top`` renders."""
+        loop = asyncio.get_running_loop()
+        uptime = 0.0 if self._t0 is None else round(loop.time() - self._t0, 6)
+        samples: List[Sample] = [
+            Sample("repro_cluster_uptime_seconds", uptime,
+                   help="Seconds since the supervisor started"),
+            Sample("repro_cluster_killed", float(len(self.killed)),
+                   help="Nodes halted by malicious crashes"),
+            Sample("repro_cluster_waiting_chain_length",
+                   float(len(self.waiting_chain())),
+                   help="Longest chain of hungry nodes waiting on each other"),
+        ]
+        if self._hunger_waits:
+            ordered = sorted(self._hunger_waits)
+            for q in (0.5, 0.9, 0.99):
+                samples.append(
+                    Sample("repro_cluster_hunger_latency_seconds",
+                           round(percentile_of_sorted(ordered, q), 6),
+                           labels={"q": str(q)},
+                           help="Acquire-to-grant latency percentiles")
+                )
+        per_node = {
+            repr(p): merge_counters(
+                self._retired_counters.get(repr(p), {}), n.counters()
+            )
+            for p, n in self.nodes.items()
+        }
+        gauges = (
+            ("repro_node_grants_total", "grants", "counter"),
+            ("repro_node_msgs_in_total", "msgs_in", "counter"),
+            ("repro_node_msgs_out_total", "msgs_out", "counter"),
+            ("repro_node_retransmits_total", "retransmits", "counter"),
+            ("repro_node_epoch", "epoch", "gauge"),
+        )
+        for pid, node in sorted(self.nodes.items(), key=lambda kv: repr(kv[0])):
+            key = repr(pid)
+            samples.append(
+                Sample("repro_node_up", 1.0 if node._running else 0.0,
+                       labels={"node": key},
+                       help="1 while the node's server is running")
+            )
+            counters = per_node[key]
+            for name, counter_key, kind in gauges:
+                samples.append(
+                    Sample(name, float(counters.get(counter_key, 0)),
+                           labels={"node": key}, kind=kind)
+                )
+        edges: Dict[tuple, int] = dict(self._retired_edge_rtx)
+        for pid, node in self.nodes.items():
+            for peer, n in node.retransmits_by_peer.items():
+                edge = (repr(pid), peer)
+                edges[edge] = edges.get(edge, 0) + n
+        for (src, dst), n in sorted(edges.items()):
+            samples.append(
+                Sample("repro_edge_retransmits_total", float(n),
+                       labels={"node": src, "peer": dst}, kind="counter",
+                       help="Identical re-sends per directed edge")
+            )
+        for node_key, elapsed in sorted(self.convergence_s.items()):
+            samples.append(
+                Sample("repro_cluster_convergence_seconds", elapsed,
+                       labels={"node": node_key},
+                       help="Restart to first client-matched grant")
+            )
+        return samples
+
     # -------------------------------------------------------------- results
 
     def result(self, duration_s: float) -> ClusterResult:
@@ -452,7 +717,74 @@ class ClusterSupervisor:
             chunk_faults=dict(self.chunk_faults),
             restarts={repr(p): n for p, n in self.restarts.items()},
             convergence_s=dict(self.convergence_s),
+            trace_paths=list(self.trace_paths),
+            interrupted=self.interrupted,
         )
+
+
+_NODE_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def sanitize_node(key: str) -> str:
+    """A node key (``repr(pid)``) as a filesystem-safe artefact stem."""
+    cleaned = _NODE_SAFE.sub("_", key).strip("_")
+    return cleaned or "node"
+
+
+class _MetricsEndpoint:
+    """The supervisor's /metrics HTTP listener (Prometheus text format).
+
+    Deliberately minimal: one GET per connection, rendered from
+    :meth:`ClusterSupervisor.live_samples` at request time, connection
+    closed.  Enough for a scraper or ``repro top``; not a web server.
+    """
+
+    def __init__(self, supervisor: ClusterSupervisor, host: str, port: int) -> None:
+        self._supervisor = supervisor
+        self._host = host
+        self._port = port
+        self._server: asyncio.base_events.Server | None = None
+        self.port: Optional[int] = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._serve, self._host, self._port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readline()
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            ok = request.startswith(b"GET ")
+            body = (
+                render_prometheus(self._supervisor.live_samples())
+                if ok else "method not allowed\n"
+            ).encode("utf-8")
+            status = b"200 OK" if ok else b"405 Method Not Allowed"
+            writer.write(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: " + PROM_CONTENT_TYPE.encode("ascii") + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
 
 
 def merge_counters(
@@ -475,11 +807,18 @@ def merge_counters(
 async def run_cluster(
     config: ClusterConfig, duration_s: float
 ) -> ClusterResult:
-    """One complete supervised run: start → serve → stop → result."""
+    """One complete supervised run: start → serve → stop → result.
+
+    Cancellation (SIGTERM/SIGINT routed through the CLI's interruptible
+    runner) is an early, orderly shutdown: the partial result still comes
+    back and the artefacts cover the truncated window.
+    """
     supervisor = ClusterSupervisor(config)
     try:
         await supervisor.start(duration_s)
         await supervisor.run(duration_s)
+    except asyncio.CancelledError:
+        supervisor.interrupted = True
     finally:
         await supervisor.stop()
     return supervisor.result(duration_s)
@@ -609,5 +948,7 @@ def write_cluster_events(path: Path | str, result: ClusterResult) -> Path:
                 )
                 + "\n"
             )
+        handle.flush()
+        os.fsync(handle.fileno())
     tmp.replace(path)
     return path

@@ -287,8 +287,14 @@ class LockClient:
             req_id = f"{self.client_id}.{self.epoch}.{self._next_id + 1}"
         future = loop.create_future()
         self._pending[(op, req_id)] = _Pending(future, loop.time())
+        body: Dict[str, Any] = {"op": op, "id": req_id}
+        if op == "acquire":
+            # The client-side span id: the node adopts it as the acquire
+            # span's ``client_span`` attribute, chaining the causal trace
+            # across the process boundary.
+            body["span"] = str(req_id)
         try:
-            writer.write(encode_frame(T_REQ, {"op": op, "id": req_id}))
+            writer.write(encode_frame(T_REQ, body))
         except (ConnectionError, OSError) as exc:
             self._pending.pop((op, req_id), None)
             raise LockError(f"send failed: {exc}") from exc
@@ -578,6 +584,9 @@ async def soak(
                 )
             )
         await supervisor.run(duration_s)
+    except asyncio.CancelledError:
+        # SIGTERM mid-soak: tear down in order and audit the partial window.
+        supervisor.interrupted = True
     finally:
         for task in client_tasks:
             task.cancel()

@@ -28,11 +28,12 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..mp.diners_mp import DinersMpProcess, E as EATING
+from ..mp.diners_mp import DinersMpProcess, E as EATING, H as HUNGRY
 from ..mp.message import Message
 from ..mp.node import MpProcess
 from ..obs.bus import EventBus
 from ..obs.events import NetEventKind
+from ..obs.tracing import LamportClock, ROOT_SPAN, Span, SpanRecorder
 from ..sim.topology import Pid, Topology
 from ..sim.trace import TraceEvent
 from .codec import (
@@ -149,6 +150,8 @@ class NodeServer:
         bus: EventBus | None = None,
         t0: float | None = None,
         epoch: int = 0,
+        tracer: SpanRecorder | None = None,
+        clock: LamportClock | None = None,
     ) -> None:
         if pid not in topology:
             raise ValueError(f"{pid!r} is not in the topology")
@@ -170,8 +173,21 @@ class NodeServer:
         self._seq = 0
         self._running = False
         self._prev_state: Optional[str] = None
-        #: FIFO of ``(writer, request_id)`` acquires awaiting a grant.
-        self._waiters: List[Tuple[asyncio.StreamWriter, Any]] = []
+        # ---- causal tracing (both optional; the supervisor hands the SAME
+        # recorder and clock to every incarnation of a node, so restarts
+        # extend one per-node history and ``epoch`` tells the spans apart).
+        self.tracer = tracer
+        self.clock = clock if clock is not None else (
+            LamportClock() if tracer is not None else None
+        )
+        self._root_span: Optional[Span] = None
+        self._active_span: Optional[Span] = None  # granted lifecycle span
+        self._hunger_span: Optional[Span] = None  # plain-diner hungry span
+        #: Last payload written per neighbour — an identical re-send is the
+        #: repair-mode retransmit the timeline attributes chaos latency to.
+        self._last_sent: Dict[Pid, Tuple] = {}
+        #: FIFO of ``(writer, request_id, span)`` acquires awaiting a grant.
+        self._waiters: List[Tuple[asyncio.StreamWriter, Any, Optional[Span]]] = []
         #: Connection currently holding the lock — its death releases the
         #: lease, else the meal stays topped up forever and starves the
         #: neighbourhood.
@@ -190,6 +206,10 @@ class NodeServer:
         self.ticks = 0
         self.grants = 0
         self.releases = 0
+        self.retransmits = 0
+        #: Per-peer retransmit counts (``repr(pid)`` keys), surfaced as the
+        #: ``repro_edge_retransmits_total`` live metric.
+        self.retransmits_by_peer: Dict[str, int] = {}
 
     # ------------------------------------------------------------- obs
 
@@ -211,6 +231,54 @@ class NodeServer:
         self._seq += 1
         self.bus.publish(TraceEvent(self._seq, kind, self.pid, body))
 
+    # ------------------------------------------------------------- tracing
+
+    def _trace_open(
+        self,
+        name: str,
+        *,
+        parent: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Span]:
+        if self.tracer is None:
+            return None
+        span = self.tracer.open(
+            name,
+            lc=self.clock.tick(),
+            t=self._now(),
+            epoch=self.epoch,
+            parent=parent,
+            attrs=attrs,
+        )
+        self.publish(NetEventKind.SPAN_OPEN, {"span": span.span_id, "name": name})
+        return span
+
+    def _trace_event(
+        self,
+        span: Optional[Span],
+        name: str,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if self.tracer is None or span is None:
+            return
+        self.tracer.event(
+            span, name, lc=self.clock.tick(), t=self._now(), detail=detail
+        )
+
+    def _trace_close(self, span: Optional[Span]) -> None:
+        if self.tracer is None or span is None or span.closed:
+            return
+        self.tracer.close(span, lc=self.clock.tick(), t=self._now())
+        detail: Dict[str, Any] = {
+            "span": span.span_id,
+            "name": span.name,
+            "dur_s": span.duration_s(),
+        }
+        grant = span.first_event("grant")
+        if grant is not None:
+            detail["wait_s"] = round(grant.t - span.open_t, 6)
+        self.publish(NetEventKind.SPAN_CLOSE, detail)
+
     # ------------------------------------------------------------ lifecycle
 
     async def start_listening(self) -> int:
@@ -224,6 +292,7 @@ class NodeServer:
         if self.epoch:
             detail["epoch"] = self.epoch
         self.publish(NetEventKind.NODE_START, detail)
+        self._root_span = self._trace_open(ROOT_SPAN, attrs={"port": self.port})
         return self.port
 
     async def connect_peers(self, peers: Dict[Pid, Address]) -> None:
@@ -265,6 +334,14 @@ class NodeServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.tracer is not None:
+            # An incarnation takes its open spans down with it — a crashed
+            # node's intervals truncate cleanly instead of dangling.
+            for span in self.tracer.open_spans():
+                self._trace_close(span)
+            self._root_span = None
+            self._active_span = None
+            self._hunger_span = None
         self.publish(NetEventKind.NODE_STOP)
 
     # ------------------------------------------------------------- outbound
@@ -313,6 +390,13 @@ class NodeServer:
             self.send_failures += 1
             return False
         link.seq += 1
+        lc: Optional[int] = None
+        span_id: Optional[str] = None
+        if self.clock is not None:
+            lc = self.clock.tick()
+            if self.tracer is not None:
+                current = self.tracer.current()
+                span_id = None if current is None else current.span_id
         frame = encode_frame(
             T_MSG,
             {
@@ -321,6 +405,8 @@ class NodeServer:
                 "payload": list(payload),
                 "seq": link.seq,
             },
+            lc=lc,
+            span=span_id,
         )
         try:
             link.writer.write(frame)
@@ -328,6 +414,27 @@ class NodeServer:
             self.send_failures += 1
             return False
         self.msgs_out += 1
+        payload_key = tuple(payload)
+        retransmit = self._last_sent.get(dst) == payload_key
+        self._last_sent[dst] = payload_key
+        if retransmit:
+            self.retransmits += 1
+            peer = repr(dst)
+            self.retransmits_by_peer[peer] = (
+                self.retransmits_by_peer.get(peer, 0) + 1
+            )
+        if self.tracer is not None and lc is not None:
+            # Same stamp as the frame: the span event IS the emission.  A
+            # retransmit keeps its own event name so the timeline can
+            # attribute the latency it closes (the matched-edge check only
+            # pairs first sends, which is conservative, never wrong).
+            self.tracer.event(
+                self.tracer.current(),
+                "retransmit" if retransmit else "send",
+                lc=lc,
+                t=self._now(),
+                detail={"dst": repr(dst), "seq": link.seq},
+            )
         self.publish(NetEventKind.SEND, {"dst": repr(dst)})
         return True
 
@@ -388,7 +495,13 @@ class NodeServer:
             pass
         finally:
             self._conns.discard(writer)
-            self._waiters = [(w, r) for (w, r) in self._waiters if w is not writer]
+            abandoned = [s for (w, _, s) in self._waiters if w is writer]
+            self._waiters = [
+                (w, r, s) for (w, r, s) in self._waiters if w is not writer
+            ]
+            for span in abandoned:
+                self._trace_event(span, "abandon")
+                self._trace_close(span)
             if self._holder is writer:
                 self._holder = None
                 if isinstance(self.process, LockDinerProcess):
@@ -414,6 +527,25 @@ class NodeServer:
                 return
             last_seen[src] = seq
         self.msgs_in += 1
+        # Fresh traffic from a neighbour resets its retransmit watch: the
+        # next identical re-send is new protocol state, not a repair echo.
+        self._last_sent.pop(src, None)
+        if self.clock is not None:
+            lc = (
+                self.clock.merge(frame.lc)
+                if frame.lc is not None
+                else self.clock.tick()
+            )
+            if self.tracer is not None:
+                detail: Dict[str, Any] = {"src": repr(src)}
+                if isinstance(seq, int):
+                    detail["seq"] = seq
+                if frame.span:
+                    detail["span"] = frame.span
+                self.tracer.event(
+                    self.tracer.current(), "recv", lc=lc, t=self._now(),
+                    detail=detail,
+                )
         self.publish(NetEventKind.RECV, {"src": repr(src)})
         self.process.on_message(self._ctx, src, message.payload)
         self._after_step()
@@ -427,7 +559,17 @@ class NodeServer:
         process = self.process
         if op == "acquire" and isinstance(process, LockDinerProcess):
             process.demand += 1
-            self._waiters.append((writer, req_id))
+            attrs: Dict[str, Any] = {"req": repr(req_id)}
+            client_span = body.get("span")
+            if isinstance(client_span, str) and client_span:
+                attrs["client_span"] = client_span
+            span = self._trace_open(
+                "acquire",
+                parent=None if self._root_span is None
+                else self._root_span.span_id,
+                attrs=attrs,
+            )
+            self._waiters.append((writer, req_id, span))
         elif op == "release" and isinstance(process, LockDinerProcess):
             process.release()
             self._holder = None
@@ -466,21 +608,44 @@ class NodeServer:
         self._prev_state = state
         if prev == state:
             return
+        if state == HUNGRY and prev != EATING:
+            # Plain-diner mode only: lock-service hunger is an acquire span
+            # opened at the request, so a live waiter already covers it.
+            if (self.tracer is not None and not self._waiters
+                    and self._hunger_span is None
+                    and not isinstance(self.process, LockDinerProcess)):
+                self._hunger_span = self._trace_open("hunger")
         if state == EATING:
             self.grants += 1
             detail: Dict[str, Any] = {}
+            granted_span: Optional[Span] = None
             if self._waiters and isinstance(self.process, LockDinerProcess):
-                writer, req_id = self._waiters.pop(0)
+                writer, req_id, granted_span = self._waiters.pop(0)
                 self.process.grant_taken()
                 self._holder = writer
                 self._respond(
                     writer, {"op": "acquire", "id": req_id, "ok": True}
                 )
                 detail["req"] = req_id
+            if granted_span is None:
+                granted_span = self._hunger_span
+            if granted_span is None and self.tracer is not None:
+                # No request and no hungry interval on record (byzantine
+                # self-grants land here): the lifecycle starts at the grant.
+                granted_span = self._trace_open("hunger")
+            self._hunger_span = None
+            if granted_span is not None:
+                detail["span"] = granted_span.span_id
+                self._trace_event(granted_span, "grant")
+                self._active_span = granted_span
             self.publish(NetEventKind.GRANT, detail)
         elif prev == EATING:
             self.releases += 1
             self.publish(NetEventKind.RELEASE)
+            if self._active_span is not None:
+                self._trace_event(self._active_span, "release")
+                self._trace_close(self._active_span)
+                self._active_span = None
 
     # -------------------------------------------------------------- metrics
 
@@ -497,6 +662,7 @@ class NodeServer:
             "ticks": self.ticks,
             "grants": self.grants,
             "releases": self.releases,
+            "retransmits": self.retransmits,
             "eats": getattr(self.process, "eats", 0),
             "epoch": self.epoch,
         }

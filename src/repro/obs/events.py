@@ -61,3 +61,5 @@ class NetEventKind(enum.Enum):
     BYZANTINE = "net-byzantine"  #: A "crashed" node was subverted and keeps
     #: emitting protocol-shaped frames instead of halting.
     ADVERSARY = "net-adversary"  #: The adaptive adversary took a decision.
+    SPAN_OPEN = "net-span-open"  #: A trace span opened (lock-acquire lifecycle).
+    SPAN_CLOSE = "net-span-close"  #: A trace span closed (grant latency in detail).

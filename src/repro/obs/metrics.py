@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
@@ -315,13 +316,16 @@ def write_metrics(
     header: Optional[Mapping[str, Any]] = None,
     include_meta: bool = False,
 ) -> Path:
-    """Write the registry to ``path`` (parents created, atomic replace)."""
+    """Write the registry to ``path`` (parents created, atomic replace,
+    fsynced — a teardown racing a SIGKILL keeps the artefact tail)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     with tmp.open("w", encoding="utf-8") as handle:
         for line in metrics_lines(registry, header=header, include_meta=include_meta):
             handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     tmp.replace(path)
     return path
 

@@ -1,0 +1,134 @@
+"""Prometheus text exposition, stdlib only.
+
+The cluster supervisor's ``/metrics`` endpoint renders its live samples in
+the Prometheus text format (version 0.0.4) so any off-the-shelf scraper —
+or ``repro top`` — can consume them.  Only the subset the toolkit needs is
+implemented: ``HELP``/``TYPE`` comments, labelled samples, gauges and
+counters.  :func:`parse_prometheus` is the matching reader, tolerant of
+comments and foreign lines the way every other loader in the repo is.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    name: str
+    value: float
+    labels: Mapping[str, str] = field(default_factory=dict)
+    kind: str = "gauge"  #: prometheus metric type (gauge/counter)
+    help: str = ""
+
+    def key(self) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        return (self.name, tuple(sorted(self.labels.items())))
+
+
+def sanitize_name(name: str) -> str:
+    """A repo metric name as a legal prometheus metric name."""
+    cleaned = _NAME_OK.sub("_", name).strip("_")
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(samples: Iterable[Sample]) -> str:
+    """The samples as one exposition document.
+
+    Samples are grouped by metric name (``HELP``/``TYPE`` emitted once per
+    group) and sorted by name then labels, so the document is deterministic
+    for a given sample set.
+    """
+    groups: Dict[str, List[Sample]] = {}
+    for sample in samples:
+        groups.setdefault(sample.name, []).append(sample)
+    lines: List[str] = []
+    for name in sorted(groups):
+        group = sorted(groups[name], key=lambda s: tuple(sorted(s.labels.items())))
+        first = group[0]
+        if first.help:
+            lines.append(f"# HELP {name} {first.help}")
+        lines.append(f"# TYPE {name} {first.kind}")
+        for sample in group:
+            if sample.labels:
+                rendered = ",".join(
+                    f'{k}="{_escape_label(str(v))}"'
+                    for k, v in sorted(sample.labels.items())
+                )
+                lines.append(f"{name}{{{rendered}}} {_format(sample.value)}")
+            else:
+                lines.append(f"{name} {_format(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def parse_prometheus(text: str) -> List[Sample]:
+    """Samples from an exposition document (comments and junk skipped)."""
+    kinds: Dict[str, str] = {}
+    samples: List[Sample] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                kinds[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        labels: Dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for key, val in _LABEL.findall(raw):
+                labels[key] = val.replace('\\"', '"').replace("\\n", "\n").replace(
+                    "\\\\", "\\"
+                )
+        name = match.group("name")
+        samples.append(
+            Sample(name=name, value=value, labels=labels,
+                   kind=kinds.get(name, "gauge"))
+        )
+    return samples
+
+
+def find(
+    samples: Iterable[Sample], name: str, **labels: str
+) -> Optional[Sample]:
+    """The first sample matching ``name`` and the given label subset."""
+    for sample in samples:
+        if sample.name != name:
+            continue
+        if all(sample.labels.get(k) == v for k, v in labels.items()):
+            return sample
+    return None

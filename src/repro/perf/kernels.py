@@ -156,9 +156,56 @@ def codec_roundtrip():
     One op is a full round trip — frame a :class:`~repro.mp.channel.Message`
     and feed it back through the garbage-tolerant incremental decoder —
     over a 200-message batch shaped like real fork/request traffic.
+
+    ``REPRO_TRACE_STAMP=1`` switches every frame to the traced v2 encoding
+    (Lamport stamp + span id) under the *same kernel name*, so
+    ``repro bench --compare --threshold 0.10`` between a plain and a
+    stamped run is exactly the CI gate on codec-stamping overhead.
+    """
+    import os
+
+    from ..mp.channel import Message
+    from ..net.codec import Decoder, decode_message, encode_message
+
+    stamped = os.environ.get("REPRO_TRACE_STAMP") == "1"
+    rng = random.Random(6)
+    messages = [
+        Message(
+            src=rng.randrange(8),
+            dst=rng.randrange(8),
+            payload=("fork" if i % 2 else "request", (i % 8, (i + 1) % 8), i % 2 == 0),
+        )
+        for i in range(200)
+    ]
+
+    def kernel():
+        decoder = Decoder()
+        lc = 0
+        for message in messages:
+            if stamped:
+                lc += 1
+                data = encode_message(message, lc=lc, span=f"0/0/{lc % 17}")
+            else:
+                data = encode_message(message)
+            for frame in decoder.feed(data):
+                decode_message(frame)
+
+    return kernel
+
+
+@register("net/trace/stamp+merge", ops=200)
+def trace_stamp_merge():
+    """The tracing hot path a stamped frame adds on top of plain framing.
+
+    One op is the full causal hop — tick the sender's Lamport clock,
+    encode a traced v2 frame (binary stamp block + span id), feed it
+    through the incremental decoder, and merge the stamp into the
+    receiver's clock — over the same 200-message batch as
+    ``net/codec/roundtrip``, so the two trajectories subtract cleanly.
     """
     from ..mp.channel import Message
     from ..net.codec import Decoder, decode_message, encode_message
+    from ..obs.tracing import LamportClock
 
     rng = random.Random(6)
     messages = [
@@ -172,9 +219,14 @@ def codec_roundtrip():
 
     def kernel():
         decoder = Decoder()
-        for message in messages:
-            for frame in decoder.feed(encode_message(message)):
+        tx = LamportClock()
+        rx = LamportClock()
+        for i, message in enumerate(messages):
+            lc = tx.tick()
+            data = encode_message(message, lc=lc, span=f"0/0/{i % 17}")
+            for frame in decoder.feed(data):
                 decode_message(frame)
+                rx.merge(frame.lc)
 
     return kernel
 

@@ -1,0 +1,172 @@
+"""Timeline merge, causality checking, and latency attribution."""
+
+import pytest
+
+from repro.obs.tracing import LamportClock, SpanRecorder
+from repro.obs.timeline import (
+    attribute_grants,
+    attribution_by_node,
+    causality_report,
+    merge_timeline,
+    read_timeline,
+    write_timeline,
+)
+from repro.sim import line
+
+
+def two_node_trace():
+    """A send on n0 matched by a recv on n1, clocks merged properly."""
+    spans = {}
+    a_clock, b_clock = LamportClock(), LamportClock()
+    a = SpanRecorder("0")
+    span_a = a.open("acquire", lc=a_clock.tick(), t=0.0)
+    send_lc = a_clock.tick()
+    a.event(span_a, "send", lc=send_lc, t=0.01, detail={"dst": "1", "seq": 4})
+    b = SpanRecorder("1")
+    span_b = b.open("node", lc=b_clock.tick(), t=0.0)
+    b.event(span_b, "recv", lc=b_clock.merge(send_lc), t=0.02,
+            detail={"src": "0", "seq": 4})
+    a.event(span_a, "grant", lc=a_clock.tick(), t=0.05)
+    a.close(span_a, lc=a_clock.tick(), t=0.06)
+    spans["0"] = a.spans
+    spans["1"] = b.spans
+    return spans
+
+
+class TestMerge:
+    def test_order_is_happened_before_consistent(self):
+        entries = merge_timeline(two_node_trace())
+        lcs = [e.lc for e in entries]
+        assert lcs == sorted(lcs)
+        # The matched recv sorts after its send.
+        send = next(e for e in entries if e.ev == "send")
+        recv = next(e for e in entries if e.ev == "recv")
+        assert entries.index(recv) > entries.index(send)
+        assert recv.lc > send.lc
+
+    def test_permutation_of_nodes_is_invariant(self):
+        spans = two_node_trace()
+        reversed_spans = dict(reversed(list(spans.items())))
+        assert merge_timeline(spans) == merge_timeline(reversed_spans)
+
+    def test_empty(self):
+        assert merge_timeline({}) == []
+
+
+class TestCausality:
+    def test_consistent_trace_is_ok(self):
+        report = causality_report(merge_timeline(two_node_trace()))
+        assert report.ok
+        assert report.acyclic
+        assert report.matched_messages == 1
+        assert report.violations == []
+
+    def test_unmerged_receiver_clock_is_flagged(self):
+        spans = two_node_trace()
+        # Forge the receiver's stamp below the sender's: a message
+        # inversion, as a byzantine node refusing to merge would produce.
+        recv = spans["1"][0].events[0]
+        recv.lc = 1
+        report = causality_report(merge_timeline(spans))
+        assert not report.ok
+        assert any("inversion" in v for v in report.violations)
+
+    def test_program_order_inversion_is_flagged(self):
+        spans = two_node_trace()
+        spans["0"][0].events[1].lc = spans["0"][0].open_lc
+        report = causality_report(merge_timeline(spans))
+        assert not report.ok
+        assert any("program-order" in v for v in report.violations)
+
+    def test_unmatched_recv_is_ignored(self):
+        spans = two_node_trace()
+        del spans["0"]  # the sender's log is gone entirely
+        report = causality_report(merge_timeline(spans))
+        assert report.ok
+        assert report.matched_messages == 0
+
+
+class TestAttribution:
+    def test_buckets_sum_to_total(self):
+        spans = {}
+        clock = LamportClock()
+        rec = SpanRecorder("0")
+        span = rec.open("acquire", lc=clock.tick(), t=1.0)
+        rec.event(span, "send", lc=clock.tick(), t=1.2,
+                  detail={"dst": "1", "seq": 1})
+        rec.event(span, "retransmit", lc=clock.tick(), t=1.5,
+                  detail={"dst": "1", "seq": 1})
+        rec.event(span, "grant", lc=clock.tick(), t=1.6)
+        rec.close(span, lc=clock.tick(), t=1.7)
+        spans["0"] = rec.spans
+        (attribution,) = attribute_grants(spans)
+        assert attribution.total_s == pytest.approx(0.6)
+        assert attribution.queue_s == pytest.approx(0.2)
+        assert attribution.retransmit_s == pytest.approx(0.3)
+        assert attribution.transfer_s == pytest.approx(0.1)
+        assert attribution.retransmits == 1
+        total = (attribution.queue_s + attribution.retransmit_s
+                 + attribution.transfer_s)
+        assert total == pytest.approx(attribution.total_s)
+
+    def test_ungranted_span_is_skipped(self):
+        clock = LamportClock()
+        rec = SpanRecorder("0")
+        rec.open("acquire", lc=clock.tick(), t=1.0)
+        assert attribute_grants({"0": rec.spans}) == []
+
+    def test_by_node_totals(self):
+        spans = two_node_trace()
+        totals = attribution_by_node(attribute_grants(spans))
+        assert set(totals) == {"0"}
+        assert totals["0"]["grants"] == 1
+
+
+class TestReconstructViolations:
+    def test_overlap_walks_back_to_spans(self):
+        from repro.obs.timeline import reconstruct_violations
+
+        clock = LamportClock()
+        rec = SpanRecorder("0")
+        span = rec.open("acquire", lc=clock.tick(), t=0.5)
+        rec.close(span, lc=clock.tick(), t=2.0)
+        events = [
+            {"t": 1.0, "event": "net-grant", "node": "0"},
+            {"t": 1.2, "event": "net-grant", "node": "1"},
+            {"t": 1.8, "event": "net-release", "node": "0"},
+            {"t": 1.9, "event": "net-release", "node": "1"},
+        ]
+        out = reconstruct_violations(
+            line(2), events, {"0": rec.spans}, end_t=3.0, byzantine=["1"],
+        )
+        assert len(out) == 1
+        row = out[0]
+        assert {row["node_a"], row["node_b"]} == {"0", "1"}
+        assert row["byzantine"] == ["1"]
+        assert row["spans"]["0"] == [span.span_id]
+        assert row["spans"]["1"] == []
+
+
+class TestTimelineArtefact:
+    def test_roundtrip_and_byte_stability(self, tmp_path):
+        entries = merge_timeline(two_node_trace())
+        one = write_timeline(tmp_path / "one.jsonl", entries,
+                             header={"causality_ok": True})
+        two = write_timeline(tmp_path / "two.jsonl", entries,
+                             header={"causality_ok": True})
+        assert one.read_bytes() == two.read_bytes()
+        loaded = read_timeline(one)
+        assert loaded.header["source"] == "timeline"
+        assert loaded.header["causality_ok"] is True
+        assert loaded.entries == entries
+        assert loaded.skipped == 0
+
+    def test_lenient_read(self, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        entries = merge_timeline(two_node_trace())
+        write_timeline(path, entries)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        loaded = read_timeline(path)
+        assert len(loaded.entries) == len(entries)
+        assert loaded.skipped == 1

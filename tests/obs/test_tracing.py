@@ -1,0 +1,122 @@
+"""Span recorder and span-artefact unit tests."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    ROOT_SPAN,
+    LamportClock,
+    SpanRecorder,
+    read_spans,
+    span_from_json,
+    write_spans,
+)
+
+
+class TestLamportClock:
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_merge_exceeds_both_sides(self):
+        clock = LamportClock(3)
+        assert clock.merge(10) == 11
+        assert clock.merge(2) == 12
+
+    def test_never_negative(self):
+        with pytest.raises(ValueError):
+            LamportClock(-1)
+
+
+class TestSpanRecorder:
+    def make(self):
+        recorder = SpanRecorder("n0")
+        clock = LamportClock()
+        root = recorder.open(ROOT_SPAN, lc=clock.tick(), t=0.0)
+        return recorder, clock, root
+
+    def test_span_ids_are_unique_per_epoch(self):
+        recorder, clock, _ = self.make()
+        a = recorder.open("acquire", lc=clock.tick(), t=0.1)
+        b = recorder.open("acquire", lc=clock.tick(), t=0.2, epoch=1)
+        assert a.span_id != b.span_id
+        assert a.span_id.startswith("n0/0/")
+        assert b.span_id.startswith("n0/1/")
+
+    def test_current_prefers_lifecycle_over_root(self):
+        recorder, clock, root = self.make()
+        assert recorder.current() is root
+        span = recorder.open("acquire", lc=clock.tick(), t=0.1)
+        assert recorder.current() is span
+        recorder.close(span, lc=clock.tick(), t=0.2)
+        assert recorder.current() is root
+
+    def test_close_is_idempotent_and_none_safe(self):
+        recorder, clock, _ = self.make()
+        span = recorder.open("acquire", lc=clock.tick(), t=0.1)
+        recorder.close(span, lc=clock.tick(), t=0.2)
+        first = span.close_lc
+        recorder.close(span, lc=clock.tick(), t=0.3)
+        assert span.close_lc == first
+        recorder.close(None, lc=clock.tick(), t=0.4)
+        recorder.event(None, "grant", lc=clock.tick(), t=0.4)
+
+    def test_open_span_has_no_duration(self):
+        recorder, clock, _ = self.make()
+        span = recorder.open("acquire", lc=clock.tick(), t=0.1)
+        assert span.duration_s() is None
+        recorder.close(span, lc=clock.tick(), t=0.35)
+        assert span.duration_s() == pytest.approx(0.25)
+
+
+class TestSpanArtefact:
+    def recorded(self):
+        recorder = SpanRecorder("n1")
+        clock = LamportClock()
+        root = recorder.open(ROOT_SPAN, lc=clock.tick(), t=0.0)
+        span = recorder.open(
+            "acquire", lc=clock.tick(), t=0.1, parent=root.span_id,
+            attrs={"req": "r1"},
+        )
+        recorder.event(span, "send", lc=clock.tick(), t=0.15,
+                       detail={"dst": "2", "seq": 1})
+        recorder.event(span, "grant", lc=clock.tick(), t=0.2)
+        recorder.close(span, lc=clock.tick(), t=0.3)
+        return recorder
+
+    def test_roundtrip(self, tmp_path):
+        recorder = self.recorded()
+        path = write_spans(tmp_path / "spans-n1.jsonl", recorder,
+                           header={"seed": 3})
+        loaded = read_spans(path)
+        assert loaded.header["source"] == "spans"
+        assert loaded.header["seed"] == 3
+        assert loaded.skipped == 0
+        assert [s.span_id for s in loaded.spans] \
+            == [s.span_id for s in recorder.spans]
+        span = loaded.spans[1]
+        assert span.parent == recorder.spans[0].span_id
+        assert span.attrs == {"req": "r1"}
+        assert [e.name for e in span.events] == ["send", "grant"]
+        # The root span was never closed; that must survive the roundtrip.
+        assert loaded.spans[0].close_lc is None
+
+    def test_foreign_and_truncated_lines_counted(self, tmp_path):
+        recorder = self.recorded()
+        path = write_spans(tmp_path / "spans.jsonl", recorder)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"kind": "span", "span": 1}) + "\n")
+        loaded = read_spans(path)
+        assert len(loaded.spans) == 2
+        assert loaded.skipped == 2
+
+    def test_span_from_json_rejects_malformed(self):
+        assert span_from_json({"kind": "other"}) is None
+        assert span_from_json({"kind": "span", "span": "x"}) is None
+        assert span_from_json(
+            {"kind": "span", "span": "x", "open_lc": 1,
+             "events": [{"name": "send"}]}
+        ) is None

@@ -1,0 +1,110 @@
+"""Property tests for the causal-tracing primitives (ISSUE 7 satellite).
+
+Two contracts the offline timeline relies on:
+
+* Lamport merge is monotone and strictly dominates both arguments, so
+  ``a happened-before b`` always implies ``lc(a) < lc(b)``;
+* merging span files is invariant under any permutation of the inputs —
+  the CI trace-smoke job's byte-identity check is this property end to end.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.timeline import causality_report, merge_timeline
+from repro.obs.tracing import LamportClock, SpanRecorder
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+
+class TestLamportClockProperties:
+    @given(st.integers(0, 2**32), st.integers(0, 2**32))
+    def test_merge_strictly_dominates_both_sides(self, local, remote):
+        clock = LamportClock(local)
+        merged = clock.merge(remote)
+        assert merged > local
+        assert merged > remote
+        assert merged == max(local, remote) + 1
+
+    @given(st.integers(0, 2**16),
+           st.lists(st.integers(0, 2**32), max_size=20))
+    def test_value_is_monotone_over_any_event_sequence(self, start, remotes):
+        clock = LamportClock(start)
+        seen = clock.value
+        for remote in remotes:
+            clock.merge(remote)
+            assert clock.value > seen
+            seen = clock.value
+            clock.tick()
+            assert clock.value > seen
+            seen = clock.value
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**32),
+           st.integers(0, 2**32))
+    def test_merge_is_monotone_in_both_arguments(self, local, a, b):
+        lo, hi = sorted((a, b))
+        assert LamportClock(local).merge(lo) <= LamportClock(local).merge(hi)
+        small, large = sorted((local, local + hi))
+        assert LamportClock(small).merge(a) <= LamportClock(large).merge(a)
+
+
+def build_node_logs(seed_events):
+    """Deterministic multi-node span logs from a list of generated events.
+
+    Each event is ``(node_index, kind)``; sends are matched with a merged
+    recv on the next node, so the trace is causally consistent by
+    construction.
+    """
+    nodes = ["0", "1", "2"]
+    recorders = {n: SpanRecorder(n) for n in nodes}
+    clocks = {n: LamportClock() for n in nodes}
+    spans = {
+        n: recorders[n].open("node", lc=clocks[n].tick(), t=0.0)
+        for n in nodes
+    }
+    seq = 0
+    for i, (which, kind) in enumerate(seed_events):
+        node = nodes[which % len(nodes)]
+        peer = nodes[(which + 1) % len(nodes)]
+        t = 0.01 * (i + 1)
+        if kind == "send":
+            seq += 1
+            lc = clocks[node].tick()
+            recorders[node].event(spans[node], "send", lc=lc, t=t,
+                                  detail={"dst": peer, "seq": seq})
+            recorders[peer].event(
+                spans[peer], "recv", lc=clocks[peer].merge(lc), t=t + 0.001,
+                detail={"src": node, "seq": seq},
+            )
+        else:
+            recorders[node].event(spans[node], kind,
+                                  lc=clocks[node].tick(), t=t)
+    return {n: recorders[n].spans for n in nodes}
+
+
+span_scripts = st.lists(
+    st.tuples(st.integers(0, 2), st.sampled_from(["send", "grant", "chaos"])),
+    max_size=30,
+)
+
+
+class TestTimelineMergeProperties:
+    @given(span_scripts, st.randoms(use_true_random=False))
+    def test_merge_is_permutation_invariant(self, script, rng):
+        logs = build_node_logs(script)
+        baseline = merge_timeline(logs)
+        items = list(logs.items())
+        rng.shuffle(items)
+        assert merge_timeline(dict(items)) == baseline
+
+    @given(span_scripts)
+    def test_constructed_traces_are_causally_consistent(self, script):
+        report = causality_report(merge_timeline(build_node_logs(script)))
+        assert report.ok
+
+    @given(span_scripts)
+    def test_order_is_happened_before_consistent(self, script):
+        entries = merge_timeline(build_node_logs(script))
+        lcs = [e.lc for e in entries]
+        assert lcs == sorted(lcs)

@@ -443,3 +443,101 @@ class TestFuzzCommand:
                 "cluster", "soak",
                 "--schedule-file", "/nonexistent/corpus.json",
             ])
+
+
+class TestTracingCli:
+    """`cluster --trace/--metrics-port`, `repro timeline`, `repro top`,
+    and the stats sniffers for the new artefact families."""
+
+    def traced_soak(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        events = tmp_path / "soak.events"
+        code = main([
+            "cluster", "soak", "--nodes", "3", "--seed", "5",
+            "--duration", "1.5", "--tick-interval", "0.005",
+            "--trace", str(trace_dir), "--events-out", str(events),
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # chaos may legitimately kill nodes
+        assert "spans:" in out
+        return trace_dir, events
+
+    def test_timeline_merges_and_checks_causality(self, tmp_path, capsys):
+        trace_dir, events = self.traced_soak(tmp_path, capsys)
+        out_file = tmp_path / "timeline.jsonl"
+        assert main([
+            "timeline", str(trace_dir), "--events", str(events),
+            "--out", str(out_file), "--limit", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "causality: OK" in out
+        assert "timeline:" in out
+        assert out_file.exists()
+
+    def test_timeline_is_byte_stable_under_input_permutation(
+        self, tmp_path, capsys
+    ):
+        trace_dir, _ = self.traced_soak(tmp_path, capsys)
+        span_files = sorted(str(p) for p in trace_dir.glob("spans-*.jsonl"))
+        assert len(span_files) == 3
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["timeline", *span_files, "--out", str(a)]) == 0
+        assert main(
+            ["timeline", *reversed(span_files), "--out", str(b)]
+        ) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_timeline_flags_a_forged_trace(self, tmp_path, capsys):
+        import json as json_mod
+
+        trace_dir, _ = self.traced_soak(tmp_path, capsys)
+        victim = next(trace_dir.glob("spans-*.jsonl"))
+        lines = victim.read_text().splitlines()
+        forged = []
+        for line in lines:
+            row = json_mod.loads(line)
+            if row.get("kind") == "span" and row.get("events"):
+                # Zero every stamp on one node: message inversions appear.
+                for event in row["events"]:
+                    event["lc"] = 0
+            forged.append(json_mod.dumps(row))
+        victim.write_text("\n".join(forged) + "\n")
+        assert main(["timeline", str(trace_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPTED" in out
+
+    def test_timeline_empty_directory_exits(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["timeline", str(empty)])
+
+    def test_stats_sniffs_spans_and_timeline(self, tmp_path, capsys):
+        trace_dir, _ = self.traced_soak(tmp_path, capsys)
+        span_file = next(trace_dir.glob("spans-*.jsonl"))
+        out_file = tmp_path / "timeline.jsonl"
+        assert main(["timeline", str(trace_dir), "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(span_file)]) == 0
+        assert "span log:" in capsys.readouterr().out
+        assert main(["stats", str(out_file)]) == 0
+        assert "timeline:" in capsys.readouterr().out
+
+    def test_stats_truncated_span_file_is_tolerated(self, tmp_path, capsys):
+        trace_dir, _ = self.traced_soak(tmp_path, capsys)
+        span_file = next(trace_dir.glob("spans-*.jsonl"))
+        text = span_file.read_text()
+        truncated = tmp_path / "truncated.jsonl"
+        # Cut mid-line, so the tail is guaranteed to be invalid JSON.
+        truncated.write_text(text[: len(text) // 2].rstrip("\n")[:-3])
+        assert main(["stats", str(truncated)]) == 0
+        assert "skipped lines" in capsys.readouterr().out
+
+    def test_top_requires_a_target(self):
+        with pytest.raises(SystemExit):
+            main(["top"])
+
+    def test_top_unreachable_endpoint_is_a_clean_error(self):
+        with pytest.raises(SystemExit):
+            main(["top", "--url", "http://127.0.0.1:1/metrics", "--once"])
