@@ -18,6 +18,7 @@ Subcommands
 ``fuzz``       coverage-guided chaos-schedule fuzzing; writes a corpus
 ``timeline``   merge span logs into one causal global order; attribute latency
 ``top``        live terminal dashboard over a cluster's /metrics endpoint
+``slo``        evaluate a declarative SLO spec against recorded artefacts
 
 Observability: ``run``, ``stabilize``, and ``locality`` accept ``--trace``
 (record the run as versioned JSONL) and ``--metrics-out`` (write the
@@ -51,6 +52,10 @@ Examples
     python -m repro timeline out/trace --events out/soak.events --out out/timeline.jsonl
     python -m repro cluster run --nodes 5 --duration 60 --metrics-port 9200
     python -m repro top --port 9200
+    python -m repro cluster soak --nodes 3 --slo examples/slo.json --flight out/flight
+    python -m repro slo examples/slo.json out/soak.events --out slo-report.json
+    python -m repro timeline out/flight
+    python -m repro bench --history benchmarks/
 """
 
 from __future__ import annotations
@@ -638,18 +643,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _span_paths(arguments) -> list:
-    """Expand directory arguments into their sorted ``spans-*.jsonl`` files
-    (the layout :class:`~repro.net.cluster.ClusterSupervisor` writes)."""
+    """Expand directory arguments into their sorted ``spans-*.jsonl`` and
+    ``flight-*.jsonl`` files (the layouts
+    :class:`~repro.net.cluster.ClusterSupervisor` writes)."""
     paths = []
     for arg in arguments:
         if os.path.isdir(arg):
             found = sorted(
                 os.path.join(arg, name)
                 for name in os.listdir(arg)
-                if name.startswith("spans-") and name.endswith(".jsonl")
+                if name.endswith(".jsonl")
+                and (name.startswith("spans-") or name.startswith("flight-"))
             )
             if not found:
-                raise SystemExit(f"{arg}: no spans-*.jsonl files in directory")
+                raise SystemExit(
+                    f"{arg}: no spans-*.jsonl or flight-*.jsonl files "
+                    "in directory"
+                )
             paths.extend(found)
         else:
             paths.append(arg)
@@ -668,6 +678,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         reconstruct_violations,
         write_timeline,
     )
+    from .obs.flight import FLIGHT_SOURCE
     from .obs.tracing import SPANS_SOURCE
 
     spans_by_node: dict = {}
@@ -676,7 +687,10 @@ def cmd_timeline(args: argparse.Namespace) -> int:
             span_file = read_spans(path)
         except OSError as exc:
             raise SystemExit(str(exc)) from None
-        if span_file.header.get("source") != SPANS_SOURCE and not span_file.spans:
+        if (
+            span_file.header.get("source") not in (SPANS_SOURCE, FLIGHT_SOURCE)
+            and not span_file.spans
+        ):
             raise SystemExit(f"{path}: not a span artefact")
         for span in span_file.spans:
             spans_by_node.setdefault(span.node, []).append(span)
@@ -756,6 +770,61 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _artefact_paths(arguments) -> list:
+    """Expand directory arguments into every SLO-evaluable artefact they
+    hold (``spans-*``, ``flight-*``, ``*.events`` — a ``--trace`` or
+    ``--flight`` directory drops straight into ``repro slo``)."""
+    paths = []
+    for arg in arguments:
+        if os.path.isdir(arg):
+            found = sorted(
+                os.path.join(arg, name)
+                for name in os.listdir(arg)
+                if (
+                    name.endswith(".jsonl")
+                    and (name.startswith("spans-") or name.startswith("flight-"))
+                )
+                or name.endswith(".events")
+            )
+            if not found:
+                raise SystemExit(f"{arg}: no SLO-evaluable artefacts in directory")
+            paths.extend(found)
+        else:
+            paths.append(arg)
+    return paths
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate an SLO spec offline against recorded artefacts; exit 1 when
+    any objective's error budget is exhausted."""
+    from .obs import (
+        SloObservations,
+        evaluate,
+        format_report,
+        ingest_artefact,
+        read_slo_spec,
+        write_slo_report,
+    )
+
+    try:
+        spec = read_slo_spec(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    observations = SloObservations()
+    for path in _artefact_paths(args.artefacts):
+        try:
+            family = ingest_artefact(observations, path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"ingested {family}: {path}")
+    report = evaluate(spec, observations)
+    print(format_report(report))
+    if args.out:
+        path = write_slo_report(args.out, report)
+        print(f"slo report: {path}")
+    return 1 if report.exhausted else 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """Live terminal dashboard over a cluster's /metrics endpoint."""
     from .obs import run_top
@@ -780,7 +849,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     """Summarise any of the repository's artefacts by sniffing the file.
 
     Recognises metrics JSONL, campaign records, trace JSONL, span logs,
-    merged timelines, cluster event logs, and BENCH JSON.  Anything else —
+    merged timelines, cluster event logs, flight-recorder dumps, SLO
+    reports, and BENCH JSON.  Anything else —
     including empty, binary, or truncated files — exits nonzero with a
     one-line reason, never a traceback.
     """
@@ -819,6 +889,27 @@ def _stats(path: str) -> int:
             )
         return 0
 
+    # SLO reports are also single JSON documents, distinguished by kind.
+    slo_report = _try_slo_report(path)
+    if slo_report is not None:
+        verdict = "OK" if slo_report.get("ok") else "EXHAUSTED"
+        objectives = slo_report.get("objectives") or []
+        print(f"SLO report: {slo_report.get('spec', '?')} — {verdict} "
+              f"({len(objectives)} objectives, "
+              f"window {slo_report.get('duration_s')}s)")
+        for key, value in sorted(
+            (slo_report.get("observations") or {}).items()
+        ):
+            print(f"  {key}: {value}")
+        for row in objectives:
+            status = "ok" if row.get("ok") else "EXHAUSTED"
+            print(
+                f"  {row.get('name')}: {row.get('kind')} "
+                f"spent={row.get('budget_spent')} "
+                f"remaining={row.get('budget_remaining')}  {status}"
+            )
+        return 0
+
     # Cluster event logs parse as (empty) metrics files — their header has
     # a source — so they must be sniffed before the generic metrics branch.
     event_log = _try_cluster_events(path)
@@ -843,6 +934,27 @@ def _stats(path: str) -> int:
             print(f"  {kind}: {counts[kind]}")
         if skipped:
             print(f"  skipped lines: {skipped} (truncated or foreign)")
+        return 0
+
+    # Flight dumps carry spans too, so sniff them before the span branch.
+    flight = _try_flight(path)
+    if flight is not None:
+        header = flight.header
+        print(f"flight dump: node {header.get('node', '?')} — "
+              f"reason {header.get('reason', '?')}")
+        for key in ("topology", "seed", "capacity", "dropped"):
+            if header.get(key) is not None:
+                print(f"  {key}: {header[key]}")
+        print(f"  spans: {len(flight.spans)}")
+        kinds: dict = {}
+        for record in flight.records:
+            label = record.get("event") or record.get("rec", "?")
+            kinds[label] = kinds.get(label, 0) + 1
+        print(f"  records: {len(flight.records)}")
+        for label in sorted(kinds):
+            print(f"    {label}: {kinds[label]}")
+        if flight.skipped:
+            print(f"  skipped lines: {flight.skipped} (truncated or foreign)")
         return 0
 
     # Span and timeline artefacts carry a ``source`` header too, so they
@@ -987,6 +1099,27 @@ def _try_spans(path: str):
     return read_spans(path)
 
 
+def _try_flight(path: str):
+    """The parsed flight dump, or ``None`` if ``path`` is not one."""
+    from .obs import read_flight
+    from .obs.flight import FLIGHT_SOURCE
+
+    first = _first_header(path)
+    if first is None or first.get("source") != FLIGHT_SOURCE:
+        return None
+    return read_flight(path)
+
+
+def _try_slo_report(path: str):
+    """The parsed SLO report document, or ``None`` if ``path`` is not one."""
+    from .obs import read_slo_report
+
+    try:
+        return read_slo_report(path)
+    except (OSError, ValueError):
+        return None
+
+
 def _try_timeline(path: str):
     """The parsed timeline artefact, or ``None`` if ``path`` is not one."""
     from .obs import read_timeline
@@ -1026,6 +1159,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.threshold < 0:
         raise SystemExit("--threshold must be non-negative")
+    if args.history:
+        from .perf import format_history, scan_bench_history
+
+        try:
+            entries, ignored = scan_bench_history(args.history)
+        except OSError as exc:
+            raise SystemExit(str(exc)) from None
+        if not entries:
+            raise SystemExit(f"{args.history}: no BENCH_*.json files")
+        print(format_history(entries))
+        if ignored:
+            print(f"ignored {len(ignored)} non-BENCH file(s): "
+                  + ", ".join(ignored))
+        return 0
     if args.compare:
         old_path, new_path = args.compare
         try:
@@ -1232,6 +1379,18 @@ def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
                 delay_s=0.0,
                 arbitrary_state=True,
             )
+    slo_spec = None
+    if getattr(args, "slo", None):
+        from .obs import read_slo_spec
+
+        try:
+            slo_spec = read_slo_spec(args.slo)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+    if getattr(args, "flight_capacity", None) is not None and args.flight_capacity < 1:
+        raise SystemExit("--flight-capacity must be >= 1")
+    from .obs.flight import DEFAULT_CAPACITY
+
     return ClusterConfig(
         topology=topology,
         topology_spec=spec,
@@ -1250,6 +1409,9 @@ def _cluster_config(args: argparse.Namespace, *, lock_service: bool):
         trace_dir=getattr(args, "trace", None),
         metrics_port=getattr(args, "metrics_port", None),
         stream_events=getattr(args, "events_out", None),
+        flight_dir=getattr(args, "flight", None),
+        flight_capacity=getattr(args, "flight_capacity", None) or DEFAULT_CAPACITY,
+        slo=slo_spec,
     )
 
 
@@ -1326,6 +1488,8 @@ def _print_cluster_summary(result) -> None:
         print(f"  convergence: {node} re-granted {elapsed:.3f}s after restart")
     for path in result.trace_paths:
         print(f"  spans: {path}")
+    for path in result.flight_paths:
+        print(f"  flight: {path}")
 
 
 def _write_cluster_artefacts(args, result, *, extra_header=None) -> None:
@@ -1403,6 +1567,16 @@ def cmd_cluster_soak(args: argparse.Namespace) -> int:
         extra_header={"safe": result.safe, "violations": len(result.violations)},
     )
     status = 0 if result.safe else 1
+    if result.slo_report is not None:
+        from .obs import format_report, write_slo_report
+
+        for line_ in format_report(result.slo_report).splitlines():
+            print(f"  {line_}")
+        if args.slo_report:
+            path = write_slo_report(args.slo_report, result.slo_report)
+            print(f"  slo report: {path}")
+        if result.slo_report.exhausted:
+            status = 1
     if args.require_progress:
         # Every node the schedule did not kill must have granted.
         survivors = [n for n in cluster.nodes if n not in cluster.killed]
@@ -1599,6 +1773,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write results as a BENCH_*.json trajectory file")
     p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                    help="compare two BENCH files instead of running")
+    p.add_argument("--history", default=None, metavar="DIR",
+                   help="scan DIR's BENCH_*.json files into a per-kernel "
+                   "median trajectory table instead of running")
     from .perf.bench_io import DEFAULT_THRESHOLD
 
     p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
@@ -1713,6 +1890,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "http://HOST:PORT/metrics while the cluster runs "
                         "(watch with `repro top --port PORT`); implies "
                         "tracing")
+        cp.add_argument("--flight", default=None, metavar="DIR",
+                        help="arm a per-node flight recorder (bounded "
+                        "in-memory ring of recent events/frames) and dump "
+                        "flight-<node>.jsonl black boxes into DIR on a "
+                        "safety violation, SLO exhaustion, node crash, "
+                        "watchdog stall, or SIGTERM; implies tracing "
+                        "(merge dumps with `repro timeline DIR`)")
+        cp.add_argument("--flight-capacity", type=int, default=None,
+                        dest="flight_capacity", metavar="N",
+                        help="flight-recorder ring size per node "
+                        "(default 512)")
 
     cp = cluster_sub.add_parser(
         "run", help="always-hungry diners under chaos; report counters"
@@ -1733,6 +1921,15 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--require-progress", action="store_true",
                     dest="require_progress",
                     help="also exit 1 if any surviving node never granted")
+    cp.add_argument("--slo", default=None, metavar="SPEC",
+                    help="evaluate this SLO spec live against the event "
+                    "stream: a newly exhausted budget annotates the "
+                    "implicated spans, triggers a flight dump (with "
+                    "--flight), and forces exit 1; remaining budget and "
+                    "burn rate are exported at --metrics-port")
+    cp.add_argument("--slo-report", default=None, dest="slo_report",
+                    metavar="PATH",
+                    help="write the final byte-stable slo-report.json")
     cp.set_defaults(fn=cmd_cluster_soak)
 
     p = sub.add_parser(
@@ -1799,6 +1996,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=0,
                    help="also print the first N timeline entries")
     p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser(
+        "slo",
+        help="evaluate a declarative SLO spec against recorded artefacts",
+        description="Load a versioned slo-spec JSON file (grant-latency "
+        "percentiles, fairness, waiting chains, convergence deadlines, "
+        "hunger bounds, safety as a zero-budget hard objective), digest "
+        "any mix of soak event logs, span files, flight dumps, and metrics "
+        "JSONL, and print per-objective error-budget verdicts with worst-"
+        "window burn rates.  --out writes a byte-stable slo-report.json "
+        "(a pure function of spec + artefacts).  Exits 1 when any "
+        "objective's budget is exhausted.",
+    )
+    p.add_argument("spec", help="slo-spec JSON file (see examples/slo.json)")
+    p.add_argument("artefacts", nargs="+",
+                   help="event logs, span/flight JSONL files, metrics "
+                   "files, or directories of spans-*/flight-* artefacts")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the slo-report.json document")
+    p.set_defaults(fn=cmd_slo)
 
     p = sub.add_parser(
         "top",

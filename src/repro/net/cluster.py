@@ -31,8 +31,10 @@ from typing import Any, Dict, List, Optional, TextIO
 from ..mp.diners_mp import DinersMpProcess
 from ..obs.bus import EventBus
 from ..obs.events import NetEventKind
+from ..obs.flight import DEFAULT_CAPACITY, FlightRecorder, dump_flight
 from ..obs.metrics import MetricsRegistry, percentile_of_sorted, write_metrics
 from ..obs.prom import PROM_CONTENT_TYPE, Sample, render_prometheus
+from ..obs.slo import LiveSloEvaluator, SloSpec
 from ..obs.tracing import LamportClock, SpanRecorder, write_spans
 from ..sim.topology import Pid, Topology
 from ..sim.trace import TraceEvent
@@ -104,10 +106,22 @@ class ClusterConfig:
     #: flushed line each — a SIGKILL mid-soak loses at most the last line,
     #: not the whole artefact (the final atomic write replaces the file).
     stream_events: Optional[str] = None
+    #: Arm a per-node flight recorder and dump ``flight-<node>.jsonl``
+    #: black boxes here on a violation, crash, watchdog stall, or SIGTERM.
+    flight_dir: Optional[str] = None
+    flight_capacity: int = DEFAULT_CAPACITY
+    #: Evaluate this SLO spec live against the event stream; a newly
+    #: exhausted budget annotates spans and triggers flight dumps.
+    slo: Optional[SloSpec] = None
 
     @property
     def tracing(self) -> bool:
-        return self.trace_dir is not None or self.metrics_port is not None
+        # Flight dumps carry recent spans, so the recorder implies tracing.
+        return (
+            self.trace_dir is not None
+            or self.metrics_port is not None
+            or self.flight_dir is not None
+        )
 
 
 @dataclass
@@ -131,6 +145,10 @@ class ClusterResult:
     convergence_s: Dict[str, float] = field(default_factory=dict)
     #: Per-node span artefacts written at teardown (tracing runs only).
     trace_paths: List[str] = field(default_factory=list)
+    #: Flight-recorder dumps triggered during (or just after) the run.
+    flight_paths: List[str] = field(default_factory=list)
+    #: SLO objectives whose budget the live evaluator saw exhausted.
+    slo_exhausted: List[str] = field(default_factory=list)
     #: ``True`` when the run was cut short (SIGTERM/SIGINT) — the result
     #: and artefacts cover the partial window.
     interrupted: bool = False
@@ -177,6 +195,14 @@ class ClusterSupervisor:
         self.tracers: Dict[str, SpanRecorder] = {}
         self._clocks: Dict[str, LamportClock] = {}
         self.trace_paths: List[str] = []
+        # ---- black boxes + live SLO judgment
+        self.flights: Dict[str, FlightRecorder] = {}
+        self.flight_paths: List[str] = []
+        self._flight_reasons: set = set()
+        self.slo_eval: Optional[LiveSloEvaluator] = (
+            None if config.slo is None
+            else LiveSloEvaluator(config.slo, config.topology)
+        )
         # ---- live telemetry state (fed by _collect from the obs stream)
         self._hunger_waits: List[float] = []
         self._waiting: Dict[str, int] = {}  # node -> open waiting spans
@@ -209,9 +235,27 @@ class ClusterSupervisor:
                 self._stream_handle.flush()
             except (OSError, ValueError):
                 self._stream_handle = None  # disk gone; keep serving
+        # Every node's black box sees its own happenings as they stream by.
+        node = row["node"]
+        if node is not None:
+            flight = self.flights.get(node)
+            if flight is not None:
+                flight.note_event(row)
+        # Live SLO judgment: the evaluator digests the same row; a newly
+        # exhausted budget stamps the implicated spans and freezes every
+        # black box while the incriminating history is still in the rings.
+        if self.slo_eval is not None:
+            for hit in self.slo_eval.on_event(row):
+                self._on_slo_exhausted(hit, row["t"])
+        # A client watchdog declaring a link silently stalled is a flight
+        # trigger too — the stall's lead-up is exactly what the ring holds.
+        if (
+            kind == NetEventKind.CLIENT_RECONNECT.value
+            and "watchdog" in str(extra.get("after", ""))
+        ):
+            self.dump_flights(f"stall:{node}")
         # Live-telemetry watches (span lifecycles -> hunger latency and the
         # waiting set the /metrics endpoint reports the chain length of).
-        node = row["node"]
         if node is not None:
             if kind == NetEventKind.SPAN_OPEN.value:
                 if extra.get("name") in ("acquire", "hunger"):
@@ -278,6 +322,61 @@ class ClusterSupervisor:
         key = repr(pid)
         return self._clocks.setdefault(key, LamportClock())
 
+    def _flight_for(self, pid: Pid) -> Optional[FlightRecorder]:
+        if self.config.flight_dir is None:
+            return None
+        key = repr(pid)
+        return self.flights.setdefault(
+            key, FlightRecorder(key, capacity=self.config.flight_capacity)
+        )
+
+    def _on_slo_exhausted(self, hit: Dict[str, Any], t: float) -> None:
+        """An objective's budget just ran out: stamp the implicated nodes'
+        current spans (the timeline walk-back lands on them) and freeze
+        the black boxes."""
+        objective = hit.get("objective", "?")
+        for key in hit.get("nodes") or ():
+            tracer = self.tracers.get(key)
+            if tracer is None:
+                continue
+            clock = self._clocks.get(key)
+            tracer.event(
+                tracer.current(),
+                "slo",
+                lc=clock.tick() if clock is not None else 0,
+                t=t,
+                detail={"objective": objective},
+            )
+        self.dump_flights(f"slo:{objective}")
+
+    def dump_flights(self, reason: str) -> List[str]:
+        """Dump every armed ring to ``flight-<node>.jsonl``, once per
+        distinct reason.  Works after :meth:`stop` too — the rings are
+        plain memory, so a post-run audit can still freeze them."""
+        if self.config.flight_dir is None or reason in self._flight_reasons:
+            return []
+        self._flight_reasons.add(reason)
+        written: List[str] = []
+        for key in sorted(self.flights):
+            path = (
+                Path(self.config.flight_dir)
+                / f"flight-{sanitize_node(key)}.jsonl"
+            )
+            dump_flight(
+                path,
+                self.flights[key],
+                reason=reason,
+                tracer=self.tracers.get(key),
+                header={
+                    "topology": self.config.topology_spec,
+                    "seed": self.config.seed,
+                },
+            )
+            written.append(str(path))
+            if str(path) not in self.flight_paths:
+                self.flight_paths.append(str(path))
+        return written
+
     def _open_stream(self, path_s: str) -> Optional[TextIO]:
         path = Path(path_s)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -318,6 +417,7 @@ class ClusterSupervisor:
                 t0=self._t0,
                 tracer=self._tracer_for(pid),
                 clock=self._clock_for(pid),
+                flight=self._flight_for(pid),
             )
             self.nodes[pid] = node
             await node.start_listening()
@@ -407,6 +507,10 @@ class ClusterSupervisor:
         if self._stopped:
             return
         self._stopped = True
+        if self.interrupted:
+            # SIGTERM/SIGINT: the final artefacts may never be written, so
+            # the black boxes are the postmortem.  Dump before teardown.
+            self.dump_flights("sigterm")
         for task in (self._chaos_task, self._monitor_task):
             if task is not None:
                 task.cancel()
@@ -556,6 +660,7 @@ class ClusterSupervisor:
             # node's causal history is one line, epochs tell spans apart.
             tracer=self._tracer_for(pid),
             clock=self._clock_for(pid),
+            flight=self._flight_for(pid),
         )
         for _ in range(20):
             try:
@@ -597,6 +702,10 @@ class ClusterSupervisor:
                         pid,
                         {"expected": expected},
                     )
+                    # Freeze the black boxes while the crash's lead-up is
+                    # still in the rings (scheduled kills included — the
+                    # point of a flight recorder is the moments *before*).
+                    self.dump_flights(f"crash:{pid!r}")
 
     # ------------------------------------------------------------ telemetry
 
@@ -691,6 +800,8 @@ class ClusterSupervisor:
                        labels={"node": node_key},
                        help="Restart to first client-matched grant")
             )
+        if self.slo_eval is not None:
+            samples.extend(self.slo_eval.samples())
         return samples
 
     # -------------------------------------------------------------- results
@@ -718,6 +829,10 @@ class ClusterSupervisor:
             restarts={repr(p): n for p, n in self.restarts.items()},
             convergence_s=dict(self.convergence_s),
             trace_paths=list(self.trace_paths),
+            flight_paths=list(self.flight_paths),
+            slo_exhausted=(
+                [] if self.slo_eval is None else self.slo_eval.exhausted
+            ),
             interrupted=self.interrupted,
         )
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.events import NetEventKind
+from ..obs.slo import SloReport
 from ..sim.topology import Pid, Topology
 from ..sim.trace import TraceEvent
 from .codec import Decoder, Frame, T_REQ, T_RSP, encode_frame, encode_hello
@@ -473,6 +474,9 @@ class SoakResult:
     #: and :attr:`blamed` should recover exactly this set from the
     #: violation pairs alone.
     byzantine: List[str] = field(default_factory=list)
+    #: Final SLO evaluation (``cluster soak --slo`` only), reconciled with
+    #: this audit's violation set.
+    slo_report: Optional["SloReport"] = None
 
     @property
     def safe(self) -> bool:
@@ -601,10 +605,25 @@ async def soak(
     violations = neighbour_violations(
         config.topology, intervals, exclude=result.killed
     )
+    slo_report = None
+    if supervisor.slo_eval is not None:
+        # The interval audit is authoritative for safety: adopt any overlap
+        # the live grant-order check missed before the final verdict.
+        supervisor.slo_eval.reconcile_safety(
+            [v.overlap_start for v in violations]
+        )
+        slo_report = supervisor.slo_eval.report()
+        result.slo_exhausted = slo_report.exhausted
+    if violations:
+        # Neighbour exclusion was broken: freeze the black boxes so the
+        # postmortem survives even if artefact writes never happen.
+        supervisor.dump_flights("soak-violation")
+        result.flight_paths = list(supervisor.flight_paths)
     return SoakResult(
         cluster=result,
         clients=stats,
         violations=violations,
         intervals=intervals,
         byzantine=list(result.byzantine),
+        slo_report=slo_report,
     )

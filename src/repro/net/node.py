@@ -33,6 +33,7 @@ from ..mp.message import Message
 from ..mp.node import MpProcess
 from ..obs.bus import EventBus
 from ..obs.events import NetEventKind
+from ..obs.flight import FlightRecorder
 from ..obs.tracing import LamportClock, ROOT_SPAN, Span, SpanRecorder
 from ..sim.topology import Pid, Topology
 from ..sim.trace import TraceEvent
@@ -152,6 +153,7 @@ class NodeServer:
         epoch: int = 0,
         tracer: SpanRecorder | None = None,
         clock: LamportClock | None = None,
+        flight: "FlightRecorder | None" = None,
     ) -> None:
         if pid not in topology:
             raise ValueError(f"{pid!r} is not in the topology")
@@ -180,6 +182,10 @@ class NodeServer:
         self.clock = clock if clock is not None else (
             LamportClock() if tracer is not None else None
         )
+        # ---- flight recorder (optional): decoded/sent frame summaries go
+        # into the node's bounded black box.  Like the tracer, the SAME
+        # ring serves every incarnation, so a dump spans restarts.
+        self.flight = flight
         self._root_span: Optional[Span] = None
         self._active_span: Optional[Span] = None  # granted lifecycle span
         self._hunger_span: Optional[Span] = None  # plain-diner hungry span
@@ -414,6 +420,8 @@ class NodeServer:
             self.send_failures += 1
             return False
         self.msgs_out += 1
+        if self.flight is not None:
+            self.flight.note_frame(self._now(), "out", T_MSG, peer=repr(dst))
         payload_key = tuple(payload)
         retransmit = self._last_sent.get(dst) == payload_key
         self._last_sent[dst] = payload_key
@@ -472,6 +480,8 @@ class NodeServer:
                     reported_resyncs = decoder.resyncs
                     self.publish(NetEventKind.GARBAGE, {"bytes": fresh})
                 for frame in frames:
+                    if self.flight is not None and not frame.is_hello:
+                        self.flight.note_frame(self._now(), "in", frame.type)
                     if frame.is_hello:
                         fields = hello_fields(frame)
                         if fields is None or fields[0] != WIRE_VERSION:

@@ -14,6 +14,7 @@ smoke path.
 
 from __future__ import annotations
 
+import http.client
 import time
 import urllib.error
 import urllib.request
@@ -26,12 +27,22 @@ CLEAR = "\x1b[2J\x1b[H"
 
 
 def fetch_metrics(url: str, *, timeout: float = 2.0) -> str:
-    """The exposition document at ``url`` (raises OSError on failure)."""
+    """The exposition document at ``url`` (raises OSError on failure).
+
+    Every failure mode folds into one ``OSError`` — refused/dead endpoints
+    (``URLError``), torn HTTP responses mid-teardown
+    (``http.client.HTTPException``), and malformed URLs (``ValueError``) —
+    so the CLI prints one line and exits nonzero instead of tracebacking.
+    """
     try:
         with urllib.request.urlopen(url, timeout=timeout) as response:
             return response.read().decode("utf-8", "replace")
     except urllib.error.URLError as exc:
         raise OSError(f"{url}: {exc.reason}") from None
+    except (ValueError, http.client.HTTPException) as exc:
+        # A BadStatusLine quotes the peer's raw bytes, newlines included —
+        # collapse whitespace so the error genuinely is one line.
+        raise OSError(f"{url}: {' '.join(str(exc).split())}") from None
 
 
 def _rate(

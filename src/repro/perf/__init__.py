@@ -29,12 +29,15 @@ from .bench_io import (
     DEFAULT_THRESHOLD,
     CompareReport,
     Delta,
+    HistoryEntry,
     bench_payload,
     compare,
     environment,
     format_compare,
+    format_history,
     git_revision,
     read_bench,
+    scan_bench_history,
     write_bench,
 )
 from .profile import (
@@ -59,12 +62,15 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "CompareReport",
     "Delta",
+    "HistoryEntry",
     "bench_payload",
     "compare",
     "environment",
     "format_compare",
+    "format_history",
     "git_revision",
     "read_bench",
+    "scan_bench_history",
     "write_bench",
     "DEFAULT_TOP",
     "format_hotspots",

@@ -189,6 +189,88 @@ def compare(
     )
 
 
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One BENCH file's contribution to the trajectory table."""
+
+    label: str
+    path: Path
+    timestamp: Optional[str]
+    git_rev: Optional[str]
+    medians: Dict[str, float]
+
+
+def scan_bench_history(
+    directory: Path | str,
+) -> "tuple[List[HistoryEntry], List[str]]":
+    """Every ``BENCH_*.json`` under ``directory``, oldest first.
+
+    Returns ``(entries, ignored)``: entries sorted by environment
+    timestamp (files without one sort first, by name) and the names of
+    ``BENCH_*.json`` files that failed validation — a foreign file in the
+    directory degrades the table, it does not kill it.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise OSError(f"{directory}: not a directory")
+    entries: List[HistoryEntry] = []
+    ignored: List[str] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = read_bench(path)
+        except ValueError:
+            ignored.append(path.name)
+            continue
+        env = payload.get("env") or {}
+        medians: Dict[str, float] = {}
+        for name, doc in payload["benchmarks"].items():
+            median = (doc.get("stats") or {}).get("median_s")
+            if isinstance(median, (int, float)):
+                medians[name] = float(median)
+        entries.append(
+            HistoryEntry(
+                label=path.stem[len("BENCH_"):] or path.stem,
+                path=path,
+                timestamp=env.get("timestamp"),
+                git_rev=env.get("git_rev"),
+                medians=medians,
+            )
+        )
+    entries.sort(key=lambda e: (e.timestamp or "", e.label))
+    return entries, ignored
+
+
+def format_history(entries: Sequence[HistoryEntry]) -> str:
+    """The per-kernel median trajectory table ``bench --history`` prints.
+
+    One column per BENCH file (oldest left), one row per kernel, and a
+    trailing last/first ratio — the at-a-glance answer to "has this kernel
+    drifted across the committed trajectory?".
+    """
+    lines = [f"bench history: {len(entries)} BENCH file(s)"]
+    for entry in entries:
+        rev = (entry.git_rev or "")[:9]
+        provenance = " ".join(s for s in (entry.timestamp, rev) if s)
+        lines.append(f"  {entry.label}: {provenance or '(no provenance)'}")
+    col = max([10] + [len(e.label) for e in entries])
+    header = f"{'benchmark':40s}"
+    for entry in entries:
+        header += f" {entry.label:>{col}s}"
+    lines.append(header + "   trend")
+    names = sorted({name for entry in entries for name in entry.medians})
+    for name in names:
+        row = f"{name:40s}"
+        for entry in entries:
+            median = entry.medians.get(name)
+            cell = "-" if median is None else f"{median:.6f}s"
+            row += f" {cell:>{col}s}"
+        present = [e.medians[name] for e in entries if name in e.medians]
+        if len(present) >= 2 and present[0] > 0:
+            row += f"  {present[-1] / present[0]:5.2f}x"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def format_compare(report: CompareReport) -> str:
     """The ranked delta table ``repro bench --compare`` prints."""
     lines = [

@@ -23,11 +23,31 @@ from .bench import register
 
 @register("engine/steps/ring16", ops=1000)
 def engine_steps_ring():
-    """Full engine step loop: ring(16), everyone hungry, weakly fair."""
+    """Full engine step loop: ring(16), everyone hungry, weakly fair.
+
+    ``REPRO_FLIGHT=1`` arms a flight recorder under the *same kernel
+    name*: every emitted event is noted into the bounded in-memory ring
+    through an attached bus (the armed-always path a live node pays), so
+    ``repro bench --compare --threshold 0.10`` between a plain and an
+    armed run is exactly the CI gate on recording overhead.
+    """
+    import os
+
     from ..core import NADiners
     from ..sim import AlwaysHungry, Engine, System, ring
 
-    engine = Engine(System(ring(16), NADiners()), hunger=AlwaysHungry(), seed=1)
+    bus = None
+    if os.environ.get("REPRO_FLIGHT") == "1":
+        from ..obs import EventBus, FlightRecorder
+
+        flight = FlightRecorder("bench")
+        bus = EventBus()
+        bus.subscribe_all(
+            lambda ev: flight.note_event({"t": ev.step, "event": ev.kind.value})
+        )
+    engine = Engine(
+        System(ring(16), NADiners()), hunger=AlwaysHungry(), seed=1, bus=bus
+    )
     return lambda: engine.run(1000)
 
 
@@ -161,6 +181,8 @@ def codec_roundtrip():
     (Lamport stamp + span id) under the *same kernel name*, so
     ``repro bench --compare --threshold 0.10`` between a plain and a
     stamped run is exactly the CI gate on codec-stamping overhead.
+    ``REPRO_FLIGHT=1`` likewise notes every decoded frame into a flight
+    recorder's ring — the armed black-box path — gated the same way.
     """
     import os
 
@@ -168,6 +190,11 @@ def codec_roundtrip():
     from ..net.codec import Decoder, decode_message, encode_message
 
     stamped = os.environ.get("REPRO_TRACE_STAMP") == "1"
+    flight = None
+    if os.environ.get("REPRO_FLIGHT") == "1":
+        from ..obs import FlightRecorder
+
+        flight = FlightRecorder("bench")
     rng = random.Random(6)
     messages = [
         Message(
@@ -189,6 +216,8 @@ def codec_roundtrip():
                 data = encode_message(message)
             for frame in decoder.feed(data):
                 decode_message(frame)
+                if flight is not None:
+                    flight.note_frame(float(lc), "in", frame.type)
 
     return kernel
 

@@ -203,3 +203,51 @@ class TestAggregateMath:
         assert payload["count"] == 0
         assert payload["p50_s"] is None
         assert payload["mean_s"] is None
+
+    def test_percentile_of_sorted_single_sample_all_quantiles(self):
+        from repro.obs import percentile_of_sorted
+
+        # Every quantile of a singleton collapses to that sample — the
+        # interpolation must not index past either end.
+        for q in (0.0, 0.25, 0.5, 0.999, 1.0):
+            assert percentile_of_sorted([7.5], q) == 7.5
+
+    def test_histogram_single_sample_percentiles(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(3)
+        assert h.percentile(0.0) == 3
+        assert h.percentile(0.5) == 3
+        assert h.percentile(1.0) == 3
+
+    def test_timer_single_sample_percentiles(self):
+        t = MetricsRegistry().timer("t")
+        t.observe(0.25)
+        assert t.percentile(0.0) == pytest.approx(0.25)
+        assert t.percentile(0.5) == pytest.approx(0.25)
+        assert t.percentile(1.0) == pytest.approx(0.25)
+
+    def test_histogram_merge_with_empty_is_identity(self):
+        reg = MetricsRegistry()
+        a, empty = reg.histogram("a"), reg.histogram("empty")
+        a.observe(1, 2)
+        a.observe(4, 1)
+        before = (dict(a.buckets), a.count, a.total)
+        a.merge(empty)
+        assert (dict(a.buckets), a.count, a.total) == before
+        # And the other direction adopts the populated side wholesale.
+        empty.merge(a)
+        assert dict(empty.buckets) == dict(a.buckets)
+        assert empty.percentile(1.0) == 4
+
+    def test_timer_merge_with_empty_is_identity(self):
+        reg = MetricsRegistry()
+        a, empty = reg.timer("a"), reg.timer("empty")
+        a.observe(0.5)
+        a.merge(empty)
+        assert a.count == 1
+        assert a.min == 0.5
+        assert a.max == 0.5
+        empty2 = reg.timer("empty2")
+        empty2.merge(a)
+        assert empty2.count == 1
+        assert empty2.percentile(0.5) == pytest.approx(0.5)

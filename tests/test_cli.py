@@ -539,5 +539,175 @@ class TestTracingCli:
             main(["top"])
 
     def test_top_unreachable_endpoint_is_a_clean_error(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as info:
             main(["top", "--url", "http://127.0.0.1:1/metrics", "--once"])
+        message = str(info.value)
+        assert "127.0.0.1:1" in message
+        assert "\n" not in message  # one line, no traceback
+
+    def test_top_non_http_endpoint_is_a_clean_error(self):
+        """A live socket that speaks garbage (not HTTP) must fold into the
+        same one-line OSError path as a refused connection."""
+        import socket
+        import threading
+
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def answer_garbage():
+            conn, _ = server.accept()
+            conn.sendall(b"I AM NOT HTTP\r\n\r\n")
+            conn.close()
+
+        thread = threading.Thread(target=answer_garbage, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(SystemExit) as info:
+                main([
+                    "top", "--url", f"http://127.0.0.1:{port}/metrics",
+                    "--once",
+                ])
+            assert "\n" not in str(info.value)
+        finally:
+            server.close()
+            thread.join(timeout=2)
+
+
+class TestSloCli:
+    """`repro slo`, `cluster soak --slo/--flight`, and the new sniffers."""
+
+    FIXTURES = "tests/obs/fixtures/slo"
+
+    def test_slo_clean_fixture_exits_zero(self, capsys):
+        assert main([
+            "slo", f"{self.FIXTURES}/spec.json", f"{self.FIXTURES}/clean.events",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ingested events:" in out
+        assert "budget: OK — 6 objectives within budget" in out
+
+    def test_slo_violation_fixture_exits_one(self, capsys):
+        assert main([
+            "slo", f"{self.FIXTURES}/spec.json",
+            f"{self.FIXTURES}/violation.events",
+        ]) == 1
+        assert "budget: EXHAUSTED — safety" in capsys.readouterr().out
+
+    def test_slo_report_is_byte_stable(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for out in (a, b):
+            assert main([
+                "slo", f"{self.FIXTURES}/spec.json",
+                f"{self.FIXTURES}/clean.events", "--out", str(out),
+            ]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_slo_missing_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["slo", "/nonexistent/spec.json",
+                  f"{self.FIXTURES}/clean.events"])
+
+    def test_slo_foreign_artefact_exits(self, tmp_path):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text('{"hello": 1}\n')
+        with pytest.raises(SystemExit):
+            main(["slo", f"{self.FIXTURES}/spec.json", str(junk)])
+
+    def test_slo_empty_directory_exits(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["slo", f"{self.FIXTURES}/spec.json", str(empty)])
+
+    def test_stats_sniffs_slo_report(self, tmp_path, capsys):
+        report = tmp_path / "slo-report.json"
+        main([
+            "slo", f"{self.FIXTURES}/spec.json",
+            f"{self.FIXTURES}/violation.events", "--out", str(report),
+        ])
+        capsys.readouterr()
+        assert main(["stats", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report:" in out
+        assert "EXHAUSTED" in out
+
+    def _flight_dump(self, tmp_path):
+        from repro.obs import FlightRecorder, dump_flight
+        from repro.obs.tracing import SpanRecorder
+
+        tracer = SpanRecorder("2")
+        span = tracer.open("acquire", lc=1, t=0.5)
+        tracer.event(span, "grant", lc=2, t=1.0)
+        tracer.close(span, lc=3, t=1.5)
+        recorder = FlightRecorder("2", capacity=8)
+        recorder.note_frame(1.0, "in", "request", peer="1")
+        recorder.note_event({"t": 2.0, "event": "net-grant"})
+        return dump_flight(
+            tmp_path / "flight-2.jsonl", recorder, reason="soak-violation",
+            tracer=tracer, header={"topology": "ring:3", "seed": 7},
+        )
+
+    def test_stats_sniffs_flight_dump(self, tmp_path, capsys):
+        path = self._flight_dump(tmp_path)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flight dump:" in out
+        assert "soak-violation" in out
+
+    def test_timeline_ingests_flight_dump(self, tmp_path, capsys):
+        path = self._flight_dump(tmp_path)
+        assert main(["timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "causality: OK" in out
+
+    def test_soak_with_slo_prints_verdict(self, tmp_path, capsys):
+        report = tmp_path / "slo-live.json"
+        code = main([
+            "cluster", "soak", "--nodes", "3", "--seed", "7",
+            "--duration", "1.5", "--tick-interval", "0.005",
+            "--slo", "examples/slo.json", "--slo-report", str(report),
+            "--flight", str(tmp_path / "flight"),
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "slo spec: soak-defaults" in out
+        assert "budget:" in out
+        assert report.exists()
+
+    def test_flight_capacity_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", "soak", "--nodes", "3", "--duration", "0.5",
+                "--flight", "/tmp/x", "--flight-capacity", "0",
+            ])
+
+
+class TestBenchHistory:
+    def test_history_table(self, tmp_path, capsys):
+        history = tmp_path / "history"
+        history.mkdir()
+        for label in ("2024a", "2024b"):
+            assert main([
+                "bench", "--quick", "--filter", "snapshot",
+                "--out", str(history / f"BENCH_{label}.json"),
+            ]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "bench history: 2 BENCH file(s)" in out
+        assert "snapshot/ring16" in out
+        assert "trend" in out
+
+    def test_history_empty_directory_exits(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["bench", "--history", str(empty)])
+
+    def test_history_missing_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--history", str(tmp_path / "absent")])
