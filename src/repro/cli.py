@@ -850,7 +850,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     Recognises metrics JSONL, campaign records, trace JSONL, span logs,
     merged timelines, cluster event logs, flight-recorder dumps, SLO
-    reports, and BENCH JSON.  Anything else —
+    reports, loadgen reports, and BENCH JSON.  Anything else —
     including empty, binary, or truncated files — exits nonzero with a
     one-line reason, never a traceback.
     """
@@ -889,7 +889,52 @@ def _stats(path: str) -> int:
             )
         return 0
 
-    # SLO reports are also single JSON documents, distinguished by kind.
+    # Loadgen and SLO reports are also single JSON documents,
+    # distinguished by their ``kind`` tag.
+    loadgen = _try_loadgen(path)
+    if loadgen is not None:
+        spec = loadgen.get("spec") or {}
+        results = loadgen.get("results") or {}
+        lat = results.get("latency") or {}
+        fair = results.get("fairness") or {}
+        safety = results.get("safety") or {}
+        print(
+            f"loadgen report [{spec.get('engine', '?')}]: "
+            f"{spec.get('topology', '?')} seed={spec.get('seed', '?')} "
+            f"clients={spec.get('clients', '?')} "
+            f"mode={spec.get('mode', '?')}"
+        )
+        print(
+            f"  grants: {results.get('grants', 0)}, "
+            f"shed {results.get('shed_total', 0)}, "
+            f"retries {results.get('retries', 0)}, "
+            f"failures {results.get('failures', 0)}"
+        )
+        if lat.get("count"):
+            print(
+                f"  latency: p50={lat.get('p50_s')}s "
+                f"p99={lat.get('p99_s')}s p999={lat.get('p999_s')}s "
+                f"(n={lat.get('count')})"
+            )
+        print(
+            f"  fairness: grant_count_cv={fair.get('grant_count_cv')} "
+            f"granted={fair.get('clients_granted')}/"
+            f"{fair.get('clients_active')}"
+        )
+        if safety.get("mode") == "live":
+            verdict = "OK" if not safety.get("violations") else (
+                f"VIOLATED ({safety['violations']} overlaps)"
+            )
+            print(f"  safety: {verdict}")
+        per_node = results.get("per_node") or {}
+        for label in sorted(per_node):
+            doc = per_node[label]
+            print(
+                f"  node {label}: {doc.get('grants', 0)} grants, "
+                f"p99={doc.get('p99_s')}s"
+            )
+        return 0
+
     slo_report = _try_slo_report(path)
     if slo_report is not None:
         verdict = "OK" if slo_report.get("ok") else "EXHAUSTED"
@@ -1129,6 +1174,16 @@ def _try_timeline(path: str):
     if first is None or first.get("source") != TIMELINE_SOURCE:
         return None
     return read_timeline(path)
+
+
+def _try_loadgen(path: str):
+    """The parsed loadgen report, or ``None`` if ``path`` is not one."""
+    from .gateway import read_loadgen_report
+
+    try:
+        return read_loadgen_report(path)
+    except (OSError, ValueError):
+        return None
 
 
 def _try_bench(path: str):
@@ -1590,6 +1645,134 @@ def cmd_cluster_soak(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a fleet of logical clients through the gateway tier.
+
+    ``--sim`` runs the seeded virtual-time engine (byte-stable report);
+    otherwise a real cluster is spawned behind a real gateway and the
+    neighbour-exclusion audit runs over the event stream.  Exit 1 on a
+    safety violation.
+    """
+    from .gateway import (
+        AdmissionConfig,
+        FlushPolicy,
+        LoadgenConfig,
+        run_live,
+        run_sim,
+        write_loadgen_report,
+    )
+
+    spec = args.topology or f"ring:{args.nodes}"
+    topology = parse_topology(spec)
+    admission = AdmissionConfig(
+        max_per_client=args.max_per_client,
+        max_queue_depth=args.queue_depth,
+        max_in_flight=args.max_in_flight,
+        retry_after_s=args.retry_after,
+    )
+    flush = FlushPolicy(
+        max_frames=args.batch_frames,
+        max_bytes=args.batch_bytes,
+        max_delay_s=args.batch_delay,
+    )
+    config = LoadgenConfig(
+        clients=args.clients,
+        nodes=len(list(topology.nodes)),
+        topology=spec,
+        seed=args.seed,
+        duration_s=args.duration,
+        mode=args.mode,
+        arrival_rate_hz=args.arrival_rate,
+        think_s=args.think,
+        hold_s=args.hold,
+        max_retries=args.max_retries,
+        upstreams_per_node=args.upstreams_per_node,
+        max_upstreams=args.max_upstreams,
+        admission=admission,
+        flush=flush,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    violations: list = []
+    if args.sim:
+        report = run_sim(config)
+    else:
+        cluster_config = _cluster_config(args, lock_service=True)
+        _print_metrics_url(args)
+        report, cluster_result, violations = _run_interruptible(
+            run_live(config, cluster_config)
+        )
+        _write_cluster_artefacts(
+            args,
+            cluster_result,
+            extra_header={
+                "safe": not violations,
+                "violations": len(violations),
+            },
+        )
+    res = report["results"]
+    lat = res["latency"]
+    fair = res["fairness"]
+    engine = report["spec"]["engine"]
+    print(
+        f"loadgen [{engine}]: {spec} seed={args.seed} "
+        f"clients={args.clients} mode={args.mode} "
+        f"duration={args.duration}s"
+    )
+    print(
+        f"  grants: {res['grants']} ({res['throughput_hz']:.1f}/s), "
+        f"releases {res['releases']}, shed {res['shed_total']}, "
+        f"retries {res['retries']}, abandoned {res['abandoned']}, "
+        f"failures {res['failures']}"
+    )
+    if lat.get("count"):
+        print(
+            f"  latency: p50={lat['p50_s']}s p99={lat['p99_s']}s "
+            f"p999={lat['p999_s']}s (n={lat['count']})"
+        )
+    else:
+        print("  latency: no grants observed")
+    print(
+        f"  fairness: grant_count_cv={fair['grant_count_cv']} "
+        f"mean_wait_cv={fair['mean_wait_cv']} "
+        f"active={fair['clients_active']} "
+        f"granted={fair['clients_granted']}"
+    )
+    for reason in sorted(res["sheds"]):
+        print(f"    shed[{reason}]: {res['sheds'][reason]}")
+    batching = res.get("batching") or {}
+    if batching.get("upstream_flushes"):
+        print(
+            f"  batching: {batching['upstream_frames']} frames in "
+            f"{batching['upstream_flushes']} flushes "
+            f"(mean batch {batching['mean_batch']:.2f}, "
+            f"{batching['dials']} dials)"
+        )
+    safety = res["safety"]
+    if safety["mode"] == "live":
+        if violations:
+            print(f"  safety: VIOLATED ({len(violations)} overlaps)")
+            for violation in violations[:10]:
+                print(
+                    f"    {violation.node_a} ∦ {violation.node_b}: "
+                    f"[{violation.overlap_start:.3f}, "
+                    f"{violation.overlap_end:.3f}]s"
+                )
+        else:
+            print(
+                f"  safety: OK (audited {safety['audited_events']} "
+                f"events, killed: {', '.join(safety['killed']) or 'none'})"
+            )
+    else:
+        print("  safety: modelled (sim engine; audit needs a live run)")
+    if args.out:
+        path = write_loadgen_report(args.out, report)
+        print(f"  loadgen report: {path}")
+    return 1 if violations else 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .adversary.fuzz import FuzzLimits, run_fuzz
 
@@ -1931,6 +2114,66 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="PATH",
                     help="write the final byte-stable slo-report.json")
     cp.set_defaults(fn=cmd_cluster_soak)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive 10^4-10^6 logical clients through the gateway tier; "
+        "report latency percentiles + fairness, exit 1 on violation",
+        description="Closed- or open-loop load generation against the "
+        "lock service through the multiplexing gateway (binary v3 wire "
+        "frames, batching, admission control). Live mode spawns a real "
+        "cluster (all the chaos flags apply) and audits neighbour "
+        "exclusion over the event stream; --sim runs the seeded "
+        "virtual-time twin whose loadgen-report.json is byte-stable "
+        "and feeds `repro slo`.",
+    )
+    cluster_common(p)
+    p.add_argument("--clients", type=int, default=10000,
+                   help="logical clients in the fleet")
+    p.add_argument("--mode", choices=("closed", "open"), default="closed",
+                   help="closed: think/hold cycles; open: Poisson arrivals")
+    p.add_argument("--arrival-rate", type=float, default=2000.0,
+                   dest="arrival_rate", metavar="HZ",
+                   help="open-loop aggregate arrival rate")
+    p.add_argument("--think", type=float, default=0.5,
+                   help="closed-loop mean think time (seconds)")
+    p.add_argument("--hold", type=float, default=0.01,
+                   help="mean lock-hold time (seconds)")
+    p.add_argument("--max-retries", type=int, default=8, dest="max_retries",
+                   help="shed retries per acquire before abandoning")
+    p.add_argument("--upstreams-per-node", type=int, default=1,
+                   dest="upstreams_per_node",
+                   help="pooled TCP connections per node")
+    p.add_argument("--max-upstreams", type=int, default=8,
+                   dest="max_upstreams",
+                   help="hard cap on total upstream connections")
+    p.add_argument("--max-per-client", type=int, default=1,
+                   dest="max_per_client",
+                   help="admission: in-flight ops per logical client")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   dest="queue_depth",
+                   help="admission: un-granted acquires parked per node")
+    p.add_argument("--max-in-flight", type=int, default=1024,
+                   dest="max_in_flight",
+                   help="admission: ops outstanding per upstream pipe")
+    p.add_argument("--retry-after", type=float, default=0.05,
+                   dest="retry_after",
+                   help="retry hint (seconds) carried by shed responses")
+    p.add_argument("--batch-frames", type=int, default=64,
+                   dest="batch_frames",
+                   help="flush a batch at this many buffered frames")
+    p.add_argument("--batch-bytes", type=int, default=32768,
+                   dest="batch_bytes",
+                   help="flush a batch at this many buffered bytes")
+    p.add_argument("--batch-delay", type=float, default=0.002,
+                   dest="batch_delay",
+                   help="max seconds a buffered frame waits for a batch")
+    p.add_argument("--sim", action="store_true",
+                   help="virtual-time engine: no sockets, byte-stable "
+                   "report (same spec+seed => identical bytes)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the versioned loadgen-report.json")
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser(
         "fuzz",

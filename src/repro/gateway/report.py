@@ -1,0 +1,119 @@
+"""The versioned, byte-stable ``loadgen-report.json`` artefact.
+
+One load-generator run produces one report document: the full generator
+spec (so the run is reproducible from the artefact alone), grant-latency
+percentiles, the cross-client fairness CV, admission/shed/batch
+counters, the safety audit, and a bounded set of exact latency samples
+for downstream SLO evaluation.
+
+Discipline matches every other artefact in the repo: ``kind``-tagged and
+format-versioned, keys sorted, floats rounded to 6 decimal places,
+written atomically with an fsync.  In ``--sim`` mode the whole document
+is a pure function of (topology, seed, duration) — two runs with the
+same spec are byte-identical, and CI ``cmp``s them.  A live run has real
+wall-clock latencies in it; its *format* is canonical but its numbers
+are the hardware's.
+
+The sample cap keeps a 10⁶-client report small: when a run collects more
+grant waits than ``LATENCY_SAMPLE_CAP``, the sorted samples are thinned
+by a deterministic stride (every k-th), which preserves the empirical
+distribution — and therefore any percentile — to within 1/cap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List
+
+LOADGEN_FORMAT_VERSION = 1
+LOADGEN_REPORT_KIND = "loadgen-report"
+
+#: Exact per-grant samples kept in the report (global and per node).
+LATENCY_SAMPLE_CAP = 20000
+PER_NODE_SAMPLE_CAP = 5000
+
+
+def _round6(value: Any) -> Any:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return value
+    if isinstance(value, int):
+        return value
+    return round(float(value), 6)
+
+
+def _canonical(value: Any) -> Any:
+    """Rounded floats, recursively — the byte-stability workhorse."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return _round6(value)
+
+
+def thin_samples(sorted_samples: List[float], cap: int) -> List[float]:
+    """At most ``cap`` of the sorted samples, by deterministic stride.
+
+    Keeps the extremes: the first element always survives and the last is
+    appended when the stride would drop it, so min/max stay exact.
+    """
+    n = len(sorted_samples)
+    if n <= cap:
+        return list(sorted_samples)
+    stride = (n + cap - 1) // cap
+    thinned = sorted_samples[::stride]
+    if thinned[-1] != sorted_samples[-1]:
+        thinned.append(sorted_samples[-1])
+    return thinned
+
+
+def build_report(spec: Dict[str, Any], results: Dict[str, Any]) -> Dict[str, Any]:
+    """The complete report document from a spec and raw results."""
+    from .. import version
+
+    return _canonical(
+        {
+            "format": LOADGEN_FORMAT_VERSION,
+            "kind": LOADGEN_REPORT_KIND,
+            "source": LOADGEN_REPORT_KIND,
+            "repro": version(),
+            "spec": spec,
+            "results": results,
+        }
+    )
+
+
+def write_loadgen_report(path: Path | str, report: Dict[str, Any]) -> Path:
+    """The byte-stable report document (atomic replace, fsynced)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = json.dumps(_canonical(report), sort_keys=True, indent=2) + "\n"
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+    return path
+
+
+def read_loadgen_report(path: Path | str) -> Dict[str, Any]:
+    """Parse a report document; :class:`ValueError` if it is not one."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(f"{path}: not valid JSON") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != LOADGEN_REPORT_KIND:
+        raise ValueError(f"{path}: not a loadgen-report document")
+    if not isinstance(doc.get("format"), int):
+        raise ValueError(f"{path}: loadgen-report without a format version")
+    if doc["format"] > LOADGEN_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: loadgen-report format {doc['format']} is newer than "
+            f"this tool ({LOADGEN_FORMAT_VERSION})"
+        )
+    if not isinstance(doc.get("results"), dict):
+        raise ValueError(f"{path}: loadgen-report without results")
+    return doc

@@ -35,6 +35,7 @@ from .cluster import (
     ClusterConfig,
     ClusterResult,
     ClusterSupervisor,
+    MetricsEndpoint,
     RestartPolicy,
     cluster_metrics,
     merge_counters,
@@ -47,6 +48,7 @@ from .cluster import (
 from .codec import (
     Decoder,
     Frame,
+    WIRE_BINARY_VERSION,
     WIRE_TRACE_VERSION,
     WIRE_VERSION,
     CodecError,
@@ -54,6 +56,8 @@ from .codec import (
     encode_frame,
     encode_hello,
     encode_message,
+    encode_request,
+    encode_response,
     hello_fields,
 )
 from .lock import (
@@ -93,11 +97,15 @@ __all__ = [
     "write_cluster_metrics",
     "Decoder",
     "Frame",
+    "MetricsEndpoint",
+    "WIRE_BINARY_VERSION",
     "WIRE_TRACE_VERSION",
     "WIRE_VERSION",
     "CodecError",
     "decode_message",
     "encode_frame",
+    "encode_request",
+    "encode_response",
     "encode_hello",
     "encode_message",
     "hello_fields",

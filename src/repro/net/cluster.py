@@ -208,7 +208,7 @@ class ClusterSupervisor:
         self._waiting: Dict[str, int] = {}  # node -> open waiting spans
         self._holding: set = set()
         self._retired_edge_rtx: Dict[tuple, int] = {}
-        self._metrics_endpoint: Optional[_MetricsEndpoint] = None
+        self._metrics_endpoint: Optional[MetricsEndpoint] = None
         self.metrics_port: Optional[int] = None
         self._stream_handle: Optional[TextIO] = None
 
@@ -422,8 +422,8 @@ class ClusterSupervisor:
             self.nodes[pid] = node
             await node.start_listening()
         if cfg.metrics_port is not None:
-            self._metrics_endpoint = _MetricsEndpoint(
-                self, cfg.host, cfg.metrics_port
+            self._metrics_endpoint = MetricsEndpoint(
+                self.live_samples, cfg.host, cfg.metrics_port
             )
             self.metrics_port = await self._metrics_endpoint.start()
 
@@ -846,16 +846,18 @@ def sanitize_node(key: str) -> str:
     return cleaned or "node"
 
 
-class _MetricsEndpoint:
-    """The supervisor's /metrics HTTP listener (Prometheus text format).
+class MetricsEndpoint:
+    """A /metrics HTTP listener (Prometheus text format) over any sampler.
 
-    Deliberately minimal: one GET per connection, rendered from
-    :meth:`ClusterSupervisor.live_samples` at request time, connection
-    closed.  Enough for a scraper or ``repro top``; not a web server.
+    Deliberately minimal: one GET per connection, rendered from the given
+    zero-argument ``sample_fn`` at request time, connection closed.
+    Enough for a scraper or ``repro top``; not a web server.  The cluster
+    supervisor serves :meth:`ClusterSupervisor.live_samples` through one;
+    the gateway serves its mux/batch gauges through another.
     """
 
-    def __init__(self, supervisor: ClusterSupervisor, host: str, port: int) -> None:
-        self._supervisor = supervisor
+    def __init__(self, sample_fn, host: str, port: int) -> None:
+        self._sample_fn = sample_fn
         self._host = host
         self._port = port
         self._server: asyncio.base_events.Server | None = None
@@ -879,7 +881,7 @@ class _MetricsEndpoint:
                     break
             ok = request.startswith(b"GET ")
             body = (
-                render_prometheus(self._supervisor.live_samples())
+                render_prometheus(self._sample_fn())
                 if ok else "method not allowed\n"
             ).encode("utf-8")
             status = b"200 OK" if ok else b"405 Method Not Allowed"

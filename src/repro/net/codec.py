@@ -4,11 +4,14 @@ One frame on the wire is::
 
     MAGIC(2) | version(1) | type(1) | length(4, big-endian) | crc32(4) | body
 
-``body`` is canonical UTF-8 JSON.  Tuples inside payloads are encoded as
-JSON arrays and restored recursively on decode — :class:`repro.mp.message.
-Message` payloads are tuples by contract, and protocol code (e.g. the
-Chandy–Misra ``edge_key`` check) compares them structurally, so the
-round-trip must be exact: ``decode(encode(m)) == m``.
+``body`` is canonical UTF-8 JSON (v1), a binary trace block followed by
+JSON (v2), or a struct-packed binary record (v3, lock-service frames
+only).  Tuples inside JSON payloads are encoded as arrays and restored
+recursively on decode — :class:`repro.mp.message.Message` payloads are
+tuples by contract, and protocol code (e.g. the Chandy–Misra ``edge_key``
+check) compares them structurally, so the round-trip must be exact:
+``decode(encode(m)) == m``.  A v3 frame decodes into the same body dict
+its JSON twin would, so the protocol layers never see the difference.
 
 The decoder is **garbage tolerant** by construction, which is the wire-level
 image of the paper's arbitrary-initial-channel model: a transient fault (or
@@ -41,11 +44,34 @@ WIRE_VERSION = 1
 #: The block is binary (not JSON keys) so stamping stays off the JSON hot
 #: path — the ``net/codec/roundtrip`` bench gates the overhead under 10%.
 WIRE_TRACE_VERSION = 2
-_VERSIONS = frozenset((WIRE_VERSION, WIRE_TRACE_VERSION))
+
+#: The binary frame layout of the gateway hot path: same 12-byte header,
+#: but the body is struct-packed, not JSON.  Only the lock-service types
+#: (``T_REQ``/``T_RSP``) have a binary body schema — they are the frames a
+#: front-end tier pushes by the million, and ``json.dumps``/``json.loads``
+#: dominates their cost.  A v3 frame decodes into the *same* body dict a
+#: v1 JSON frame would, so every consumer above the codec is agnostic; the
+#: ``net/codec/binary-roundtrip`` bench kernel gates the ≥2× win.
+WIRE_BINARY_VERSION = 3
+_VERSIONS = frozenset((WIRE_VERSION, WIRE_TRACE_VERSION, WIRE_BINARY_VERSION))
 
 #: ``lc`` (u64 big-endian) + span-id length (u8) of a v2 trace block.
 _TRACE_BLOCK = struct.Struct(">QB")
 MAX_SPAN_ID = 255  #: span ids are short (``node/epoch/counter``)
+
+#: The complete v3 header in one pack: magic, version, type, length, crc.
+_HEADER = struct.Struct(">2sBBII")
+#: v3 ``T_REQ`` body head: op code, flags, target node index, id length.
+_REQ_HEAD = struct.Struct(">BBHB")
+#: v3 ``T_RSP`` body head: op code, ok, retry-after (ms), id length.
+_RSP_HEAD = struct.Struct(">BBHB")
+_FLAG_NODE = 1  #: REQ flags bit: the node field is meaningful
+
+_OP_CODES = {"acquire": 1, "release": 2}
+_OP_NAMES = {1: "acquire", 2: "release"}
+MAX_REQUEST_ID = 255  #: request ids are short (``client.epoch.counter``)
+MAX_NODE_INDEX = 0xFFFF
+MAX_RETRY_MS = 0xFFFF
 
 MAGIC = b"RW"
 HEADER_SIZE = 12
@@ -83,13 +109,16 @@ class Frame:
 
     ``lc`` and ``span`` are the causal stamps of a v2 (traced) frame —
     ``None`` on plain v1 frames, so old traffic is indistinguishable from
-    untraced traffic at the consumer.
+    untraced traffic at the consumer.  ``version`` records the wire layout
+    the frame arrived in, so a server can answer a binary-speaking client
+    in kind without a negotiation round trip.
     """
 
     type: int
     body: Any
     lc: Optional[int] = None
     span: Optional[str] = None
+    version: int = WIRE_VERSION
 
     @property
     def is_hello(self) -> bool:
@@ -152,6 +181,142 @@ def encode_message(
         lc=lc,
         span=span,
     )
+
+
+def _request_id_bytes(req_id: Any) -> bytes:
+    """The id as short UTF-8 bytes, or a :class:`CodecError`."""
+    if not isinstance(req_id, str):
+        raise CodecError(f"binary frames need string ids, got {req_id!r}")
+    ident = req_id.encode("utf-8")
+    if not 0 < len(ident) <= MAX_REQUEST_ID:
+        raise CodecError(f"request id length {len(ident)} out of range")
+    return ident
+
+
+def encode_request(op: str, req_id: Any, *, node: Optional[int] = None) -> bytes:
+    """One lock-service request as a binary v3 ``T_REQ`` frame.
+
+    Decodes into the same body dict the JSON path produces — ``op``, ``id``,
+    and (for acquires) ``span`` mirroring the id, exactly as
+    :class:`~repro.net.lock.LockClient` sends them — plus ``node`` when a
+    gateway routes on behalf of a logical client.
+    """
+    code = _OP_CODES.get(op)
+    if code is None:
+        raise CodecError(f"op {op!r} has no binary encoding")
+    ident = _request_id_bytes(req_id)
+    flags = 0
+    node_index = 0
+    if node is not None:
+        if not 0 <= node <= MAX_NODE_INDEX:
+            raise CodecError(f"node index {node!r} out of range")
+        flags |= _FLAG_NODE
+        node_index = node
+    payload = _REQ_HEAD.pack(code, flags, node_index, len(ident)) + ident
+    return (
+        _HEADER.pack(
+            MAGIC,
+            WIRE_BINARY_VERSION,
+            T_REQ,
+            len(payload),
+            zlib.crc32(payload) & 0xFFFFFFFF,
+        )
+        + payload
+    )
+
+
+def encode_response(
+    op: str,
+    req_id: Any,
+    ok: bool,
+    *,
+    error: Optional[str] = None,
+    retry_after_s: Optional[float] = None,
+) -> bytes:
+    """One lock-service response as a binary v3 ``T_RSP`` frame.
+
+    ``error`` is the typed refusal (``"retry"`` for admission sheds,
+    ``"bad-op"`` for protocol misuse); ``retry_after_s`` is the shed
+    back-off hint, carried as whole milliseconds.
+    """
+    code = _OP_CODES.get(op)
+    if code is None:
+        raise CodecError(f"op {op!r} has no binary encoding")
+    ident = _request_id_bytes(req_id)
+    err = ("" if error is None else error).encode("utf-8")
+    if len(err) > 255:
+        raise CodecError(f"error string too long ({len(err)} bytes)")
+    retry_ms = 0
+    if retry_after_s is not None:
+        if not 0 <= retry_after_s <= MAX_RETRY_MS / 1000.0:
+            raise CodecError(f"retry_after_s {retry_after_s!r} out of range")
+        retry_ms = int(round(retry_after_s * 1000.0))
+    payload = (
+        _RSP_HEAD.pack(code, 1 if ok else 0, retry_ms, len(ident))
+        + ident
+        + bytes((len(err),))
+        + err
+    )
+    return (
+        _HEADER.pack(
+            MAGIC,
+            WIRE_BINARY_VERSION,
+            T_RSP,
+            len(payload),
+            zlib.crc32(payload) & 0xFFFFFFFF,
+        )
+        + payload
+    )
+
+
+def _decode_binary_body(frame_type: int, body: bytes) -> Optional[Any]:
+    """The body dict of a v3 frame, or ``None`` if the bytes are junk.
+
+    The CRC already passed, so a malformed body here is garbage that got
+    lucky (or a buggy peer); the decoder treats ``None`` exactly like a
+    failed JSON parse — defence in depth, same as the v2 trace block.
+    """
+    if frame_type == T_REQ:
+        if len(body) < _REQ_HEAD.size:
+            return None
+        code, flags, node_index, id_len = _REQ_HEAD.unpack_from(body, 0)
+        op = _OP_NAMES.get(code)
+        end = _REQ_HEAD.size + id_len
+        if op is None or id_len == 0 or len(body) != end:
+            return None
+        try:
+            ident = body[_REQ_HEAD.size : end].decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        decoded: dict = {"op": op, "id": ident}
+        if op == "acquire":
+            decoded["span"] = ident
+        if flags & _FLAG_NODE:
+            decoded["node"] = node_index
+        return decoded
+    if frame_type == T_RSP:
+        if len(body) < _RSP_HEAD.size:
+            return None
+        code, ok, retry_ms, id_len = _RSP_HEAD.unpack_from(body, 0)
+        op = _OP_NAMES.get(code)
+        id_end = _RSP_HEAD.size + id_len
+        if op is None or id_len == 0 or len(body) < id_end + 1:
+            return None
+        err_len = body[id_end]
+        if len(body) != id_end + 1 + err_len:
+            return None
+        try:
+            ident = body[_RSP_HEAD.size : id_end].decode("utf-8")
+            err = body[id_end + 1 :].decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        decoded = {"op": op, "id": ident, "ok": bool(ok)}
+        if err:
+            decoded["error"] = err
+        if retry_ms:
+            decoded["retry_after_s"] = retry_ms / 1000.0
+        return decoded
+    return None  # only the lock-service types have a binary schema
 
 
 def encode_hello(node: Any, *, role: str = "peer") -> bytes:
@@ -264,6 +429,19 @@ class Decoder:
                 self.resyncs += 1
                 del buf[:1]
                 continue
+            if version == WIRE_BINARY_VERSION:
+                binary_body = _decode_binary_body(frame_type, body_bytes)
+                if binary_body is None:
+                    self.garbage_bytes += 1
+                    self.resyncs += 1
+                    del buf[:1]
+                    continue
+                del buf[: HEADER_SIZE + length]
+                self.frames_decoded += 1
+                yield Frame(
+                    type=frame_type, body=binary_body, version=version
+                )
+                continue
             lc: Optional[int] = None
             span: Optional[str] = None
             if version == WIRE_TRACE_VERSION:
@@ -300,4 +478,6 @@ class Decoder:
                 continue
             del buf[: HEADER_SIZE + length]
             self.frames_decoded += 1
-            yield Frame(type=frame_type, body=body, lc=lc, span=span)
+            yield Frame(
+                type=frame_type, body=body, lc=lc, span=span, version=version
+            )

@@ -38,14 +38,17 @@ from ..obs.tracing import LamportClock, ROOT_SPAN, Span, SpanRecorder
 from ..sim.topology import Pid, Topology
 from ..sim.trace import TraceEvent
 from .codec import (
+    CodecError,
     Decoder,
     Frame,
     T_MSG,
     T_REQ,
+    WIRE_BINARY_VERSION,
     WIRE_VERSION,
     decode_message,
     encode_frame,
     encode_hello,
+    encode_response,
     hello_fields,
     tuplify,
 )
@@ -192,8 +195,12 @@ class NodeServer:
         #: Last payload written per neighbour — an identical re-send is the
         #: repair-mode retransmit the timeline attributes chaos latency to.
         self._last_sent: Dict[Pid, Tuple] = {}
-        #: FIFO of ``(writer, request_id, span)`` acquires awaiting a grant.
-        self._waiters: List[Tuple[asyncio.StreamWriter, Any, Optional[Span]]] = []
+        #: FIFO of ``(writer, request_id, span, binary)`` acquires awaiting
+        #: a grant — ``binary`` remembers the wire layout the request came
+        #: in on, so the grant goes back the same way.
+        self._waiters: List[
+            Tuple[asyncio.StreamWriter, Any, Optional[Span], bool]
+        ] = []
         #: Connection currently holding the lock — its death releases the
         #: lease, else the meal stays topped up forever and starves the
         #: neighbourhood.
@@ -505,9 +512,9 @@ class NodeServer:
             pass
         finally:
             self._conns.discard(writer)
-            abandoned = [s for (w, _, s) in self._waiters if w is writer]
+            abandoned = [s for (w, _, s, _) in self._waiters if w is writer]
             self._waiters = [
-                (w, r, s) for (w, r, s) in self._waiters if w is not writer
+                entry for entry in self._waiters if entry[0] is not writer
             ]
             for span in abandoned:
                 self._trace_event(span, "abandon")
@@ -566,6 +573,7 @@ class NodeServer:
         body = frame.body if isinstance(frame.body, dict) else {}
         op = body.get("op")
         req_id = tuplify(body.get("id"))
+        binary = frame.version == WIRE_BINARY_VERSION
         process = self.process
         if op == "acquire" and isinstance(process, LockDinerProcess):
             process.demand += 1
@@ -579,21 +587,48 @@ class NodeServer:
                 else self._root_span.span_id,
                 attrs=attrs,
             )
-            self._waiters.append((writer, req_id, span))
+            self._waiters.append((writer, req_id, span, binary))
         elif op == "release" and isinstance(process, LockDinerProcess):
             process.release()
             self._holder = None
-            self._respond(writer, {"op": "release", "id": req_id, "ok": True})
+            self._respond(
+                writer,
+                {"op": "release", "id": req_id, "ok": True},
+                binary=binary,
+            )
         else:
             self._respond(
-                writer, {"op": op, "id": req_id, "ok": False, "error": "bad-op"}
+                writer,
+                {"op": op, "id": req_id, "ok": False, "error": "bad-op"},
+                binary=binary,
             )
 
-    def _respond(self, writer: asyncio.StreamWriter, body: dict) -> None:
+    def _respond(
+        self, writer: asyncio.StreamWriter, body: dict, *, binary: bool = False
+    ) -> None:
         from .codec import T_RSP
 
         if writer.is_closing():
             return
+        if binary:
+            # Answer a binary-speaking client in kind; a body the packed
+            # layout cannot carry falls back to the JSON frame, which every
+            # decoder accepts anyway.
+            try:
+                frame = encode_response(
+                    str(body.get("op")),
+                    body.get("id"),
+                    bool(body.get("ok")),
+                    error=body.get("error"),
+                )
+            except CodecError:
+                frame = None
+            if frame is not None:
+                try:
+                    writer.write(frame)
+                except (ConnectionError, OSError):
+                    pass
+                return
         try:
             writer.write(encode_frame(T_RSP, body))
         except (ConnectionError, OSError):
@@ -630,11 +665,13 @@ class NodeServer:
             detail: Dict[str, Any] = {}
             granted_span: Optional[Span] = None
             if self._waiters and isinstance(self.process, LockDinerProcess):
-                writer, req_id, granted_span = self._waiters.pop(0)
+                writer, req_id, granted_span, binary = self._waiters.pop(0)
                 self.process.grant_taken()
                 self._holder = writer
                 self._respond(
-                    writer, {"op": "acquire", "id": req_id, "ok": True}
+                    writer,
+                    {"op": "acquire", "id": req_id, "ok": True},
+                    binary=binary,
                 )
                 detail["req"] = req_id
             if granted_span is None:

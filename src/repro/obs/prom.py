@@ -132,3 +132,22 @@ def find(
         if all(sample.labels.get(k) == v for k, v in labels.items()):
             return sample
     return None
+
+
+def sum_by_label(
+    samples: Iterable[Sample], name: str, label: str
+) -> Dict[str, float]:
+    """``label value -> summed sample value`` for one metric family.
+
+    How the gateway's per-reason shed counters and per-node queue depths
+    roll up for a summary line without re-walking the sample list per
+    label value.
+    """
+    totals: Dict[str, float] = {}
+    for sample in samples:
+        if sample.name != name:
+            continue
+        key = sample.labels.get(label)
+        if key is not None:
+            totals[key] = totals.get(key, 0.0) + sample.value
+    return totals

@@ -316,6 +316,51 @@ class SloObservations:
                 if isinstance(value, (int, float)):
                     self.convergence_s[name[len(prefix):]] = float(value)
 
+    def add_loadgen(self, doc: Mapping[str, Any]) -> None:
+        """Grant waits and the safety verdict from a ``loadgen-report``.
+
+        The report stores exact (thinned) per-node wait samples but no
+        per-grant timestamps, so grants get synthetic times spread evenly
+        over the run — percentile and fairness objectives are exact,
+        windowed burn rates are a uniform smear.
+        """
+        results = doc.get("results") or {}
+        duration = results.get("duration_s")
+        self.observe_duration(duration)
+        span = (
+            float(duration)
+            if isinstance(duration, (int, float)) and duration > 0
+            else max(self.duration_s, 1.0)
+        )
+
+        def _spread(samples: Any, node: str) -> bool:
+            if not isinstance(samples, list) or not samples:
+                return False
+            n = len(samples)
+            added = False
+            for i, wait in enumerate(samples):
+                if isinstance(wait, (int, float)):
+                    t = span * (i + 1) / (n + 1)
+                    self.grants.append((t, node, float(wait)))
+                    added = True
+            return added
+
+        per_node = results.get("per_node")
+        added_any = False
+        if isinstance(per_node, Mapping):
+            for label, node_doc in sorted(per_node.items()):
+                if isinstance(node_doc, Mapping):
+                    added_any |= _spread(
+                        node_doc.get("samples_s"), str(label)
+                    )
+        if not added_any:
+            _spread(results.get("latency_samples_s"), "gateway")
+        safety = results.get("safety")
+        if isinstance(safety, Mapping):
+            violations = safety.get("violations")
+            if isinstance(violations, int):
+                self.violation_count = max(self.violation_count, violations)
+
 
 def neighbor_map(topology: Any) -> Dict[str, List[str]]:
     """``repr(pid) -> [repr(neighbour), ...]`` — the evaluator's view."""
@@ -794,9 +839,11 @@ def ingest_artefact(obs: SloObservations, path: Path | str) -> str:
     """Sniff one artefact file and feed it into ``obs``.
 
     Returns the recognised family (``events`` / ``spans`` / ``flight`` /
-    ``metrics``); :class:`ValueError` if the file is none of them.
+    ``metrics`` / ``loadgen``); :class:`ValueError` if the file is none
+    of them.
     """
     from ..net.cluster import EVENT_SOURCES, read_cluster_events  # deferred
+    from ..gateway.report import read_loadgen_report
     from .flight import FLIGHT_SOURCE
     from .metrics import read_metrics
     from .tracing import SPANS_SOURCE, read_spans
@@ -810,9 +857,21 @@ def ingest_artefact(obs: SloObservations, path: Path | str) -> str:
             doc = json.loads(line)
             if isinstance(doc, dict):
                 first = doc
-    except (OSError, ValueError):
+    except OSError:
         raise ValueError(f"{path}: unreadable artefact")
+    except ValueError:
+        # Not JSONL. A loadgen report is a pretty-printed whole-file
+        # document, so its first line alone never parses — sniff for it
+        # before giving up.
+        try:
+            obs.add_loadgen(read_loadgen_report(path))
+        except ValueError:
+            raise ValueError(f"{path}: unreadable artefact") from None
+        return "loadgen"
     source = first.get("source")
+    if first.get("kind") == "loadgen-report":
+        obs.add_loadgen(read_loadgen_report(path))
+        return "loadgen"
     if source in EVENT_SOURCES:
         header, events, _skipped = read_cluster_events(path)
         obs.add_events(header, events)

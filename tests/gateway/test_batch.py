@@ -1,0 +1,154 @@
+"""BatchWriter: coalescing policies, ordering, failure behaviour."""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import BatchWriter, FlushPolicy
+
+
+class FakeWriter:
+    """Enough of an ``asyncio.StreamWriter`` for the batcher."""
+
+    def __init__(self, fail=False):
+        self.writes = []
+        self.fail = fail
+
+    def write(self, data):
+        if self.fail:
+            raise ConnectionResetError("down")
+        self.writes.append(bytes(data))
+
+    async def drain(self):
+        pass
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlushTriggers:
+    def test_frames_coalesce_into_one_write(self):
+        async def scenario():
+            writer = FakeWriter()
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=3, max_delay_s=10.0)
+            )
+            batch.send(b"aa")
+            batch.send(b"bb")
+            assert writer.writes == []  # still buffering
+            batch.send(b"cc")  # third frame trips max_frames
+            assert writer.writes == [b"aabbcc"]
+            assert batch.frames_out == 3 and batch.flushes == 1
+            assert batch.mean_batch == pytest.approx(3.0)
+            batch.close()
+
+        run(scenario())
+
+    def test_byte_budget_trips_a_flush(self):
+        async def scenario():
+            writer = FakeWriter()
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=100, max_bytes=5, max_delay_s=10)
+            )
+            batch.send(b"aaa")
+            assert writer.writes == []
+            batch.send(b"bbb")  # 6 bytes >= 5
+            assert writer.writes == [b"aaabbb"]
+            batch.close()
+
+        run(scenario())
+
+    def test_delay_timer_flushes_a_lone_frame(self):
+        async def scenario():
+            writer = FakeWriter()
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=100, max_delay_s=0.01)
+            )
+            batch.send(b"solo")
+            assert writer.writes == []
+            await asyncio.sleep(0.05)
+            assert writer.writes == [b"solo"]
+            batch.close()
+
+        run(scenario())
+
+    def test_zero_delay_means_immediate(self):
+        async def scenario():
+            writer = FakeWriter()
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=100, max_delay_s=0)
+            )
+            batch.send(b"now")
+            assert writer.writes == [b"now"]
+            batch.close()
+
+        run(scenario())
+
+
+class TestOrderingAndFailure:
+    def test_order_preserved_across_batches(self):
+        async def scenario():
+            writer = FakeWriter()
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=2, max_delay_s=10)
+            )
+            for part in (b"1", b"2", b"3", b"4"):
+                batch.send(part)
+            batch.flush()
+            assert b"".join(writer.writes) == b"1234"
+            batch.close()
+
+        run(scenario())
+
+    def test_write_failure_closes_the_batcher(self):
+        async def scenario():
+            writer = FakeWriter(fail=True)
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=1, max_delay_s=0)
+            )
+            batch.send(b"x")
+            assert batch.closed
+            batch.send(b"y")  # dropped silently, no raise
+            assert batch.frames_out == 0
+
+        run(scenario())
+
+    def test_close_flushes_pending(self):
+        async def scenario():
+            writer = FakeWriter()
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=100, max_delay_s=10)
+            )
+            batch.send(b"tail")
+            batch.close()
+            assert writer.writes == [b"tail"]
+
+        run(scenario())
+
+    def test_drain_applies_backpressure_path(self):
+        async def scenario():
+            writer = FakeWriter()
+            batch = BatchWriter(
+                writer, FlushPolicy(max_frames=100, max_delay_s=10)
+            )
+            batch.send(b"z")
+            await batch.drain()
+            assert writer.writes == [b"z"]
+            batch.close()
+
+        run(scenario())
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_frames": 0},
+            {"max_bytes": 0},
+            {"max_delay_s": -0.1},
+        ],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FlushPolicy(**kwargs).validate()

@@ -1,0 +1,110 @@
+"""The loadgen-report artefact: byte stability, thinning, sniffing."""
+
+import json
+
+import pytest
+
+from repro.gateway import (
+    LOADGEN_FORMAT_VERSION,
+    LOADGEN_REPORT_KIND,
+    build_report,
+    read_loadgen_report,
+    thin_samples,
+    write_loadgen_report,
+)
+
+
+class TestThinning:
+    def test_under_cap_is_identity(self):
+        samples = [0.1, 0.2, 0.3]
+        assert thin_samples(samples, 10) == samples
+
+    def test_cap_respected_and_extremes_kept(self):
+        samples = [i / 1000.0 for i in range(10000)]
+        thinned = thin_samples(samples, 100)
+        assert len(thinned) <= 101
+        assert thinned[0] == samples[0]
+        assert thinned[-1] == samples[-1]
+
+    def test_deterministic(self):
+        samples = [i * 0.001 for i in range(5037)]
+        assert thin_samples(samples, 64) == thin_samples(samples, 64)
+
+    def test_percentiles_survive_thinning(self):
+        from repro.obs.metrics import percentile_of_sorted
+
+        samples = [i / 100000.0 for i in range(100000)]
+        thinned = thin_samples(samples, 20000)
+        for q in (0.5, 0.99, 0.999):
+            exact = percentile_of_sorted(samples, q)
+            approx = percentile_of_sorted(thinned, q)
+            assert abs(exact - approx) < 0.001
+
+
+class TestRoundTrip:
+    def report(self):
+        return build_report(
+            {"engine": "sim", "seed": 1, "clients": 10},
+            {"grants": 3, "latency": {"p50_s": 0.12345678901}},
+        )
+
+    def test_build_tags_and_rounds(self):
+        report = self.report()
+        assert report["kind"] == LOADGEN_REPORT_KIND
+        assert report["format"] == LOADGEN_FORMAT_VERSION
+        assert report["results"]["latency"]["p50_s"] == 0.123457
+
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "loadgen-report.json"
+        write_loadgen_report(path, self.report())
+        doc = read_loadgen_report(path)
+        assert doc["results"]["grants"] == 3
+
+    def test_write_is_byte_stable(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        write_loadgen_report(a, self.report())
+        write_loadgen_report(b, self.report())
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestReadErrors:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_loadgen_report(path)
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "slo-report"}))
+        with pytest.raises(ValueError, match="not a loadgen-report"):
+            read_loadgen_report(path)
+
+    def test_missing_format(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": LOADGEN_REPORT_KIND}))
+        with pytest.raises(ValueError, match="format"):
+            read_loadgen_report(path)
+
+    def test_newer_format_refused(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": LOADGEN_REPORT_KIND,
+                    "format": LOADGEN_FORMAT_VERSION + 1,
+                    "results": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="newer"):
+            read_loadgen_report(path)
+
+    def test_missing_results(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(
+            json.dumps({"kind": LOADGEN_REPORT_KIND, "format": 1})
+        )
+        with pytest.raises(ValueError, match="without results"):
+            read_loadgen_report(path)

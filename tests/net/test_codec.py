@@ -293,3 +293,221 @@ class TestTracedFrames:
         decoder = Decoder()
         assert decoder.feed(header + payload) == []
         assert decoder.garbage_bytes > 0
+
+
+class TestBinaryFrames:
+    """The v3 (binary) frame layout: struct-packed REQ/RSP hot path."""
+
+    def test_request_roundtrip_acquire(self):
+        from repro.net.codec import T_REQ, WIRE_BINARY_VERSION, encode_request
+
+        frames = Decoder().feed(encode_request("acquire", "c12.3f"))
+        assert len(frames) == 1
+        frame = frames[0]
+        assert frame.type == T_REQ
+        assert frame.version == WIRE_BINARY_VERSION
+        # Decodes into the same body dict the JSON path produces.
+        assert frame.body == {"op": "acquire", "id": "c12.3f", "span": "c12.3f"}
+
+    def test_request_roundtrip_release(self):
+        from repro.net.codec import encode_request
+
+        frames = Decoder().feed(encode_request("release", "gw.a1"))
+        assert frames[0].body == {"op": "release", "id": "gw.a1"}
+
+    def test_request_with_node_index(self):
+        from repro.net.codec import encode_request
+
+        frames = Decoder().feed(encode_request("acquire", "c0.1", node=513))
+        assert frames[0].body["node"] == 513
+
+    def test_response_roundtrip(self):
+        from repro.net.codec import T_RSP, encode_response
+
+        frames = Decoder().feed(encode_response("acquire", "c5.7", True))
+        assert frames[0].type == T_RSP
+        assert frames[0].body == {"op": "acquire", "id": "c5.7", "ok": True}
+
+    def test_response_with_error_and_retry(self):
+        from repro.net.codec import encode_response
+
+        frames = Decoder().feed(
+            encode_response(
+                "acquire", "c1.2", False, error="retry", retry_after_s=0.05
+            )
+        )
+        body = frames[0].body
+        assert body["ok"] is False
+        assert body["error"] == "retry"
+        assert body["retry_after_s"] == pytest.approx(0.05)
+
+    def test_binary_is_smaller_than_json(self):
+        from repro.net.codec import T_REQ, encode_request
+
+        binary = encode_request("acquire", "c12.3f")
+        json_frame = encode_frame(
+            T_REQ, {"op": "acquire", "id": "c12.3f", "span": "c12.3f"}
+        )
+        assert len(binary) < len(json_frame) / 2
+
+    def test_v1_decode_of_same_shape_still_works(self):
+        from repro.net.codec import T_REQ, WIRE_VERSION as V1
+
+        frames = Decoder().feed(
+            encode_frame(T_REQ, {"op": "acquire", "id": "x", "span": "x"})
+        )
+        assert frames[0].version == V1
+        assert frames[0].body["op"] == "acquire"
+
+
+class TestBinaryEncodeErrors:
+    def test_unknown_op(self):
+        from repro.net.codec import encode_request
+
+        with pytest.raises(CodecError):
+            encode_request("steal", "c0.1")
+
+    def test_non_string_id(self):
+        from repro.net.codec import encode_request
+
+        with pytest.raises(CodecError):
+            encode_request("acquire", 42)
+
+    def test_empty_and_oversized_id(self):
+        from repro.net.codec import MAX_REQUEST_ID, encode_request
+
+        with pytest.raises(CodecError):
+            encode_request("acquire", "")
+        with pytest.raises(CodecError):
+            encode_request("acquire", "x" * (MAX_REQUEST_ID + 1))
+
+    def test_node_index_bounds(self):
+        from repro.net.codec import MAX_NODE_INDEX, encode_request
+
+        with pytest.raises(CodecError):
+            encode_request("acquire", "c0.1", node=-1)
+        with pytest.raises(CodecError):
+            encode_request("acquire", "c0.1", node=MAX_NODE_INDEX + 1)
+
+    def test_retry_after_bounds(self):
+        from repro.net.codec import encode_response
+
+        with pytest.raises(CodecError):
+            encode_response("acquire", "c0.1", False, retry_after_s=70.0)
+
+    def test_oversized_error_rejected(self):
+        from repro.net.codec import encode_response
+
+        with pytest.raises(CodecError):
+            encode_response("acquire", "c0.1", False, error="e" * 300)
+
+
+class TestBinaryGarbageTolerance:
+    def test_malformed_v3_body_is_junk(self):
+        # A CRC-valid v3 frame whose body is too short for the REQ head:
+        # must resync exactly like a truncated v2 trace block.
+        import zlib
+
+        from repro.net.codec import T_REQ, encode_request
+
+        payload = b"\x01\x00"  # shorter than the 5-byte request head
+        header = (
+            MAGIC
+            + bytes((3, T_REQ))
+            + len(payload).to_bytes(4, "big")
+            + (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "big")
+        )
+        good = encode_request("acquire", "ok.1")
+        decoder = Decoder()
+        frames = decoder.feed(header + payload + good)
+        assert [f.body["id"] for f in frames] == ["ok.1"]
+        assert decoder.garbage_bytes > 0
+        assert decoder.resyncs >= 1
+
+    def test_v3_unknown_type_is_junk(self):
+        # Binary layout only exists for REQ/RSP; a v3 HELLO is garbage.
+        import zlib
+
+        payload = b"\x01\x00\x00\x00\x01x"
+        header = (
+            MAGIC
+            + bytes((3, T_HELLO))
+            + len(payload).to_bytes(4, "big")
+            + (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "big")
+        )
+        decoder = Decoder()
+        assert decoder.feed(header + payload) == []
+        assert decoder.garbage_bytes > 0
+
+    def test_v3_survives_garbage_interleave(self):
+        from repro.net.codec import encode_request
+
+        frame = encode_request("acquire", "g.1")
+        decoder = Decoder()
+        frames = decoder.feed(JUNK[:13] + frame + JUNK[:13])
+        assert len(frames) == 1 and frames[0].body["id"] == "g.1"
+        assert decoder.garbage_bytes >= 13
+
+
+class TestMixedVersionBoundarySplits:
+    """The full resync battery over a stream interleaving v1 JSON, v2
+    traced, and v3 binary frames with partial-magic garbage — the exact
+    byte soup a gateway's upstream socket sees under the chaos proxy."""
+
+    def blob(self):
+        from repro.net.codec import encode_request, encode_response
+
+        glue = JUNK[:7] + MAGIC[:1]
+        frames = [
+            encode_message(Message(0, 1, ("v1",))),
+            encode_request("acquire", "c1.a"),
+            encode_message(Message(1, 0, ("v2",)), lc=3, span="1/0/2"),
+            encode_response("acquire", "c1.a", True),
+            encode_request("release", "c1.b"),
+        ]
+        blob = b""
+        for frame in frames:
+            blob += frame + glue
+        return blob, len(frames), 5 * len(glue)
+
+    def signature(self, frames):
+        out = []
+        for frame in frames:
+            if isinstance(frame.body, dict) and "op" in frame.body:
+                out.append((frame.version, frame.body["op"], frame.body["id"]))
+            else:
+                out.append((frame.version, frame.type))
+        return out
+
+    def test_every_split_position_decodes_identically(self):
+        blob, count, garbage = self.blob()
+        reference = Decoder()
+        expected = self.signature(reference.feed(blob))
+        assert len(expected) == count
+        # The final glue ends in a partial magic that stays buffered as a
+        # possible frame start, so it is not yet counted as garbage.
+        assert garbage - len(reference) == reference.garbage_bytes
+        for cut in range(len(blob) + 1):
+            decoder = Decoder()
+            frames = decoder.feed(blob[:cut]) + decoder.feed(blob[cut:])
+            assert self.signature(frames) == expected, f"cut at {cut}"
+            assert decoder.garbage_bytes == reference.garbage_bytes
+
+    def test_counters_split_invariant(self):
+        blob, _, _ = self.blob()
+        reference = Decoder()
+        reference.feed(blob)
+        for cut in (1, HEADER_SIZE, len(blob) // 3, len(blob) - 3):
+            decoder = Decoder()
+            decoder.feed(blob[:cut])
+            decoder.feed(blob[cut:])
+            assert decoder.frames_decoded == reference.frames_decoded
+            assert decoder.garbage_bytes == reference.garbage_bytes
+
+    def test_byte_at_a_time(self):
+        blob, count, _ = self.blob()
+        decoder = Decoder()
+        frames = []
+        for i in range(len(blob)):
+            frames.extend(decoder.feed(blob[i : i + 1]))
+        assert len(frames) == count

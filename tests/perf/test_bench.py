@@ -38,6 +38,8 @@ class TestRegistry:
         assert "checker/successors/ring6" in names
         assert "mp/ticks/ring8" in names
         assert "campaign/shard/sim_ring6" in names
+        assert "net/codec/binary-roundtrip" in names
+        assert "gateway/mux" in names
 
     def test_select_filters_by_substring(self):
         engine_only = select("engine/steps")
@@ -125,6 +127,18 @@ class TestRunner:
         result = run_benchmark(bench, quick=True)
         assert result.median > 0
         assert result.ops_per_sec > 0
+
+    def test_codec_kernel_json_mode(self, monkeypatch):
+        # The env switch re-times the JSON path under the same name.
+        bench = registry()["net/codec/binary-roundtrip"]
+        monkeypatch.setenv("REPRO_CODEC_JSON", "1")
+        result = run_benchmark(bench, quick=True)
+        assert result.median > 0
+
+    def test_gateway_mux_kernel_smoke(self):
+        bench = registry()["gateway/mux"]
+        result = run_benchmark(bench, quick=True)
+        assert result.median > 0
 
     def test_payload_shape(self):
         bench, _ = make_bench(rounds=2, warmup=0, ops=10)

@@ -711,3 +711,80 @@ class TestBenchHistory:
     def test_history_missing_directory_exits(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["bench", "--history", str(tmp_path / "absent")])
+
+
+class TestLoadgenCommand:
+    def _sim(self, tmp_path, capsys, *extra):
+        out = tmp_path / "loadgen-report.json"
+        code = main([
+            "loadgen", "--sim", "--nodes", "3", "--seed", "11",
+            "--duration", "1.0", "--clients", "300", "--think", "0.1",
+            "--hold", "0.01", "--out", str(out), *extra,
+        ])
+        return code, out, capsys.readouterr().out
+
+    def test_sim_smoke(self, tmp_path, capsys):
+        code, path, out = self._sim(tmp_path, capsys)
+        assert code == 0
+        assert "loadgen [sim]" in out
+        assert "latency: p50=" in out and "p999=" in out
+        assert "fairness: grant_count_cv=" in out
+        assert path.exists()
+
+    def test_sim_is_byte_stable_at_the_cli(self, tmp_path, capsys):
+        _, a, _ = self._sim(tmp_path / "a", capsys)
+        _, b, _ = self._sim(tmp_path / "b", capsys)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_stats_sniffs_loadgen_report(self, tmp_path, capsys):
+        _, path, _ = self._sim(tmp_path, capsys)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "loadgen report [sim]:" in out
+        assert "p99=" in out
+        assert "fairness: grant_count_cv=" in out
+        assert "node n0:" in out
+
+    def test_slo_ingests_loadgen_report(self, tmp_path, capsys):
+        _, path, _ = self._sim(tmp_path, capsys)
+        code = main(["slo", "examples/slo.json", str(path)])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert f"ingested loadgen: {path}" in out
+        assert "budget:" in out
+
+    def test_stats_truncated_loadgen_report_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        _, path, _ = self._sim(tmp_path, capsys)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(SystemExit) as info:
+            main(["stats", str(path)])
+        assert "not a metrics" in str(info.value)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--sim", "--mode", "burst"])
+
+    def test_upstream_budget_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "loadgen", "--sim", "--nodes", "5",
+                "--upstreams-per-node", "2", "--max-upstreams", "8",
+            ])
+
+    def test_live_smoke_with_report(self, tmp_path, capsys):
+        report = tmp_path / "lg.json"
+        code = main([
+            "loadgen", "--nodes", "3", "--seed", "5", "--duration", "1.2",
+            "--clients", "40", "--think", "0.05", "--hold", "0.005",
+            "--upstreams-per-node", "2", "--no-chaos",
+            "--out", str(report),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loadgen [live]" in out
+        assert "safety: OK" in out
+        assert report.exists()
+        assert main(["stats", str(report)]) == 0
+        assert "loadgen report [live]:" in capsys.readouterr().out
