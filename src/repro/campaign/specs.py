@@ -32,6 +32,10 @@ class SweepSpec:
     #: Optional fault description applied to every trial
     #: (see :func:`repro.campaign.shard._fault_plan`).
     fault: Optional[Mapping[str, Any]] = None
+    #: State backend for every trial ("object" or "fast").  RNG parity makes
+    #: the two produce identical records; "object" is omitted from shard
+    #: params so existing checkpoints keep their keys.
+    backend: str = "object"
 
     def shards(self) -> List[Shard]:
         """Expand the sweep into its shard list (deterministic order)."""
@@ -48,6 +52,8 @@ class SweepSpec:
                     }
                     if self.fault is not None:
                         params["fault"] = dict(self.fault)
+                    if self.backend != "object":
+                        params["backend"] = self.backend
                     shards.append(
                         Shard(
                             "sim", params, derive_seed(self.seed, trial_index)

@@ -216,11 +216,28 @@ def _finish_observability(
 def cmd_run(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology)
     algorithm = make_algorithm(args.algorithm)
-    system = System(topology, algorithm)
     recorder, every = _make_recorder(args, args.steps)
-    engine = Engine(
-        system, hunger=AlwaysHungry(), recorder=recorder, seed=args.seed
-    )
+    backend = getattr(args, "backend", "object")
+    if backend == "fast":
+        from .fastcore import FastEngine, UnsupportedBackendError
+
+        try:
+            engine = FastEngine(
+                topology,
+                algorithm,
+                hunger=AlwaysHungry(),
+                recorder=recorder,
+                seed=args.seed,
+            )
+        except UnsupportedBackendError as exc:
+            raise SystemExit(str(exc)) from None
+        snapshot = engine.snapshot
+    else:
+        system = System(topology, algorithm)
+        engine = Engine(
+            system, hunger=AlwaysHungry(), recorder=recorder, seed=args.seed
+        )
+        snapshot = system.snapshot
     if args.profile_out:
         from .perf import write_profile_metrics
 
@@ -229,8 +246,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             args.profile_out,
             profile,
             header={
-                "model": "sim",
-                "algorithm": system.algorithm.name,
+                "model": "sim" if backend == "object" else "fastcore",
+                "algorithm": algorithm.name,
                 "topology": args.topology,
                 "seed": args.seed,
                 "steps": result.steps,
@@ -239,11 +256,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"profile: {path}")
     else:
         result = engine.run(args.steps)
-    print(f"{topology} / {system.algorithm.name}: ran {result.steps} steps")
+    print(f"{topology} / {algorithm.name}: ran {result.steps} steps")
     for pid in topology.nodes:
         print(f"  {pid}: {engine.eats_of(pid)} meals")
-    final = system.snapshot()
-    variables = set(system.local_variable_names())
+    final = snapshot()
+    variables = set(algorithm.local_domains(topology))
     has_depth = "depth" in variables
     if has_depth:
         # NADiners family: the full invariant applies.
@@ -384,6 +401,48 @@ def cmd_figure2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_reachable(args, topology, algo, threshold, ts, backend) -> int:
+    """``check --reachable``: BFS the states reachable from the canonical
+    all-hungry initial configuration and audit eating-exclusion on each.
+
+    Runs on either backend with identical counts — the CI smoke job diffs
+    the two outputs — but the fast backend's bytes-keyed visited set is the
+    one that scales: the object graph materializes every configuration.
+    """
+    if getattr(args, "jobs", 1) > 1:
+        raise SystemExit("--reachable does not shard; drop --jobs")
+    system = System(topology, algo)
+    for pid in topology.nodes:
+        system.write_local(pid, "needs", True)
+    initial = system.snapshot()
+    max_states = getattr(args, "max_states", 1_000_000)
+    if backend == "fast":
+        from .verification import FastExplorer
+
+        stats = FastExplorer(algo, topology).reachable_count(
+            [initial], max_states=max_states
+        )
+        states, transitions, violations = (
+            stats.states,
+            stats.transitions,
+            stats.violations,
+        )
+    else:
+        from .core import e_holds
+
+        graph = ts.reachable_from([initial], max_states=max_states)
+        states = len(graph)
+        transitions = sum(len(v) for v in graph.values())
+        violations = sum(1 for config in graph if not e_holds(config))
+    print(
+        f"{topology}, threshold={threshold}: "
+        f"reachable from all-hungry initial ({backend} backend)"
+    )
+    print(f"reachable: {states} states, {transitions} transitions")
+    print(f"safety violations (neighbours eating): {violations}")
+    return 0 if violations == 0 else 1
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from .verification import (
         TransitionSystem,
@@ -405,6 +464,15 @@ def cmd_check(args: argparse.Namespace) -> int:
     jobs = getattr(args, "jobs", 1)
     if jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+
+    backend = getattr(args, "backend", "object")
+    if getattr(args, "reachable", False):
+        return _check_reachable(args, topology, algo, threshold, ts, backend)
+    if backend == "fast":
+        raise SystemExit(
+            "--backend fast runs reachability sweeps (add --reachable); "
+            "full closure/convergence checking stays on the object backend"
+        )
 
     if jobs > 1:
         # Sharded path: the enumeration splits into `jobs` deterministic
@@ -494,6 +562,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         steps=args.steps,
         seed=args.seed,
         fault=fault,
+        backend=getattr(args, "backend", "object"),
     )
 
     progress = _campaign_progress(args)
@@ -1841,6 +1910,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="simulate and report meals + invariant")
     common(p)
     observability(p)
+    p.add_argument("--backend", choices=["object", "fast"], default="object",
+                   help="state backend: the object model (reference) or the "
+                   "packed fast core (same computation, 10x+ faster)")
     p.add_argument("--profile-out", default=None, dest="profile_out",
                    metavar="PATH",
                    help="cProfile the run's hot loop; write top hotspots "
@@ -1874,6 +1946,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes; >1 shards the state space")
     p.add_argument("--progress", type=int, default=0, metavar="N",
                    help="heartbeat: one stderr line per N completed shards")
+    p.add_argument("--backend", choices=["object", "fast"], default="object",
+                   help="state backend for --reachable sweeps (counts are "
+                   "identical; the fast core hashes packed states)")
+    p.add_argument("--reachable", action="store_true",
+                   help="BFS states reachable from the all-hungry initial "
+                   "configuration and audit eating-exclusion, instead of "
+                   "the full-space closure/convergence check")
+    p.add_argument("--max-states", type=int, default=1_000_000,
+                   dest="max_states",
+                   help="abort a --reachable sweep past this many states")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
@@ -1905,6 +1987,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine step of the crash")
     p.add_argument("--malicious", type=int, default=0,
                    help="arbitrary steps before halting (0 = benign crash)")
+    p.add_argument("--backend", choices=["object", "fast"], default="object",
+                   help="state backend for every trial; records are "
+                   "byte-identical either way (RNG parity), fast is 10x+")
     p.add_argument("--quiet", action="store_true", help="no per-shard progress")
     p.add_argument("--progress", type=int, default=0, metavar="N",
                    help="heartbeat: one stderr line (with ETA) per N "

@@ -1,0 +1,92 @@
+"""fastcore — the packed-state fast backend.
+
+The object model in :mod:`repro.sim` stays the reference implementation;
+this package re-encodes configurations as packed vectors + bitsets and runs
+the identical step/havoc loop over them, 10×+ faster.  Selection mirrors the
+``channel_factory`` seam of the mp engine: callers pick a *state backend*
+(``"object"`` or ``"fast"``) and get an engine with the same run surface.
+
+>>> engine = make_engine(topology, algorithm, backend="fast", seed=7)
+>>> engine.run(10_000)
+
+Parity between the backends is not aspirational — see
+:mod:`repro.fastcore.parity` for the co-run harness and
+``tests/fastcore/`` for the seeded battery that pins them step-for-step.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Engine
+from ..sim.network import System
+from .engine import FastEngine
+from .explorer import FastReachability, FastTransitionSystem
+from .packed import PackedCodec, PackedState, UnsupportedBackendError
+from .parity import ParityError, ParityReport, co_run, co_run_results
+
+#: Registered state backends, by name (the ``state_backend`` seam).
+STATE_BACKENDS = ("object", "fast")
+
+
+def make_engine(
+    topology,
+    algorithm,
+    daemon=None,
+    *,
+    backend: str = "object",
+    state_backend=None,
+    initially_dead=(),
+    initial=None,
+    **kwargs,
+):
+    """Build an engine over the selected state backend.
+
+    ``backend`` names a registered backend; ``state_backend`` (mirroring
+    ``MpEngine(channel_factory=...)``) accepts a callable with the
+    :class:`FastEngine` constructor signature for custom backends and wins
+    over ``backend`` when given.  The ``"object"`` backend assembles the
+    reference ``System`` + ``Engine`` pair; both return objects share the
+    run/step/snapshot surface.
+    """
+    if state_backend is not None:
+        return state_backend(
+            topology,
+            algorithm,
+            daemon,
+            initially_dead=initially_dead,
+            initial=initial,
+            **kwargs,
+        )
+    if backend == "fast":
+        return FastEngine(
+            topology,
+            algorithm,
+            daemon,
+            initially_dead=initially_dead,
+            initial=initial,
+            **kwargs,
+        )
+    if backend != "object":
+        raise UnsupportedBackendError(
+            f"unknown state backend {backend!r}; expected one of {STATE_BACKENDS}"
+        )
+    if initial is not None:
+        system = System.from_configuration(topology, algorithm, initial)
+    else:
+        system = System(topology, algorithm, initially_dead=initially_dead)
+    return Engine(system, daemon, **kwargs)
+
+
+__all__ = [
+    "FastEngine",
+    "FastReachability",
+    "FastTransitionSystem",
+    "PackedCodec",
+    "PackedState",
+    "ParityError",
+    "ParityReport",
+    "STATE_BACKENDS",
+    "UnsupportedBackendError",
+    "co_run",
+    "co_run_results",
+    "make_engine",
+]

@@ -1,0 +1,175 @@
+"""The fast transition relation: successors and reachability over packed
+state.
+
+Mirrors :class:`repro.verification.explorer.TransitionSystem` — same enabled
+order (pid-major, action declaration order), same successor set, same
+``max_states`` guard — but computes over :class:`~repro.fastcore.packed`
+encodings: guards via :func:`~repro.fastcore.packed.enabled_bits`, commands
+via :func:`~repro.fastcore.packed.apply_action`, and visited sets keyed by
+the codec's compact ``bytes`` key instead of hashing object configurations.
+The decoded :meth:`successors` output is asserted identical to the object
+model's in the parity battery; :meth:`reachable_stats` is what the CLI's
+``check --backend fast`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple, Union
+
+from ..sim.configuration import Configuration
+from ..sim.errors import SimulationError
+from ..sim.topology import Topology
+from ..verification.explorer import Transition
+from .packed import (
+    ACTION_NAMES,
+    PackedCodec,
+    PackedState,
+    apply_action,
+    enabled_bits,
+)
+
+Source = Union[Configuration, PackedState]
+
+
+@dataclass(frozen=True)
+class FastReachability:
+    """Outcome of a packed BFS sweep.
+
+    ``states`` matches ``len(TransitionSystem.reachable_from(sources))``
+    exactly (the CI smoke job cmp's the two); ``violations`` counts visited
+    states where two neighbours eat simultaneously.
+    """
+
+    states: int
+    transitions: int
+    violations: int
+
+
+class FastTransitionSystem:
+    """Successor computation over packed states.
+
+    Constructed like the object :class:`TransitionSystem` —
+    ``FastTransitionSystem(algorithm, topology)`` — so call sites can switch
+    backends by swapping the class.
+    """
+
+    def __init__(self, algorithm, topology: Topology) -> None:
+        self.algorithm = algorithm
+        self.topology = topology
+        self.codec = PackedCodec(topology, algorithm)
+
+    # -------------------------------------------------------- packed layer
+
+    def _masks(self, ps: PackedState) -> Tuple[int, int]:
+        nonT = 0
+        e_mask = 0
+        for p, s in enumerate(ps.state):
+            if s:
+                nonT |= 1 << p
+                if s == 2:
+                    e_mask |= 1 << p
+        return nonT, e_mask
+
+    def enabled_packed(self, ps: PackedState) -> List[Tuple[int, int]]:
+        """Enabled ``(process index, action index)`` pairs, pid-major and in
+        action declaration order — the object model's ``all_enabled`` order."""
+        codec = self.codec
+        nonT, e_mask = self._masks(ps)
+        state, needs, depth, status = ps.state, ps.needs, ps.depth, ps.status
+        anc, desc = ps.anc, ps.desc
+        d_const, cap = codec.d_const, codec.cap
+        out: List[Tuple[int, int]] = []
+        for p in range(codec.n):
+            bits = enabled_bits(
+                p, state, needs, depth, status, anc, desc, nonT, e_mask, d_const, cap
+            )
+            while bits:
+                b = bits & -bits
+                bits ^= b
+                out.append((p, b.bit_length() - 1))
+        return out
+
+    def successors_packed(
+        self, ps: PackedState
+    ) -> List[Tuple[int, int, PackedState]]:
+        """All one-step successors as ``(p, a, packed target)`` triples."""
+        codec = self.codec
+        nbrs = codec.nbrs
+        cap = codec.cap
+        out: List[Tuple[int, int, PackedState]] = []
+        for p, a in self.enabled_packed(ps):
+            target = ps.copy()
+            apply_action(target, p, a, nbrs[p], cap)
+            out.append((p, a, target))
+        return out
+
+    # -------------------------------------------------------- object layer
+
+    def _pack(self, source: Source) -> PackedState:
+        if isinstance(source, PackedState):
+            return source
+        return self.codec.pack(source)
+
+    def enabled(self, config: Source) -> List[Tuple[object, str]]:
+        """Decoded mirror of ``TransitionSystem.enabled``."""
+        pids = self.codec.pids
+        return [
+            (pids[p], ACTION_NAMES[a])
+            for p, a in self.enabled_packed(self._pack(config))
+        ]
+
+    def successors(self, config: Source) -> List[Transition]:
+        """Decoded mirror of ``TransitionSystem.successors``."""
+        codec = self.codec
+        return [
+            Transition(codec.pids[p], ACTION_NAMES[a], codec.unpack(target))
+            for p, a, target in self.successors_packed(self._pack(config))
+        ]
+
+    # ------------------------------------------------------- reachability
+
+    def reachable_stats(
+        self,
+        sources: Iterable[Source],
+        *,
+        max_states: int = 1_000_000,
+    ) -> FastReachability:
+        """BFS closure of ``sources``, counting instead of materializing.
+
+        The visited set holds compact ``bytes`` keys (one byte per process
+        field plus one bit per edge), so sweeps that would exhaust memory as
+        object graphs fit comfortably.  Raises :class:`SimulationError` past
+        ``max_states``, like the object explorer.
+        """
+        codec = self.codec
+        key = codec.key
+        visited: Dict[bytes, None] = {}
+        frontier: List[PackedState] = []
+        for source in sources:
+            ps = self._pack(source)
+            k = key(ps)
+            if k not in visited:
+                visited[k] = None
+                frontier.append(ps)
+        transitions = 0
+        violations = 0
+        cursor = 0
+        while cursor < len(frontier):
+            ps = frontier[cursor]
+            cursor += 1
+            if codec.neighbors_eating(ps):
+                violations += 1
+            for _p, _a, target in self.successors_packed(ps):
+                transitions += 1
+                k = key(target)
+                if k not in visited:
+                    if len(visited) >= max_states:
+                        raise SimulationError(
+                            f"state space exceeds max_states={max_states}"
+                        )
+                    visited[k] = None
+                    frontier.append(target)
+        return FastReachability(
+            states=len(visited), transitions=transitions, violations=violations
+        )

@@ -1,0 +1,371 @@
+"""Packed state: the fast core's bitset encoding of a configuration.
+
+The object model (:mod:`repro.sim`) keeps one dict per process and one dict
+entry per edge; every guard evaluation walks Python objects.  The fast core
+re-encodes the same state as flat per-process vectors plus per-process
+*bitsets* (arbitrary-precision ints, one bit per process):
+
+* ``state`` — ``0/1/2`` for ``T/H/E`` (one int per process);
+* ``needs`` — the hunger input bit;
+* ``depth`` — the distance-to-farthest-descendant estimate;
+* ``status`` — ``0`` alive, ``1`` malicious, ``2`` dead;
+* ``anc``/``desc`` — per-process ancestor/descendant bitsets, the packed
+  form of every edge variable (the set bit names the higher-priority
+  endpoint, exactly the Figure 1 edge convention).
+
+Bitset operands act on the *whole process set at once*: ``anc[p] & nonT``
+evaluates the paper's ``∀ ancestor q: state.q = T`` for all ancestors in one
+machine operation, which is where the speedup over per-neighbour dict reads
+comes from.  :func:`enabled_bits` below is the single shared definition of
+the five guards over this encoding; the fast engine and the fast explorer
+both call it, so they cannot drift apart.
+
+:class:`PackedCodec` converts between this encoding and the object model's
+:class:`~repro.sim.configuration.Configuration` — losslessly, so parity can
+be asserted configuration-by-configuration — and packs a state into a
+compact ``bytes`` key for the checker's visited set (numpy does the bulk
+array conversion for analysis consumers via :meth:`PackedState.as_arrays`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.algorithm import NADiners
+from ..core.state import (
+    ACTION_ENTER,
+    ACTION_EXIT,
+    ACTION_FIXDEPTH,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    VAR_DEPTH,
+    VAR_NEEDS,
+    VAR_STATE,
+)
+from ..sim.configuration import Configuration
+from ..sim.errors import SimulationError, UnknownProcessError
+from ..sim.topology import Pid, Topology
+
+#: T/H/E codes.  Order matters: it is the FiniteDomain declaration order.
+STATE_VALUES: Tuple[str, ...] = ("T", "H", "E")
+STATE_CODE: Dict[str, int] = {v: i for i, v in enumerate(STATE_VALUES)}
+
+#: Action bit positions, in declaration order (= enabled-list order).
+ACTION_NAMES: Tuple[str, ...] = (
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ACTION_ENTER,
+    ACTION_EXIT,
+    ACTION_FIXDEPTH,
+)
+A_JOIN, A_LEAVE, A_ENTER, A_EXIT, A_FIXDEPTH = range(5)
+
+ALIVE, MALICIOUS, DEAD = 0, 1, 2
+
+
+class UnsupportedBackendError(SimulationError):
+    """The fast backend cannot represent this algorithm/daemon/fault mix."""
+
+
+def enabled_bits(
+    p: int,
+    state: List[int],
+    needs: List[bool],
+    depth: List[int],
+    status: List[int],
+    anc: List[int],
+    desc: List[int],
+    nonT_mask: int,
+    e_mask: int,
+    d_const: int,
+    cap: Optional[int],
+) -> int:
+    """The 5-bit enabled-action set of process ``p`` (0 if not alive).
+
+    Bit ``k`` set means action ``ACTION_NAMES[k]`` is enabled — identical,
+    by construction, to evaluating the object model's five guards.
+    """
+    if status[p]:
+        return 0
+    s = state[p]
+    anc_nonT = anc[p] & nonT_mask
+    bits = 0
+    if s == 0:
+        if needs[p] and not anc_nonT:
+            bits = 1  # join
+    elif s == 1:
+        if anc_nonT:
+            bits = 2  # leave
+        elif not (desc[p] & e_mask):
+            bits = 4  # enter
+    else:
+        bits = 8  # exit: state = E
+    d = depth[p]
+    if d > d_const:
+        bits |= 8  # exit: depth beyond the cycle-detection threshold
+    dm = desc[p]
+    while dm:
+        q = (dm & -dm).bit_length() - 1
+        dm &= dm - 1
+        pv = depth[q] + 1
+        if cap is not None and pv > cap:
+            pv = cap
+        if d < pv:
+            bits |= 16  # fixdepth
+            break
+    return bits
+
+
+def apply_action(
+    ps: "PackedState",
+    p: int,
+    a: int,
+    nbrs: Tuple[int, ...],
+    cap: Optional[int],
+) -> None:
+    """Execute action ``a`` at process ``p`` in place — the packed form of
+    the five NADiners commands, shared by the fast engine and explorer."""
+    if a == A_JOIN:
+        ps.state[p] = 1
+    elif a == A_LEAVE:
+        ps.state[p] = 0
+    elif a == A_ENTER:
+        ps.state[p] = 2
+    elif a == A_EXIT:
+        # state := T; depth := 0; every incident edge points away from p.
+        bp = 1 << p
+        ps.state[p] = 0
+        ps.depth[p] = 0
+        anc = ps.anc
+        desc = ps.desc
+        for q in nbrs:
+            bq = 1 << q
+            anc[p] |= bq
+            desc[p] &= ~bq
+            anc[q] &= ~bp
+            desc[q] |= bp
+    else:
+        # fixdepth: adopt the largest violating propagated estimate.
+        depth = ps.depth
+        best = depth[p]
+        m = ps.desc[p]
+        while m:
+            q = (m & -m).bit_length() - 1
+            m &= m - 1
+            pv = depth[q] + 1
+            if cap is not None and pv > cap:
+                pv = cap
+            if pv > best:
+                best = pv
+        depth[p] = best
+
+
+class PackedState:
+    """One mutable packed configuration (plain lists + int bitsets)."""
+
+    __slots__ = ("state", "needs", "depth", "status", "anc", "desc")
+
+    def __init__(
+        self,
+        state: List[int],
+        needs: List[bool],
+        depth: List[int],
+        status: List[int],
+        anc: List[int],
+        desc: List[int],
+    ) -> None:
+        self.state = state
+        self.needs = needs
+        self.depth = depth
+        self.status = status
+        self.anc = anc
+        self.desc = desc
+
+    def copy(self) -> "PackedState":
+        return PackedState(
+            self.state[:],
+            self.needs[:],
+            self.depth[:],
+            self.status[:],
+            self.anc[:],
+            self.desc[:],
+        )
+
+    def as_arrays(self):
+        """Numpy views of the per-process vectors (for vectorized analysis)."""
+        import numpy as np
+
+        return {
+            "state": np.array(self.state, dtype=np.uint8),
+            "needs": np.array(self.needs, dtype=np.bool_),
+            "depth": np.array(self.depth, dtype=np.int64),
+            "status": np.array(self.status, dtype=np.uint8),
+        }
+
+
+class PackedCodec:
+    """Bidirectional Configuration ↔ PackedState translation for NADiners.
+
+    The codec owns every topology- and algorithm-derived constant the fast
+    paths need (neighbour index lists, edge iteration order, domains for
+    fault sampling, the threshold ``D`` and the depth cap), so engines and
+    explorers share one source of truth.
+    """
+
+    def __init__(self, topology: Topology, algorithm: NADiners) -> None:
+        if type(algorithm) is not NADiners:
+            raise UnsupportedBackendError(
+                f"fast backend supports NADiners only, not {algorithm!r}"
+            )
+        self.topology = topology
+        self.algorithm = algorithm
+        self.pids: Tuple[Pid, ...] = topology.nodes
+        self.n = len(self.pids)
+        self.index: Dict[Pid, int] = {pid: i for i, pid in enumerate(self.pids)}
+        #: Neighbour index tuples in adjacency order (the havoc target order).
+        self.nbrs: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(self.index[q] for q in topology.neighbors(pid))
+            for pid in self.pids
+        )
+        #: Neighbour bitset per process (for dirty marking / safety checks).
+        self.nbr_mask: Tuple[int, ...] = tuple(
+            sum(1 << q for q in row) for row in self.nbrs
+        )
+        #: Edges in ``topology.edges`` iteration order — the exact order
+        #: ``System.randomize`` samples them in, which RNG parity requires.
+        self.edge_order = []
+        for e in topology.edges:
+            i, j = (self.index[x] for x in tuple(e))
+            self.edge_order.append((e, i, j, algorithm.edge_domain(topology, e)))
+        self.local_domains = dict(algorithm.local_domains(topology))
+        self._state_dom = self.local_domains[VAR_STATE]
+        self._needs_dom = self.local_domains[VAR_NEEDS]
+        self._depth_dom = self.local_domains[VAR_DEPTH]
+        self.cap: Optional[int] = algorithm.depth_cap
+        self.d_const: int = (
+            algorithm.diameter_override
+            if algorithm.diameter_override is not None
+            else topology.diameter
+        )
+
+    # ------------------------------------------------------------ initial
+
+    def initial_state(self, initially_dead: Iterable[Pid] = ()) -> PackedState:
+        """The packed equivalent of ``System(topology, algorithm)``."""
+        topo = self.topology
+        algo = self.algorithm
+        n = self.n
+        state = [0] * n
+        needs = [False] * n
+        depth = [algo._initial_depth(pid, topo) for pid in self.pids]
+        status = [ALIVE] * n
+        anc = [0] * n
+        desc = [0] * n
+        for _e, i, j, _dom in self.edge_order:
+            lo, hi = (i, j) if i < j else (j, i)
+            anc[hi] |= 1 << lo  # earlier node-order endpoint is the ancestor
+            desc[lo] |= 1 << hi
+        for pid in initially_dead:
+            if pid not in self.index:
+                raise UnknownProcessError(pid)
+            status[self.index[pid]] = DEAD
+        return PackedState(state, needs, depth, status, anc, desc)
+
+    # ------------------------------------------------------- pack / unpack
+
+    def pack(self, config: Configuration) -> PackedState:
+        """Encode an object-model configuration (validating as it goes)."""
+        if config.topology.nodes != self.topology.nodes or (
+            config.topology.edges != self.topology.edges
+        ):
+            raise UnknownProcessError("configuration topology mismatch")
+        n = self.n
+        state = [0] * n
+        needs = [False] * n
+        depth = [0] * n
+        status = [ALIVE] * n
+        anc = [0] * n
+        desc = [0] * n
+        for pid, p in self.index.items():
+            values = config.locals_of(pid)
+            state[p] = STATE_CODE[self._state_dom.validate(VAR_STATE, values[VAR_STATE])]
+            needs[p] = self._needs_dom.validate(VAR_NEEDS, values[VAR_NEEDS])
+            depth[p] = self._depth_dom.validate(VAR_DEPTH, values[VAR_DEPTH])
+        for _e, i, j, dom in self.edge_order:
+            value = dom.validate(f"edge {(self.pids[i], self.pids[j])!r}",
+                                 config.edge_value(self.pids[i], self.pids[j]))
+            a = i if value == self.pids[i] else j
+            d = j if a == i else i
+            anc[d] |= 1 << a
+            desc[a] |= 1 << d
+        for pid in config.dead:
+            status[self.index[pid]] = DEAD
+        for pid in config.malicious:
+            status[self.index[pid]] = MALICIOUS
+        return PackedState(state, needs, depth, status, anc, desc)
+
+    def unpack(self, ps: PackedState) -> Configuration:
+        """Decode back to the object model, preserving the object model's
+        dict orders so serialized snapshots are byte-identical."""
+        locals_: Dict[Pid, Dict[str, Any]] = {}
+        for p, pid in enumerate(self.pids):
+            locals_[pid] = {
+                VAR_STATE: STATE_VALUES[ps.state[p]],
+                VAR_NEEDS: ps.needs[p],
+                VAR_DEPTH: ps.depth[p],
+            }
+        edges: Dict[Any, Any] = {}
+        for e, i, j, _dom in self.edge_order:
+            edges[e] = self.pids[i] if (ps.anc[j] >> i) & 1 else self.pids[j]
+        return Configuration(
+            self.topology,
+            locals_,
+            edges,
+            dead=(pid for p, pid in enumerate(self.pids) if ps.status[p] == DEAD),
+            malicious=(
+                pid for p, pid in enumerate(self.pids) if ps.status[p] == MALICIOUS
+            ),
+        )
+
+    # ---------------------------------------------------------------- keys
+
+    def key(self, ps: PackedState) -> bytes:
+        """A compact, collision-free ``bytes`` key for visited sets.
+
+        Requires a depth cap ≤ 255 (the model checker always runs capped;
+        ``depth_cap = D + 1``), so every field fits one byte per process
+        plus one edge-orientation bit per edge.
+        """
+        if self.cap is None or self.cap > 255:
+            raise UnsupportedBackendError(
+                "packed keys need depth_cap <= 255 (run the checker capped)"
+            )
+        orient = 0
+        for bit, (_e, i, j, _dom) in enumerate(self.edge_order):
+            if (ps.anc[j] >> i) & 1:
+                orient |= 1 << bit
+        n_edge_bytes = (len(self.edge_order) + 7) // 8
+        return (
+            bytes(ps.state)
+            + bytes(ps.needs)
+            + bytes(ps.depth)
+            + bytes(ps.status)
+            + orient.to_bytes(n_edge_bytes, "little")
+        )
+
+    # -------------------------------------------------------------- safety
+
+    def neighbors_eating(self, ps: PackedState) -> bool:
+        """True when two neighbouring processes are both in state E —
+        the safety violation every reachability sweep watches for."""
+        e_mask = 0
+        for p, s in enumerate(ps.state):
+            if s == 2:
+                e_mask |= 1 << p
+        m = e_mask
+        while m:
+            p = (m & -m).bit_length() - 1
+            m &= m - 1
+            if e_mask & self.nbr_mask[p]:
+                return True
+        return False

@@ -52,7 +52,13 @@ def percentile_of_sorted(values: List[float], q: float) -> float:
     lo = int(math.floor(pos))
     hi = int(math.ceil(pos))
     frac = pos - lo
-    return values[lo] * (1.0 - frac) + values[hi] * frac
+    # lo + (hi - lo) * frac, not lo*(1-frac) + hi*frac: the symmetric form
+    # drifts by an ulp on identical neighbours (q=0.999 over a thousand
+    # equal samples must return exactly that sample, not max + 1 ulp).
+    # The clamp pins the tail inside [values[lo], values[hi]] — and hence
+    # inside the observed min/max — against any residual rounding.
+    result = values[lo] + (values[hi] - values[lo]) * frac
+    return min(max(result, values[lo]), values[hi])
 
 
 class Metric:
@@ -139,7 +145,12 @@ class Histogram(Metric):
             raise ValueError("q must be within [0, 1]")
         if not self.count:
             return None
-        target = max(1, math.ceil(q * self.count))
+        # min() guards float-precision overshoot in q*count (e.g. q=0.999
+        # over a large merged count can ceil to count+1, which would walk
+        # past every bucket); nearest-rank must always land on a bucket, so
+        # the result stays within the observed min/max by construction —
+        # merge-after-merge chains included.
+        target = min(self.count, max(1, math.ceil(q * self.count)))
         cumulative = 0
         ordered = sorted(self.buckets)
         for value in ordered:

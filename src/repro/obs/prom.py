@@ -88,17 +88,24 @@ def _format(value: float) -> str:
 
 
 def parse_prometheus(text: str) -> List[Sample]:
-    """Samples from an exposition document (comments and junk skipped)."""
+    """Samples from an exposition document (comments and junk skipped).
+
+    Proxied ``/metrics`` responses arrive with CRLF line endings, trailing
+    whitespace, or a BOM prepended by a middlebox; all are tolerated — every
+    line is stripped before matching, and the ``TYPE`` kind is the first
+    token after the metric name so a stray ``\\r`` or annotation cannot leak
+    into the recorded kind.
+    """
     kinds: Dict[str, str] = {}
     samples: List[Sample] = []
-    for line in text.splitlines():
+    for line in text.lstrip("\ufeff").splitlines():
         line = line.strip()
         if not line:
             continue
         if line.startswith("#"):
             parts = line.split(None, 3)
             if len(parts) >= 4 and parts[1] == "TYPE":
-                kinds[parts[2]] = parts[3]
+                kinds[parts[2]] = parts[3].split()[0]
             continue
         match = _SAMPLE.match(line)
         if match is None:

@@ -22,6 +22,7 @@ import platform
 import subprocess
 import time
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -150,6 +151,9 @@ class CompareReport:
     added: List[str]
     removed: List[str]
     threshold: float
+    #: Present in both files but without a usable baseline median (zero,
+    #: missing, or malformed stats) — reported, never gated on.
+    no_baseline: List[str] = dataclass_field(default_factory=list)
 
     @property
     def regressions(self) -> List[Delta]:
@@ -160,25 +164,53 @@ class CompareReport:
         return not self.regressions
 
 
+def _median_of(doc: Any) -> Optional[float]:
+    """The kernel's median, or ``None`` when the stats are unusable.
+
+    A zero median is unusable too: it cannot anchor a ratio (a kernel that
+    measured 0s has no meaningful baseline, and gating new/0 would flag
+    every future run as an infinite regression).
+    """
+    if not isinstance(doc, Mapping):
+        return None
+    stats = doc.get("stats")
+    if not isinstance(stats, Mapping):
+        return None
+    median = stats.get("median_s")
+    if not isinstance(median, (int, float)) or isinstance(median, bool):
+        return None
+    median = float(median)
+    if median <= 0 or median != median:
+        return None
+    return median
+
+
 def compare(
     old: Mapping[str, Any],
     new: Mapping[str, Any],
     *,
     threshold: float = DEFAULT_THRESHOLD,
 ) -> CompareReport:
-    """Compare two BENCH documents; deltas ranked worst-slowdown first."""
+    """Compare two BENCH documents; deltas ranked worst-slowdown first.
+
+    Kernels whose baseline median is zero, missing, or malformed are listed
+    under ``no_baseline`` ("new kernel / no baseline" in the table) instead
+    of producing a division-by-zero crash or a spurious ∞-ratio regression.
+    """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
     old_benches = old.get("benchmarks", {})
     new_benches = new.get("benchmarks", {})
     deltas: List[Delta] = []
+    no_baseline: List[str] = []
     for name in sorted(set(old_benches) & set(new_benches)):
+        old_median = _median_of(old_benches[name])
+        new_median = _median_of(new_benches[name])
+        if old_median is None or new_median is None:
+            no_baseline.append(name)
+            continue
         deltas.append(
-            Delta(
-                name=name,
-                old_median=float(old_benches[name]["stats"]["median_s"]),
-                new_median=float(new_benches[name]["stats"]["median_s"]),
-            )
+            Delta(name=name, old_median=old_median, new_median=new_median)
         )
     deltas.sort(key=lambda d: (-d.ratio, d.name))
     return CompareReport(
@@ -186,6 +218,7 @@ def compare(
         added=sorted(set(new_benches) - set(old_benches)),
         removed=sorted(set(old_benches) - set(new_benches)),
         threshold=threshold,
+        no_baseline=no_baseline,
     )
 
 
@@ -216,26 +249,36 @@ def scan_bench_history(
     entries: List[HistoryEntry] = []
     ignored: List[str] = []
     for path in sorted(directory.glob("BENCH_*.json")):
+        # A malformed or truncated file degrades the table by one column;
+        # it must never abort the whole history scan, so every per-file
+        # failure mode (unreadable, bad JSON, wrong shape inside an
+        # otherwise valid document) lands in ``ignored``.
         try:
             payload = read_bench(path)
-        except ValueError:
-            ignored.append(path.name)
-            continue
-        env = payload.get("env") or {}
-        medians: Dict[str, float] = {}
-        for name, doc in payload["benchmarks"].items():
-            median = (doc.get("stats") or {}).get("median_s")
-            if isinstance(median, (int, float)):
-                medians[name] = float(median)
-        entries.append(
-            HistoryEntry(
+            env = payload.get("env")
+            if not isinstance(env, Mapping):
+                env = {}
+            medians: Dict[str, float] = {}
+            for name, doc in payload["benchmarks"].items():
+                if not isinstance(doc, Mapping):
+                    continue
+                stats = doc.get("stats")
+                median = stats.get("median_s") if isinstance(stats, Mapping) else None
+                if isinstance(median, (int, float)) and not isinstance(median, bool):
+                    medians[str(name)] = float(median)
+            timestamp = env.get("timestamp")
+            git_rev = env.get("git_rev")
+            entry = HistoryEntry(
                 label=path.stem[len("BENCH_"):] or path.stem,
                 path=path,
-                timestamp=env.get("timestamp"),
-                git_rev=env.get("git_rev"),
+                timestamp=timestamp if isinstance(timestamp, str) else None,
+                git_rev=git_rev if isinstance(git_rev, str) else None,
                 medians=medians,
             )
-        )
+        except (OSError, ValueError, TypeError, KeyError, AttributeError):
+            ignored.append(path.name)
+            continue
+        entries.append(entry)
     entries.sort(key=lambda e: (e.timestamp or "", e.label))
     return entries, ignored
 
@@ -290,6 +333,10 @@ def format_compare(report: CompareReport) -> str:
         )
     for name in report.added:
         lines.append(f"{name:40s} {'-':>12s} {'(new)':>12s}")
+    for name in report.no_baseline:
+        lines.append(
+            f"{name:40s} {'-':>12s} {'-':>12s} {'':>7s}  new kernel / no baseline"
+        )
     for name in report.removed:
         lines.append(f"{name:40s} {'(gone)':>12s} {'-':>12s}")
     gate = f"+{report.threshold:.0%} median gate"

@@ -144,6 +144,54 @@ def checker_successors():
     return kernel
 
 
+@register("fastcore/steps/ring16", ops=1000)
+def fastcore_steps_ring():
+    """Packed-state engine step loop: the fast twin of ``engine/steps/ring16``.
+
+    Identical workload — ring(16), everyone hungry, weakly fair, seed 1,
+    1000 steps per op — on :class:`repro.fastcore.FastEngine` instead of the
+    object model.  The CI gate requires this kernel's median to be at least
+    10x faster than ``engine/steps/ring16``; RNG parity means both kernels
+    execute the *same* action sequence, so the ratio is pure representation
+    overhead, not divergent work.
+    """
+    from ..core import NADiners
+    from ..fastcore import FastEngine
+    from ..sim import AlwaysHungry, ring
+
+    engine = FastEngine(ring(16), NADiners(), hunger=AlwaysHungry(), seed=1)
+    return lambda: engine.run(1000)
+
+
+@register("fastcore/successors/ring6", ops=20)
+def fastcore_successors():
+    """Packed successor generation: the fast twin of ``checker/successors/ring6``.
+
+    Same busy ring(6) state and the same 20 successor expansions per op,
+    but over :meth:`FastTransitionSystem.successors_packed` — bitset guard
+    evaluation plus packed-copy commands, no Configuration objects.  CI
+    gates this at >= 10x the object kernel's median.
+    """
+    from ..core import NADiners
+    from ..fastcore.explorer import FastTransitionSystem
+    from ..sim import System, ring
+
+    topo = ring(6)
+    algo = NADiners(depth_cap=topo.diameter + 1)
+    system = System(topo, algo)
+    for p in system.pids:
+        system.write_local(p, "needs", True)
+    config = system.snapshot()
+    fts = FastTransitionSystem(algo, topo)
+    packed = fts.codec.pack(config)
+
+    def kernel():
+        for _ in range(20):
+            fts.successors_packed(packed)
+
+    return kernel
+
+
 @register("mp/ticks/ring8", ops=1000)
 def mp_ticks():
     """Message-passing engine deliver/tick loop (Chandy–Misra ring(8))."""

@@ -201,6 +201,15 @@ class Engine:
         """Run with no stop predicate; convenience wrapper over :meth:`run`."""
         return self.run(max_steps)
 
+    def snapshot(self) -> "Configuration":
+        """The system's current configuration.
+
+        Delegation keeps the state-backend seam uniform: callers holding
+        either this engine or a :class:`repro.fastcore.FastEngine` can
+        observe state without knowing which backend they got.
+        """
+        return self.system.snapshot()
+
     def run_profiled(self, max_steps: int, **kwargs):
         """:meth:`run` under ``cProfile``; returns ``(result, profile)``.
 

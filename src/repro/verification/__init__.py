@@ -18,6 +18,7 @@ Workflow (see experiment E9)::
 """
 
 from .explorer import (
+    FastExplorer,
     Transition,
     TransitionSystem,
     enumerate_configurations,
@@ -40,6 +41,7 @@ from .properties import (
 )
 
 __all__ = [
+    "FastExplorer",
     "Transition",
     "TransitionSystem",
     "enumerate_configurations",

@@ -134,12 +134,57 @@ class Transition:
     target: Configuration
 
 
+class FastExplorer:
+    """Packed-state reachability for the checker's visited set.
+
+    Wraps :class:`repro.fastcore.explorer.FastTransitionSystem` behind the
+    verification layer's vocabulary: ``enabled``/``successors`` match
+    :class:`TransitionSystem` transition-for-transition (the parity battery
+    pins this), while :meth:`reachable_count` replaces the object BFS's
+    configuration-keyed graph with a compact ``bytes``-hashed visited set —
+    the representation that lets exhaustive sweeps scale past toy rings.
+    """
+
+    def __init__(self, algorithm: Algorithm, topology: Topology) -> None:
+        # Imported lazily: fastcore imports this module for ``Transition``.
+        from ..fastcore.explorer import FastTransitionSystem
+
+        self.algorithm = algorithm
+        self.topology = topology
+        self._fts = FastTransitionSystem(algorithm, topology)
+
+    def enabled(self, config: Configuration) -> List[Tuple[Pid, str]]:
+        """Mirror of :meth:`TransitionSystem.enabled`."""
+        return self._fts.enabled(config)
+
+    def successors(self, config: Configuration) -> "List[Transition]":
+        """Mirror of :meth:`TransitionSystem.successors`."""
+        return self._fts.successors(config)
+
+    def reachable_count(
+        self,
+        sources: Iterable[Configuration],
+        *,
+        max_states: int = 1_000_000,
+    ):
+        """BFS closure size + transition/violation counts over packed keys.
+
+        Returns a :class:`repro.fastcore.explorer.FastReachability` whose
+        ``states`` equals ``len(TransitionSystem.reachable_from(sources))``.
+        """
+        return self._fts.reachable_stats(sources, max_states=max_states)
+
+
 class TransitionSystem:
     """Computes successors of configurations by executing the algorithm.
 
     A single scratch :class:`System` is reused across calls; each successor
     computation restores it to the source configuration, executes one
     enabled action, and snapshots.
+
+    :class:`FastExplorer` is the packed-state drop-in for the read-only
+    surface (``enabled``/``successors``/reachability counting); this class
+    remains the reference that defines what those must return.
     """
 
     def __init__(self, algorithm: Algorithm, topology: Topology) -> None:

@@ -1,0 +1,140 @@
+"""FastTransitionSystem vs TransitionSystem: the checker-side parity."""
+
+import random
+
+import pytest
+
+from repro.core import NADiners
+from repro.fastcore import FastTransitionSystem, UnsupportedBackendError
+from repro.fastcore.explorer import FastReachability
+from repro.sim import SimulationError, System, line, ring
+from repro.verification import FastExplorer, TransitionSystem
+
+
+def all_hungry_initial(topo, algo):
+    system = System(topo, algo)
+    for pid in topo.nodes:
+        system.write_local(pid, "needs", True)
+    return system.snapshot()
+
+
+def randomized_config(topo, algo, seed):
+    system = System(topo, algo)
+    system.randomize(random.Random(seed))
+    return system.snapshot()
+
+
+class TestSuccessorParity:
+    @pytest.mark.parametrize("topo", [ring(5), line(4)])
+    @pytest.mark.parametrize("seed", [0, 3, 9, 21])
+    def test_successors_identical(self, topo, seed):
+        algo = NADiners(depth_cap=topo.diameter + 1)
+        config = randomized_config(topo, algo, seed)
+        slow = TransitionSystem(algo, topo).successors(config)
+        fast = FastTransitionSystem(algo, topo).successors(config)
+        # Same transitions in the same (pid-major, declaration) order.
+        assert [(t.pid, t.action) for t in fast] == [
+            (t.pid, t.action) for t in slow
+        ]
+        assert [t.target for t in fast] == [t.target for t in slow]
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_enabled_identical(self, seed):
+        topo = ring(6)
+        algo = NADiners(depth_cap=topo.diameter + 1)
+        config = randomized_config(topo, algo, seed)
+        assert FastTransitionSystem(algo, topo).enabled(config) == (
+            TransitionSystem(algo, topo).enabled(config)
+        )
+
+
+class TestReachability:
+    # Ground truth measured with TransitionSystem.reachable_from (object
+    # model) on the all-hungry initial configuration; the fast BFS must
+    # reproduce the exact closure, not just "roughly as many states".
+    @pytest.mark.parametrize(
+        "topo,expected_states",
+        [
+            pytest.param(ring(3), 720, id="ring3"),
+            pytest.param(line(3), 484, id="line3"),
+        ],
+    )
+    def test_reachable_counts_match_object_bfs(self, topo, expected_states):
+        algo = NADiners(
+            depth_cap=topo.diameter + 1, diameter_override=topo.diameter
+        )
+        config = all_hungry_initial(topo, algo)
+        stats = FastTransitionSystem(algo, topo).reachable_stats([config])
+        assert isinstance(stats, FastReachability)
+        assert stats.states == expected_states
+        assert stats.violations == 0
+        graph = TransitionSystem(algo, topo).reachable_from([config])
+        assert len(graph) == stats.states
+        assert sum(len(ts) for ts in graph.values()) == stats.transitions
+
+    def test_violations_counted_from_bad_source(self):
+        # Start both neighbours eating: the source itself violates E.
+        topo = ring(4)
+        algo = NADiners(
+            depth_cap=topo.diameter + 1, diameter_override=topo.diameter
+        )
+        system = System(topo, algo)
+        from repro.core import DinerState
+
+        for pid in (0, 1):
+            system.write_local(pid, "state", DinerState.EATING)
+        stats = FastTransitionSystem(algo, topo).reachable_stats(
+            [system.snapshot()], max_states=200_000
+        )
+        assert stats.violations > 0
+
+    def test_max_states_guard_matches_object_semantics(self):
+        topo = ring(3)
+        algo = NADiners(
+            depth_cap=topo.diameter + 1, diameter_override=topo.diameter
+        )
+        config = all_hungry_initial(topo, algo)
+        with pytest.raises(SimulationError, match="max_states=100"):
+            FastTransitionSystem(algo, topo).reachable_stats(
+                [config], max_states=100
+            )
+
+    def test_duplicate_sources_deduplicated(self):
+        topo = line(3)
+        algo = NADiners(
+            depth_cap=topo.diameter + 1, diameter_override=topo.diameter
+        )
+        config = all_hungry_initial(topo, algo)
+        fts = FastTransitionSystem(algo, topo)
+        assert fts.reachable_stats([config, config]).states == 484
+
+
+class TestFastExplorerSeam:
+    def test_wraps_fast_transition_system(self):
+        topo = ring(4)
+        algo = NADiners(depth_cap=topo.diameter + 1)
+        explorer = FastExplorer(algo, topo)
+        config = randomized_config(topo, algo, 2)
+        reference = TransitionSystem(algo, topo)
+        assert explorer.enabled(config) == reference.enabled(config)
+        assert [(t.pid, t.action, t.target) for t in explorer.successors(config)] == [
+            (t.pid, t.action, t.target) for t in reference.successors(config)
+        ]
+
+    def test_reachable_count(self):
+        topo = ring(3)
+        algo = NADiners(
+            depth_cap=topo.diameter + 1, diameter_override=topo.diameter
+        )
+        stats = FastExplorer(algo, topo).reachable_count(
+            [all_hungry_initial(topo, algo)]
+        )
+        assert stats.states == 720
+
+    def test_uncapped_algorithm_rejected(self):
+        # Packed keys need a finite depth domain, exactly like enumeration.
+        topo = ring(4)
+        fts = FastTransitionSystem(NADiners(), topo)
+        config = all_hungry_initial(topo, NADiners())
+        with pytest.raises(UnsupportedBackendError):
+            fts.reachable_stats([config])

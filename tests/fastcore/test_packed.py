@@ -1,0 +1,102 @@
+"""PackedCodec: Configuration ↔ PackedState translation and keys."""
+
+import random
+
+import pytest
+
+from repro.core import NADiners, NoFixdepthDiners, e_holds
+from repro.fastcore import PackedCodec, UnsupportedBackendError
+from repro.sim import System, grid, line, ring
+
+
+def randomized_config(topo, algo, seed, dead=(), malicious=()):
+    system = System(topo, algo)
+    system.randomize(random.Random(seed))
+    for p in dead:
+        system.kill(p)
+    for p in malicious:
+        system.mark_malicious(p)
+    return system.snapshot()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("topo", [ring(6), line(5), grid(3, 3)])
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_pack_unpack_identity(self, topo, seed):
+        algo = NADiners()
+        codec = PackedCodec(topo, algo)
+        config = randomized_config(topo, algo, seed)
+        assert codec.unpack(codec.pack(config)) == config
+
+    def test_round_trip_preserves_dead_and_malicious(self):
+        topo = ring(6)
+        algo = NADiners()
+        codec = PackedCodec(topo, algo)
+        config = randomized_config(topo, algo, 3, dead=(1,), malicious=(4,))
+        back = codec.unpack(codec.pack(config))
+        assert back.dead == config.dead
+        assert back.malicious == config.malicious
+        assert back == config
+
+    def test_initial_state_matches_fresh_system(self):
+        topo = line(5)
+        algo = NADiners()
+        codec = PackedCodec(topo, algo)
+        assert codec.unpack(codec.initial_state()) == System(topo, algo).snapshot()
+
+    def test_initially_dead_matches_object_model(self):
+        topo = ring(5)
+        algo = NADiners()
+        codec = PackedCodec(topo, algo)
+        fast = codec.unpack(codec.initial_state(initially_dead=(2,)))
+        obj = System(topo, algo, initially_dead=(2,)).snapshot()
+        assert fast == obj
+
+
+class TestKey:
+    def test_key_is_injective_on_distinct_configs(self):
+        topo = ring(4)
+        algo = NADiners(depth_cap=topo.diameter + 1)
+        codec = PackedCodec(topo, algo)
+        seen = {}
+        for seed in range(50):
+            config = randomized_config(topo, algo, seed)
+            key = codec.key(codec.pack(config))
+            assert isinstance(key, bytes)
+            if key in seen:
+                assert seen[key] == config
+            seen[key] = config
+        assert len(seen) > 1
+
+    def test_key_equal_iff_config_equal(self):
+        topo = line(4)
+        algo = NADiners(depth_cap=topo.diameter + 1)
+        codec = PackedCodec(topo, algo)
+        a = randomized_config(topo, algo, 1)
+        assert codec.key(codec.pack(a)) == codec.key(codec.pack(a))
+
+    def test_key_requires_finite_cap(self):
+        topo = ring(4)
+        codec = PackedCodec(topo, NADiners())  # uncapped depth counter
+        with pytest.raises(UnsupportedBackendError):
+            codec.key(codec.initial_state())
+
+
+class TestSupport:
+    def test_rejects_algorithm_variants(self):
+        # Ablation variants change the action semantics the packed kernels
+        # hard-code, so the codec must refuse them rather than mis-run them.
+        with pytest.raises(UnsupportedBackendError):
+            PackedCodec(ring(4), NoFixdepthDiners())
+
+    def test_neighbors_eating_matches_e_predicate(self):
+        topo = ring(6)
+        algo = NADiners()
+        codec = PackedCodec(topo, algo)
+        violations = 0
+        for seed in range(30):
+            config = randomized_config(topo, algo, seed)
+            fast = codec.neighbors_eating(codec.pack(config))
+            assert fast == (not e_holds(config))
+            violations += fast
+        assert violations  # randomized states do hit E violations

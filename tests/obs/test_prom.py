@@ -69,6 +69,49 @@ class TestExposition:
         assert sanitize_name("0weird") == "_0weird"
 
 
+class TestLineEndingTolerance:
+    """Proxied /metrics bodies arrive mangled: CRLF, trailing blanks, BOM."""
+
+    def test_crlf_document_parses_like_lf(self):
+        text = render_prometheus(samples())
+        crlf = text.replace("\n", "\r\n")
+        assert parse_prometheus(crlf) == parse_prometheus(text)
+
+    def test_crlf_keeps_counter_kind_clean(self):
+        # The TYPE comment is the dangerous line: a stray \r glued to the
+        # kind token used to record kind="counter\r".
+        text = (
+            "# TYPE repro_node_grants_total counter\r\n"
+            "repro_node_grants_total 7\r\n"
+        )
+        parsed = parse_prometheus(text)
+        assert parsed[0].kind == "counter"
+        assert parsed[0].value == 7
+
+    def test_trailing_whitespace_tolerated(self):
+        text = "x_total 4   \n# TYPE y counter\t\ny 2\t \n"
+        parsed = {s.name: s for s in parse_prometheus(text)}
+        assert parsed["x_total"].value == 4
+        assert parsed["y"].kind == "counter"
+
+    def test_bom_prefix_tolerated(self):
+        text = "\ufeffx 1\n"
+        parsed = parse_prometheus(text)
+        assert [s.name for s in parsed] == ["x"]
+        assert parsed[0].value == 1
+
+    def test_blank_and_whitespace_only_lines_skipped(self):
+        parsed = parse_prometheus("\r\n   \r\nx 1\r\n\t\r\n")
+        assert [s.name for s in parsed] == ["x"]
+
+    def test_mangled_roundtrip_with_labels(self):
+        text = render_prometheus(samples())
+        mangled = "\ufeff" + "".join(
+            line + "  \r\n" for line in text.splitlines()
+        )
+        assert parse_prometheus(mangled) == parse_prometheus(text)
+
+
 class TestTopRenderer:
     def test_snapshot_without_previous(self):
         body = render_top(samples())

@@ -160,3 +160,116 @@ class TestCliEndToEnd:
     def test_unknown_filter_exits(self):
         with pytest.raises(SystemExit):
             main(["bench", "--filter", "no-such-kernel", "--list"])
+
+
+def _zeroed_copy(doc, name):
+    copy = json.loads(json.dumps(doc))
+    copy["benchmarks"][name]["stats"]["median_s"] = 0.0
+    return copy
+
+
+class TestNoBaseline:
+    """Kernels without a usable baseline median must be reported, not gated."""
+
+    def _doc(self):
+        return bench_payload([result("a/b"), result("c/d", times=(4.0, 5.0, 6.0))])
+
+    def test_zero_baseline_median_does_not_crash_or_regress(self):
+        doc = self._doc()
+        report = compare(_zeroed_copy(doc, "a/b"), doc)
+        assert report.ok
+        assert report.no_baseline == ["a/b"]
+        assert [d.name for d in report.deltas] == ["c/d"]
+
+    def test_zero_new_median_is_no_baseline_too(self):
+        doc = self._doc()
+        report = compare(doc, _zeroed_copy(doc, "a/b"))
+        assert report.ok
+        assert report.no_baseline == ["a/b"]
+
+    def test_missing_stats_block(self):
+        doc = self._doc()
+        broken = json.loads(json.dumps(doc))
+        del broken["benchmarks"]["a/b"]["stats"]
+        report = compare(broken, doc)
+        assert report.ok and report.no_baseline == ["a/b"]
+
+    def test_malformed_median_values(self):
+        doc = self._doc()
+        for bad in (None, "fast", True, float("nan"), -1.0):
+            broken = json.loads(json.dumps(doc))
+            broken["benchmarks"]["a/b"]["stats"]["median_s"] = bad
+            report = compare(broken, doc)
+            assert report.ok, bad
+            assert report.no_baseline == ["a/b"], bad
+
+    def test_format_compare_mentions_no_baseline(self):
+        doc = self._doc()
+        text = format_compare(compare(_zeroed_copy(doc, "a/b"), doc))
+        assert "new kernel / no baseline" in text
+        assert "a/b" in text
+
+    def test_cli_compare_survives_zero_baseline(self, tmp_path, capsys):
+        doc = self._doc()
+        old = tmp_path / "BENCH_old.json"
+        new = tmp_path / "BENCH_new.json"
+        old.write_text(json.dumps(_zeroed_copy(doc, "a/b")))
+        new.write_text(json.dumps(doc))
+        assert main(["bench", "--compare", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "no baseline" in out and "no regressions" in out
+
+
+class TestHistoryScan:
+    """A garbage BENCH_*.json degrades the history table, never aborts it."""
+
+    def _write(self, directory, name, payload):
+        (directory / name).write_text(
+            payload if isinstance(payload, str) else json.dumps(payload)
+        )
+
+    def test_garbage_files_are_skipped_with_warning(self, tmp_path):
+        from repro.perf import scan_bench_history
+
+        good = bench_payload([result("a/b")])
+        self._write(tmp_path, "BENCH_good.json", good)
+        self._write(tmp_path, "BENCH_truncated.json", '{"kind": "bench", "form')
+        self._write(tmp_path, "BENCH_wrong_shape.json", {"kind": "bench"})
+        self._write(tmp_path, "BENCH_list.json", [1, 2, 3])
+        self._write(tmp_path, "BENCH_bad_benchmarks.json", {
+            "kind": "bench", "format": 1, "benchmarks": "nope",
+        })
+        entries, ignored = scan_bench_history(tmp_path)
+        assert [e.label for e in entries] == ["good"]
+        assert sorted(ignored) == [
+            "BENCH_bad_benchmarks.json",
+            "BENCH_list.json",
+            "BENCH_truncated.json",
+            "BENCH_wrong_shape.json",
+        ]
+
+    def test_malformed_entries_inside_valid_file_are_tolerated(self, tmp_path):
+        from repro.perf import scan_bench_history
+
+        doc = bench_payload([result("a/b"), result("c/d")])
+        doc["benchmarks"]["a/b"] = "not a mapping"
+        doc["benchmarks"]["c/d"]["stats"]["median_s"] = "bogus"
+        doc["env"] = {"timestamp": 12345, "git_rev": ["not", "a", "str"]}
+        self._write(tmp_path, "BENCH_odd.json", doc)
+        entries, ignored = scan_bench_history(tmp_path)
+        assert ignored == []
+        assert len(entries) == 1
+        assert entries[0].medians == {}
+        assert entries[0].timestamp is None and entries[0].git_rev is None
+
+    def test_cli_history_prints_warning_and_table(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_ok.json", bench_payload([result("a/b")]))
+        self._write(tmp_path, "BENCH_junk.json", "not json at all")
+        assert main(["bench", "--history", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ignored 1 non-BENCH file(s): BENCH_junk.json" in out
+        assert "a/b" in out
+
+    def test_missing_directory_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--history", str(tmp_path / "absent")])

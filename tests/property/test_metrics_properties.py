@@ -1,0 +1,115 @@
+"""Property-based pins for the quantile helpers.
+
+Regression shield for two past defects: interpolated quantiles drifting a
+few ulps above the observed maximum on all-identical samples (the naive
+``a + (b - a) * frac`` form), and nearest-rank histogram percentiles
+overshooting the top bucket after merge chains inflate ``count`` past
+``1/q`` precision.  p999 of any distribution must stay inside
+``[min, max]`` — a latency report that invents a value larger than any
+observation is corrupt.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, percentile_of_sorted
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+quantiles = st.floats(min_value=0.0, max_value=1.0)
+weights = st.lists(st.integers(1, 50), min_size=1, max_size=20)
+
+
+class TestPercentileOfSorted:
+    @given(st.lists(finite, min_size=1, max_size=50), quantiles)
+    def test_within_observed_range(self, values, q):
+        values.sort()
+        result = percentile_of_sorted(values, q)
+        assert values[0] <= result <= values[-1]
+
+    @given(finite, st.integers(1, 40), quantiles)
+    def test_all_identical_samples_return_the_sample(self, value, n, q):
+        # The original failure mode: 0.1 + (0.1 - 0.1) * frac style drift.
+        assert percentile_of_sorted([value] * n, q) == value
+
+    @given(st.lists(finite, min_size=1, max_size=50), quantiles, quantiles)
+    def test_monotone_in_q(self, values, q1, q2):
+        values.sort()
+        lo, hi = sorted((q1, q2))
+        assert percentile_of_sorted(values, lo) <= percentile_of_sorted(values, hi)
+
+    @given(st.lists(finite, min_size=1, max_size=50))
+    def test_endpoints_exact(self, values):
+        values.sort()
+        assert percentile_of_sorted(values, 0.0) == values[0]
+        assert percentile_of_sorted(values, 1.0) == values[-1]
+
+
+def histogram_of(buckets):
+    h = Histogram("h")
+    for value, weight in buckets:
+        h.observe(value, weight)
+    return h
+
+
+bucket_lists = st.lists(
+    st.tuples(st.integers(-100, 100), st.integers(1, 1000)),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestHistogramPercentile:
+    @given(bucket_lists, quantiles)
+    def test_within_observed_range(self, buckets, q):
+        h = histogram_of(buckets)
+        observed = sorted(h.buckets)
+        assert observed[0] <= h.percentile(q) <= observed[-1]
+
+    @given(st.integers(-100, 100), weights, quantiles)
+    def test_all_identical_distribution(self, value, ws, q):
+        h = histogram_of([(value, w) for w in ws])
+        assert h.percentile(q) == value
+
+    @given(st.lists(bucket_lists, min_size=2, max_size=5), quantiles)
+    def test_merge_chains_stay_in_range(self, shards, q):
+        # Merge-after-merge is the campaign aggregation path: counts grow
+        # multiplicatively and q * count precision errors compound.
+        merged = histogram_of(shards[0])
+        for shard in shards[1:]:
+            merged.merge(histogram_of(shard))
+        observed = sorted(merged.buckets)
+        result = merged.percentile(q)
+        assert observed[0] <= result <= observed[-1]
+        # p999 specifically — the reporting quantile that overshot.
+        p999 = merged.percentile(0.999)
+        assert observed[0] <= p999 <= observed[-1]
+
+    @given(bucket_lists)
+    def test_merge_equals_bulk_observation(self, buckets):
+        a = histogram_of(buckets)
+        b = Histogram("b")
+        b.merge(a)
+        assert b.buckets == a.buckets and b.count == a.count
+
+    @given(bucket_lists, quantiles, quantiles)
+    def test_monotone_in_q(self, buckets, q1, q2):
+        h = histogram_of(buckets)
+        lo, hi = sorted((q1, q2))
+        assert h.percentile(lo) <= h.percentile(hi)
+
+
+class TestCrossConsistency:
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=40))
+    def test_histogram_median_brackets_interpolated_median(self, values):
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        interpolated = percentile_of_sorted(sorted(float(v) for v in values), 0.5)
+        nearest_rank = h.percentile(0.5)
+        assert min(values) <= nearest_rank <= max(values)
+        assert min(values) <= interpolated <= max(values)
